@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures and prints the
+rows/series the paper reports (run with ``pytest benchmarks/
+--benchmark-only -s`` to see them live). Each report is also written to
+``benchmarks/results/<name>.txt`` so the numbers survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(name: str, lines: list[str]) -> None:
+    """Print a figure/table report and persist it under results/."""
+    header = f"=== {name} ==="
+    body = "\n".join([header, *lines, ""])
+    print("\n" + body)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(body, encoding="utf-8")
+
+
+def fmt_row(*cells, width: int = 14) -> str:
+    return "".join(str(c).ljust(width) for c in cells)

@@ -1,0 +1,76 @@
+"""Ablation (§IV-C): the four coordinator-locating strategies.
+
+Measures what the paper discusses qualitatively for each strategy:
+coordinator-load balance across partitions (max/mean ratio), extra
+result-buffer hops, and extra control round trips.
+"""
+
+import numpy as np
+
+from repro.cubrick.locator import (
+    AlwaysPartitionZero,
+    CachedRandom,
+    ForwardFromZero,
+    LookupThenRandom,
+)
+
+from conftest import fmt_row, report
+
+QUERIES = 50_000
+PARTITIONS = 16
+
+
+def evaluate(locator, rng):
+    picks = np.zeros(PARTITIONS, dtype=int)
+    hops = 0
+    roundtrips = 0
+    for __ in range(QUERIES):
+        choice = locator.choose("t", PARTITIONS, rng)
+        picks[choice.partition_index] += 1
+        hops += choice.extra_hops
+        roundtrips += choice.extra_roundtrips
+        locator.observe_result("t", PARTITIONS)
+    imbalance = picks.max() / max(picks.mean(), 1e-9)
+    return imbalance, hops / QUERIES, roundtrips / QUERIES
+
+
+def compute_ablation():
+    rng = np.random.default_rng(51)
+    return {
+        "1 always-zero": evaluate(AlwaysPartitionZero(), rng),
+        "2 forward-from-zero": evaluate(ForwardFromZero(), rng),
+        "3 lookup-then-random": evaluate(LookupThenRandom(), rng),
+        "4 cached-random": evaluate(CachedRandom(), rng),
+    }
+
+
+def test_bench_ablation_coordinator_locator(benchmark):
+    results = benchmark.pedantic(compute_ablation, rounds=1, iterations=1)
+
+    lines = [
+        f"{QUERIES} queries against a {PARTITIONS}-partition table",
+        fmt_row("strategy", "imbalance", "hops/query", "roundtrips/query",
+                width=22),
+    ]
+    for name, (imbalance, hops, roundtrips) in results.items():
+        lines.append(
+            fmt_row(name, f"{imbalance:.2f}", f"{hops:.3f}",
+                    f"{roundtrips:.5f}", width=22)
+        )
+    lines.append("")
+    lines.append("paper's production choice: strategy 4 (balanced, no extra "
+                 "hops, amortised zero roundtrips)")
+    report("ablation_locator", lines)
+
+    # Strategy 1: perfectly imbalanced (everything on partition 0).
+    assert results["1 always-zero"][0] == PARTITIONS
+    # Strategies 2-4: balanced within noise.
+    for name in ("2 forward-from-zero", "3 lookup-then-random",
+                 "4 cached-random"):
+        assert results[name][0] < 1.1
+    # Strategy 2 pays ~(1 - 1/P) hops per query; others none.
+    assert abs(results["2 forward-from-zero"][1] - (1 - 1 / PARTITIONS)) < 0.02
+    assert results["4 cached-random"][1] == 0.0
+    # Strategy 3 pays a roundtrip per query; strategy 4 amortises to ~0.
+    assert results["3 lookup-then-random"][2] == 1.0
+    assert results["4 cached-random"][2] < 0.001

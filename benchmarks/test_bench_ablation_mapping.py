@@ -1,0 +1,105 @@
+"""Ablation (§IV-A): shard-mapping functions.
+
+Compares same-table collision rates of the naive per-partition hash
+against the production monotonic mapper across shard-space sizes, plus
+the replica-mapping alternative's constraint (fixed partition counts).
+"""
+
+from repro.cubrick.partitioning import PartitioningPolicy
+from repro.cubrick.sharding import (
+    ConsistentHashMapper,
+    MonotonicHashMapper,
+    NaiveHashMapper,
+    ReplicaMapper,
+    analyze_collisions,
+)
+from repro.errors import ConfigurationError
+from repro.workloads.tables import TenantWorkload, expected_partitions
+
+from conftest import fmt_row, report
+
+TABLES = 1000
+SHARD_SPACES = [10_000, 50_000, 100_000, 500_000]
+
+
+def compute_ablation():
+    workload = TenantWorkload.generate(TABLES, seed=71)
+    policy = PartitioningPolicy()
+    population = {
+        spec.name: expected_partitions(spec.rows, policy)
+        for spec in workload.specs
+    }
+    rows = []
+    for max_shards in SHARD_SPACES:
+        naive = analyze_collisions(
+            population, NaiveHashMapper(max_shards=max_shards)
+        )
+        monotonic = analyze_collisions(
+            population, MonotonicHashMapper(max_shards=max_shards)
+        )
+        rows.append(
+            (max_shards, naive.same_table_fraction,
+             monotonic.same_table_fraction)
+        )
+
+    # Replica mapping: no collisions, but only fixed-size tables fit.
+    replica = ReplicaMapper(max_shards=100_000, replicas=8)
+    fits = sum(1 for count in population.values() if count == 8)
+    rejected = 0
+    for count in set(population.values()):
+        if count != 8:
+            try:
+                replica.shards_of("x", count)
+            except ConfigurationError:
+                rejected += 1
+
+    # Re-sharding (growing maxShards by 10%): fraction of tables whose
+    # anchor shard moves under each mapper. The paper notes consistent
+    # hashing is what Cubrick would use if maxShards had to change.
+    tables = list(population)
+    moved = {}
+    for label, cls in (("monotonic", MonotonicHashMapper),
+                       ("consistent", ConsistentHashMapper)):
+        small, grown = cls(max_shards=100_000), cls(max_shards=110_000)
+        moved[label] = sum(
+            1 for t in tables if small.shard_of(t, 0) != grown.shard_of(t, 0)
+        ) / len(tables)
+    return rows, fits, rejected, population, moved
+
+
+def test_bench_ablation_shard_mapping(benchmark):
+    rows, fits, rejected, population, moved = benchmark.pedantic(
+        compute_ablation, rounds=1, iterations=1
+    )
+
+    lines = [
+        f"{TABLES} tables; same-table partition-collision rate by mapper",
+        fmt_row("maxShards", "naive", "monotonic"),
+    ]
+    for max_shards, naive_rate, monotonic_rate in rows:
+        lines.append(
+            fmt_row(max_shards, f"{naive_rate:.2%}", f"{monotonic_rate:.2%}")
+        )
+    lines.append("")
+    lines.append(
+        f"replica mapping: fits {fits}/{TABLES} tables "
+        f"(only 8-partition tables); rejects every other partition count"
+    )
+    lines.append("")
+    lines.append("re-sharding 100k -> 110k shards, tables whose anchor moves:")
+    for label, fraction in moved.items():
+        lines.append(fmt_row(label, f"{fraction:.1%}"))
+    report("ablation_mapping", lines)
+
+    # Monotonic never self-collides; naive does, worse in small spaces.
+    for __, naive_rate, monotonic_rate in rows:
+        assert monotonic_rate == 0.0
+    naive_rates = [r[1] for r in rows]
+    assert naive_rates[0] > naive_rates[-1]
+    assert naive_rates[0] > 0.0
+    # Replica mapping's documented limitation.
+    assert rejected == len({c for c in population.values() if c != 8})
+    assert 0 < fits < TABLES
+    # Consistent hashing survives re-sharding; modulo hashing does not.
+    assert moved["consistent"] < 0.2
+    assert moved["monotonic"] > 0.8

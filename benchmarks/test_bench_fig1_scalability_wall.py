@@ -1,0 +1,64 @@
+"""Figure 1: query success ratio vs. nodes visited; the wall at ~100.
+
+Paper setting: servers have a 0.01% chance of failure at any given time
+and the system has a 99% query-success SLA — the success curve crosses
+the SLA at about 100 servers.
+"""
+
+import numpy as np
+
+from repro.core.wall import (
+    PAPER_FAILURE_PROBABILITY,
+    PAPER_SLA,
+    monte_carlo_success_ratio,
+    query_success_ratio,
+    scalability_wall,
+    success_curve,
+)
+
+from conftest import fmt_row, report
+
+FANOUTS = [1, 10, 25, 50, 75, 100, 150, 200, 300, 500, 750, 1000]
+
+
+def compute_figure1():
+    curve = success_curve(FANOUTS, PAPER_FAILURE_PROBABILITY)
+    wall = scalability_wall(PAPER_FAILURE_PROBABILITY, PAPER_SLA)
+    rng = np.random.default_rng(0)
+    monte_carlo = [
+        monte_carlo_success_ratio(
+            n, PAPER_FAILURE_PROBABILITY, trials=50_000, rng=rng
+        )
+        for n in FANOUTS
+    ]
+    return curve, wall, monte_carlo
+
+
+def test_bench_fig1_scalability_wall(benchmark):
+    curve, wall, monte_carlo = benchmark(compute_figure1)
+
+    lines = [
+        f"p(server failure) = {PAPER_FAILURE_PROBABILITY:.2%}, "
+        f"SLA = {PAPER_SLA:.0%}",
+        f"scalability wall = {wall} servers (paper: ~100)",
+        fmt_row("fanout", "success", "monte-carlo", "meets SLA"),
+    ]
+    for n, analytic, empirical in zip(FANOUTS, curve, monte_carlo):
+        lines.append(
+            fmt_row(
+                n,
+                f"{analytic:.4%}",
+                f"{empirical:.4%}",
+                "yes" if analytic >= PAPER_SLA else "NO",
+            )
+        )
+    report("fig1_scalability_wall", lines)
+
+    # Shape checks: the wall is at 100, curve decays monotonically, and
+    # the Monte-Carlo estimate agrees with the closed form.
+    assert wall == 100
+    assert all(a > b for a, b in zip(curve, curve[1:]))
+    assert query_success_ratio(100, PAPER_FAILURE_PROBABILITY) >= PAPER_SLA
+    assert query_success_ratio(101, PAPER_FAILURE_PROBABILITY) < PAPER_SLA
+    for analytic, empirical in zip(curve, monte_carlo):
+        assert abs(analytic - empirical) < 0.01

@@ -1,0 +1,47 @@
+"""Figure 2: success curves for different server failure probabilities.
+
+The paper extends the Figure 1 model to larger clusters and a sweep of
+per-server failure probabilities; curves order by reliability, and every
+fully-sharded system eventually crosses any SLA.
+"""
+
+from repro.core.wall import scalability_wall, success_curve
+
+from conftest import fmt_row, report
+
+PROBABILITIES = [1e-5, 5e-5, 1e-4, 5e-4, 1e-3]
+FANOUTS = [10, 100, 500, 1000, 2000, 5000, 10_000]
+SLA = 0.99
+
+
+def compute_figure2():
+    curves = {p: success_curve(FANOUTS, p) for p in PROBABILITIES}
+    walls = {p: scalability_wall(p, SLA) for p in PROBABILITIES}
+    return curves, walls
+
+
+def test_bench_fig2_failure_probability_sweep(benchmark):
+    curves, walls = benchmark(compute_figure2)
+
+    lines = [fmt_row("fanout", *[f"p={p:g}" for p in PROBABILITIES])]
+    for i, n in enumerate(FANOUTS):
+        lines.append(
+            fmt_row(n, *[f"{curves[p][i]:.3%}" for p in PROBABILITIES])
+        )
+    lines.append("")
+    lines.append(fmt_row("p(fail)", "wall @ 99% SLA"))
+    for p in PROBABILITIES:
+        lines.append(fmt_row(f"{p:g}", walls[p]))
+    report("fig2_failure_sweep", lines)
+
+    # Curves are ordered by failure probability at every fan-out...
+    for i in range(len(FANOUTS)):
+        values = [curves[p][i] for p in PROBABILITIES]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+    # ... the wall shrinks as servers get less reliable ...
+    wall_values = [walls[p] for p in PROBABILITIES]
+    assert all(a > b for a, b in zip(wall_values, wall_values[1:]))
+    # ... and every probability eventually violates the SLA (the paper's
+    # point that all fully-sharded systems hit the wall at enough scale).
+    for p in PROBABILITIES:
+        assert curves[p][-1] < SLA

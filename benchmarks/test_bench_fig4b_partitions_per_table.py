@@ -1,0 +1,47 @@
+"""Figure 4b: distribution of partitions per table.
+
+Paper: the vast majority of tables have 8 partitions (they never hit the
+re-partition threshold); about 10% are re-partitioned, topping out
+around 60 partitions.
+"""
+
+from repro.cubrick.partitioning import PartitioningPolicy
+from repro.workloads.tables import TenantWorkload
+
+from conftest import fmt_row, report
+
+TABLES = 5000
+
+
+def compute_figure4b():
+    workload = TenantWorkload.generate(TABLES, seed=21)
+    return workload.partition_histogram(PartitioningPolicy())
+
+
+def test_bench_fig4b_partitions_per_table(benchmark):
+    histogram = benchmark(compute_figure4b)
+    total = sum(histogram.values())
+
+    lines = [
+        f"{TABLES} multi-tenant tables (paper: most at 8, ~10% re-partitioned, "
+        "max ~60)",
+        fmt_row("partitions", "tables", "fraction"),
+    ]
+    for partitions, count in histogram.items():
+        bar = "#" * int(50 * count / total)
+        lines.append(
+            fmt_row(partitions, count, f"{count / total:.1%}") + " " + bar
+        )
+    repartitioned = sum(c for p, c in histogram.items() if p > 8)
+    lines.append(f"re-partitioned tables: {repartitioned / total:.1%}")
+    report("fig4b_partitions_per_table", lines)
+
+    # The paper's shape: 8 dominates, a minority tail is re-partitioned,
+    # bounded by the max-partitions cap (paper observes ~60).
+    assert histogram[8] / total > 0.5
+    assert 0.02 < repartitioned / total < 0.40
+    assert max(histogram) <= 64
+    # Distribution is monotone-ish: each doubling bucket is rarer.
+    sizes = sorted(histogram)
+    counts = [histogram[s] for s in sizes]
+    assert counts[0] == max(counts)

@@ -1,0 +1,55 @@
+"""Figure 4c: service-discovery propagation delay distribution.
+
+The paper reports the delay (in seconds) for SMC's local proxies to
+learn about shard-mapping changes — a few seconds through the
+multi-level distribution tree.
+"""
+
+import numpy as np
+
+from repro.smc.tree import PropagationTree
+
+from conftest import fmt_row, report
+
+SAMPLES = 200_000
+PERCENTILES = [10, 25, 50, 75, 90, 99, 99.9]
+
+
+def compute_figure4c():
+    tree = PropagationTree()
+    rng = np.random.default_rng(3)
+    delays = tree.sample_delays(rng, SAMPLES)
+    return delays, tree
+
+
+def test_bench_fig4c_smc_propagation_delay(benchmark):
+    delays, tree = benchmark(compute_figure4c)
+
+    quantiles = np.percentile(delays, PERCENTILES)
+    lines = [
+        f"{SAMPLES} propagated updates through "
+        f"{len(tree.levels)} cache levels (paper: a few seconds)",
+        fmt_row("percentile", "delay (s)"),
+    ]
+    for p, q in zip(PERCENTILES, quantiles):
+        lines.append(fmt_row(f"p{p}", f"{q:.2f}"))
+    lines.append(fmt_row("mean", f"{delays.mean():.2f}"))
+    lines.append(
+        fmt_row("graceful-drop wait", f"{tree.max_expected_delay():.2f}")
+    )
+    # Histogram of the distribution (the figure itself).
+    counts, edges = np.histogram(delays, bins=12)
+    lines.append("")
+    for i, count in enumerate(counts):
+        bar = "#" * int(60 * count / counts.max())
+        lines.append(
+            fmt_row(f"{edges[i]:.1f}-{edges[i + 1]:.1f}s", count) + " " + bar
+        )
+    report("fig4c_smc_propagation", lines)
+
+    # The "few seconds" shape, with the graceful-drop wait as an upper
+    # envelope that covers effectively the whole distribution.
+    assert 1.0 < delays.mean() < 5.0
+    assert np.percentile(delays, 99) < 10.0
+    assert tree.max_expected_delay() > np.percentile(delays, 99.9)
+    assert delays.min() >= 0.0

@@ -1,0 +1,122 @@
+"""Figure 4d: shard migrations per day on a production cluster.
+
+The paper plots daily migration counts driven by load balancing, host
+failures/failovers and datacenter automation (drains). We run a week of
+cluster life: shards grow unevenly, hosts fail per an MTBF process, and
+planned drains occur — all of which generate SM migrations.
+"""
+
+import numpy as np
+
+from repro.cluster.topology import Cluster
+from repro.shardmanager.app_server import InMemoryApplicationServer
+from repro.shardmanager.datastore import Datastore
+from repro.shardmanager.server import SMServer
+from repro.shardmanager.spec import ServiceSpec
+from repro.sim.engine import DAY, HOUR, Simulator
+from repro.sim.failures import FailureInjector, MtbfFailureModel
+
+from conftest import fmt_row, report
+
+HOSTS_PER_RACK = 10
+RACKS = 10  # 100 hosts
+SHARDS = 800
+DAYS = 7
+
+
+def run_week():
+    simulator = Simulator()
+    cluster = Cluster.build(
+        regions=1, racks_per_region=RACKS, hosts_per_rack=HOSTS_PER_RACK
+    )
+    spec = ServiceSpec(
+        name="fig4d", max_shards=100_000, max_migrations_per_run=24,
+        load_imbalance_tolerance=0.10,
+    )
+    datastore = Datastore(simulator, session_timeout=900.0, check_interval=300.0)
+    server = SMServer(
+        spec, simulator, cluster, region="region0", datastore=datastore,
+        heartbeat_interval=300.0,
+    )
+    apps: dict[str, InMemoryApplicationServer] = {}
+    for host in cluster.hosts():
+        app = InMemoryApplicationServer(host.host_id, capacity=10_000.0)
+        apps[host.host_id] = app
+        server.register_host(app)
+    rng = np.random.default_rng(17)
+    for shard in range(SHARDS):
+        server.create_shard(shard, size_hint=float(rng.uniform(5, 50)))
+
+    # Uneven data growth: a Zipf-skewed subset of shards grows hourly.
+    def grow():
+        for __ in range(40):
+            shard = min(int(rng.zipf(1.4)) - 1, SHARDS - 1)
+            for app in apps.values():
+                if shard in app.hosted_shards():
+                    current = app.shard_metrics()[shard]
+                    app.set_shard_size(shard, current + float(rng.uniform(1, 20)))
+                    break
+
+    simulator.schedule_periodic(HOUR, grow)
+    server.start(collect_interval=HOUR, balance_interval=6 * HOUR,
+                 until=DAYS * DAY)
+
+    # Unplanned failures.
+    def on_fail(host_id, permanent):
+        cluster.host(host_id).fail(permanent=permanent)
+
+    def on_recover(host_id):
+        cluster.host(host_id).recover()
+        fresh = InMemoryApplicationServer(host_id, capacity=10_000.0)
+        apps[host_id] = fresh
+        server.reconnect_host(fresh)
+
+    injector = FailureInjector(
+        simulator, MtbfFailureModel(mtbf=60 * DAY, mttr=HOUR,
+                                    permanent_fraction=0.2),
+        np.random.default_rng(18), on_fail, on_recover,
+    )
+    for host in cluster.hosts():
+        injector.track(host.host_id, until=DAYS * DAY)
+
+    # Planned automation: drain one host per weekday (maintenance).
+    def drain_one(day):
+        host_ids = cluster.host_ids()
+        victim = host_ids[(day * 13) % len(host_ids)]
+        if cluster.host(victim).is_available:
+            cluster.host(victim).start_drain()
+            server.drain_host(victim)
+            cluster.host(victim).recover()
+
+    for day in range(1, 6):
+        simulator.schedule(day * DAY + 10 * HOUR, lambda d=day: drain_one(d))
+
+    simulator.run_until(DAYS * DAY)
+    return server, injector
+
+
+def test_bench_fig4d_migrations_per_day(benchmark):
+    server, injector = benchmark.pedantic(run_week, rounds=1, iterations=1)
+
+    per_day = server.migrations.migrations_per_day(DAYS)
+    by_reason = server.migrations.count_by_reason()
+    lines = [
+        f"{RACKS * HOSTS_PER_RACK} hosts, {SHARDS} shards, {DAYS} days "
+        "(paper: daily migrations from balancing + failures + automation)",
+        fmt_row("day", "migrations"),
+    ]
+    for day, count in enumerate(per_day):
+        lines.append(fmt_row(day, count) + " " + "#" * min(count, 60))
+    lines.append("")
+    lines.append(fmt_row("reason", "count"))
+    for reason, count in sorted(by_reason.items()):
+        lines.append(fmt_row(reason, count))
+    report("fig4d_migrations", lines)
+
+    # Migrations happen throughout the week, from multiple causes.
+    assert sum(per_day) > 0
+    assert sum(1 for c in per_day if c > 0) >= 3
+    assert by_reason.get("load_balance", 0) > 0
+    assert by_reason.get("drain", 0) > 0
+    if injector.events:
+        assert by_reason.get("failover", 0) > 0

@@ -1,0 +1,74 @@
+"""Figure 4f: hosts sent to repair per day (permanent failures).
+
+The paper plots how many hosts per day are handed to the repair
+pipeline by datacenter automation, with no human intervention. We run
+two weeks of MTBF-driven failures over a large fleet and count the
+permanent ones per day.
+"""
+
+import numpy as np
+
+from repro.cluster.automation import DatacenterAutomation
+from repro.cluster.topology import Cluster
+from repro.sim.engine import DAY, Simulator
+from repro.sim.failures import FailureInjector, MtbfFailureModel
+
+from conftest import fmt_row, report
+
+HOSTS = 2000
+DAYS = 14
+MODEL = MtbfFailureModel(
+    mtbf=90 * DAY,  # a host fails every ~3 months
+    mttr=30 * 60.0,
+    permanent_fraction=0.25,
+    repair_time=5 * DAY,
+)
+
+
+def compute_figure4f():
+    simulator = Simulator()
+    cluster = Cluster.build(
+        regions=1, racks_per_region=HOSTS // 20, hosts_per_rack=20
+    )
+    automation = DatacenterAutomation(simulator, cluster)
+    injector = FailureInjector(
+        simulator,
+        MODEL,
+        np.random.default_rng(23),
+        on_fail=automation.handle_host_failure,
+        on_recover=automation.handle_host_recovery,
+    )
+    for host in cluster.hosts():
+        injector.track(host.host_id, until=DAYS * DAY)
+    simulator.run_until(DAYS * DAY)
+    return automation, injector
+
+
+def test_bench_fig4f_repairs_per_day(benchmark):
+    automation, injector = benchmark.pedantic(
+        compute_figure4f, rounds=1, iterations=1
+    )
+
+    per_day = automation.repairs_per_day(DAYS)
+    expected_daily = HOSTS / (MODEL.mtbf / DAY) * MODEL.permanent_fraction
+    lines = [
+        f"{HOSTS} hosts, {DAYS} days, MTBF={MODEL.mtbf / DAY:.0f}d, "
+        f"{MODEL.permanent_fraction:.0%} permanent "
+        f"(expected ~{expected_daily:.1f} repairs/day)",
+        fmt_row("day", "hosts to repair"),
+    ]
+    for day, count in enumerate(per_day):
+        lines.append(fmt_row(day, count) + " " + "#" * count)
+    lines.append(f"total permanent: {sum(per_day)}; "
+                 f"transient failures: "
+                 f"{sum(1 for e in injector.events if not e.permanent)}")
+    report("fig4f_repairs", lines)
+
+    # Repairs happen steadily, at roughly the analytic rate.
+    assert sum(per_day) > 0
+    mean_daily = sum(per_day) / DAYS
+    assert 0.3 * expected_daily < mean_daily < 3.0 * expected_daily
+    # Transient failures are the majority (the paper's automation handles
+    # both, but only permanent ones enter the repair pipeline).
+    transient = sum(1 for e in injector.events if not e.permanent)
+    assert transient > sum(per_day)

@@ -1,0 +1,118 @@
+"""Figure 5: query latency for varying fan-out levels (the headline plot).
+
+The paper ran the same simple query every 500 ms for a week (>1M queries
+per table) against tables with different fan-out levels and plotted the
+latency distribution on a log scale: medians barely move while p99/p999
+grow sharply with fan-out.
+
+Two reproductions:
+
+* statistical, at full paper scale (1.2M queries per fan-out) through the
+  tail-latency model — the headline series;
+* integrated, at reduced scale, through the entire Cubrick stack
+  (real tables, real probe queries via the proxy) — the cross-check that
+  the full system exhibits the same shape.
+"""
+
+import numpy as np
+
+from repro.core.deployment import CubrickDeployment, DeploymentConfig
+from repro.sim.latency import HiccupModel, LogNormalTailLatency
+from repro.workloads.fanout_experiment import (
+    QUERIES_PER_WEEK,
+    run_fanout_experiment,
+    statistical_fanout_experiment,
+)
+
+from conftest import fmt_row, report
+
+FANOUTS = [1, 2, 4, 8, 16, 32, 64, 128]
+#: Tight common case + rare hiccups: the production regime.
+MODEL = LogNormalTailLatency(
+    base=0.002,
+    median=0.010,
+    sigma=0.35,
+    hiccups=HiccupModel(probability=5e-4, min_delay=0.1, max_delay=2.0),
+)
+STATISTICAL_QUERIES = QUERIES_PER_WEEK  # 1,209,600 — the paper's count
+
+
+def compute_statistical():
+    rng = np.random.default_rng(31)
+    return statistical_fanout_experiment(
+        MODEL, FANOUTS, STATISTICAL_QUERIES, rng
+    )
+
+
+def compute_integrated():
+    deployment = CubrickDeployment(
+        DeploymentConfig(seed=32, regions=2, racks_per_region=2,
+                         hosts_per_rack=4),
+        latency_model=MODEL,
+    )
+    return run_fanout_experiment(
+        deployment, [1, 4, 8], queries_per_table=400, rows_per_table=64
+    )
+
+
+def test_bench_fig5_statistical(benchmark):
+    result = benchmark.pedantic(compute_statistical, rounds=1, iterations=1)
+
+    lines = [
+        f"{STATISTICAL_QUERIES:,} queries per fan-out (one week at 500 ms), "
+        "latencies in ms (log-scale in the paper)",
+        fmt_row("fanout", "p50", "p90", "p99", "p99.9", "p99.99", "max",
+                width=10),
+    ]
+    for row in result.rows:
+        lines.append(
+            fmt_row(
+                row.fanout,
+                f"{row.p50 * 1e3:.1f}",
+                f"{row.p90 * 1e3:.1f}",
+                f"{row.p99 * 1e3:.1f}",
+                f"{row.p999 * 1e3:.1f}",
+                f"{row.p9999 * 1e3:.0f}",
+                f"{row.maximum * 1e3:.0f}",
+                width=10,
+            )
+        )
+    report("fig5_fanout_latency_statistical", lines)
+
+    p50 = dict(result.series("p50"))
+    p99 = dict(result.series("p99"))
+    p999 = dict(result.series("p999"))
+    # Tails grow monotonically with fan-out...
+    fanouts = [row.fanout for row in result.rows]
+    for a, b in zip(fanouts, fanouts[1:]):
+        assert p999[a] <= p999[b]
+        assert p99[a] <= p99[b]
+    # ... much faster than the median (the paper's visual signature).
+    assert p50[128] / p50[1] < 5.0
+    assert p999[128] / p999[1] > 10.0
+
+
+def test_bench_fig5_integrated(benchmark):
+    result = benchmark.pedantic(compute_integrated, rounds=1, iterations=1)
+
+    lines = [
+        "integrated run through the full stack (proxy -> coordinator -> "
+        "nodes), latencies in ms",
+        fmt_row("fanout", "queries", "p50", "p99", "p99.9", width=10),
+    ]
+    for row in result.rows:
+        lines.append(
+            fmt_row(
+                row.fanout,
+                row.queries,
+                f"{row.p50 * 1e3:.1f}",
+                f"{row.p99 * 1e3:.1f}",
+                f"{row.p999 * 1e3:.1f}",
+                width=10,
+            )
+        )
+    report("fig5_fanout_latency_integrated", lines)
+
+    p99 = dict(result.series("p99"))
+    assert p99[8] > p99[1]
+    assert all(row.queries > 350 for row in result.rows)

@@ -1,0 +1,99 @@
+"""Failover drill: reliability at scale (paper §IV-D, §IV-G, §V-C).
+
+The paper recommends regularly simulating disaster scenarios — taking
+hosts, racks and full regions offline deliberately — to keep failure
+modes understood and exercised. This example runs that drill:
+
+1. a single host dies (heartbeats stop -> SM failover, data recovered
+   from a healthy region);
+2. a rack goes into planned maintenance (automation drains it through
+   graceful shard migrations);
+3. an entire region is taken offline (the proxy transparently routes to
+   the survivors);
+
+while a steady probe query verifies correctness after every step.
+
+Run:  python examples/failover_drill.py
+"""
+
+import numpy as np
+
+from repro import CubrickDeployment, DeploymentConfig
+from repro.cluster.automation import MaintenanceKind
+from repro.workloads.fanout_experiment import probe_schema
+from repro.workloads.queries import simple_probe_query
+
+ROWS = 5000
+
+
+def check(deployment, probe, label) -> None:
+    result = deployment.query(probe)
+    status = "OK" if result.scalar() == ROWS else f"WRONG ({result.scalar()})"
+    print(f"  [{status}] {label}: count={result.scalar():,.0f} via "
+          f"{result.metadata['region']} "
+          f"(attempts={result.metadata['attempts']}, "
+          f"latency={result.metadata['latency'] * 1e3:.1f} ms)")
+
+
+def main() -> None:
+    deployment = CubrickDeployment(
+        DeploymentConfig(seed=3, regions=3, racks_per_region=3,
+                         hosts_per_rack=4)
+    )
+    schema = probe_schema("drill")
+    deployment.create_table(schema)
+    rng = np.random.default_rng(5)
+    deployment.load(
+        "drill",
+        [{"bucket": int(rng.integers(64)), "value": 1.0} for __ in range(ROWS)],
+    )
+    deployment.simulator.run_until(30.0)
+    probe = simple_probe_query(schema)
+    check(deployment, probe, "baseline")
+
+    # --- Drill 1: unplanned host death -------------------------------
+    sm = deployment.sm_servers["region0"]
+    victim = next(h for h in sm.registered_hosts() if sm.shards_on_host(h))
+    shards = set(sm.shards_on_host(victim))
+    print(f"\ndrill 1: killing {victim} (holds shards {sorted(shards)})")
+    deployment.automation.handle_host_failure(victim, permanent=True)
+    check(deployment, probe, "immediately after host death")
+    deployment.simulator.run_until(deployment.simulator.now + 300.0)
+    for shard in shards:
+        new_owner = sm.discovery.resolve_authoritative(shard)
+        print(f"  shard {shard}: failed over to {new_owner} "
+              "(data recovered from a healthy region)")
+    check(deployment, probe, "after failover settled")
+    print(f"  hosts in repair pipeline: {deployment.automation.hosts_in_repair()}")
+
+    # --- Drill 2: planned rack maintenance ----------------------------
+    rack_hosts = [
+        h.host_id for h in deployment.cluster.hosts_in_rack("region1", "rack001")
+    ]
+    print(f"\ndrill 2: draining rack region1/rack001 ({len(rack_hosts)} hosts)")
+    request = deployment.automation.request_maintenance(
+        MaintenanceKind.RACK_MAINTENANCE, rack_hosts, duration=3600.0
+    )
+    print(f"  automation safety checks: "
+          f"{'approved' if request.approved else 'REFUSED: ' + request.reason}")
+    deployment.simulator.run_until(deployment.simulator.now + 60.0)
+    check(deployment, probe, "during rack maintenance")
+    deployment.simulator.run_until(deployment.simulator.now + 3700.0)
+    check(deployment, probe, "after rack returned")
+
+    # --- Drill 3: full region offline ---------------------------------
+    print("\ndrill 3: taking region0 offline (disaster exercise)")
+    deployment.cluster.set_region_available("region0", False)
+    check(deployment, probe, "with region0 down")
+    deployment.cluster.set_region_available("region0", True)
+    check(deployment, probe, "after region0 restored")
+
+    migrations = sm.migrations.count_by_reason()
+    print(f"\nshard migrations during the drill (region0): {migrations}")
+    print(f"proxy success ratio: {deployment.proxy.success_ratio():.1%} "
+          f"(first-try: {deployment.proxy.first_try_success_ratio():.1%})")
+    print(f"blacklisted hosts: {deployment.proxy.blacklisted_hosts()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Scalability-wall study: where does *your* system hit the wall?
+
+Reproduces the paper's analytic argument interactively: given a
+per-server failure probability and an SLA, where is the wall, how do the
+curves look (Figures 1 and 2), and how does partial sharding change the
+picture — including a live fan-out/latency experiment through the full
+stack (Figure 5's mechanism).
+
+Run:  python examples/scalability_wall_study.py
+"""
+
+import numpy as np
+
+from repro import CubrickDeployment, DeploymentConfig, SlaPlanner
+from repro.core.wall import (
+    WallAnalysis,
+    required_failure_probability,
+    success_curve,
+)
+from repro.sim.latency import HiccupModel, LogNormalTailLatency
+from repro.workloads.fanout_experiment import run_fanout_experiment
+
+
+def ascii_curve(fanouts, values, sla, width=50) -> None:
+    for n, value in zip(fanouts, values):
+        bar = "#" * int(width * value)
+        marker = " " if value >= sla else " <-- below SLA"
+        print(f"  {n:>6} |{bar:<{width}}| {value:.3%}{marker}")
+
+
+def main() -> None:
+    print("=" * 70)
+    print("Part 1: the wall (Figure 1)")
+    print("=" * 70)
+    analysis = WallAnalysis.compute(1e-4, 0.99)
+    print(f"p(server failure)=0.01%, SLA=99% -> wall at "
+          f"{analysis.wall_fanout} servers")
+    print(f"success at the wall: {analysis.success_at_wall:.3%}; "
+          f"at twice the wall: {analysis.success_at_twice_wall:.3%}\n")
+    fanouts = [1, 25, 50, 100, 200, 400, 800]
+    ascii_curve(fanouts, success_curve(fanouts, 1e-4), 0.99)
+
+    print()
+    print("=" * 70)
+    print("Part 2: failure-probability sweep (Figure 2)")
+    print("=" * 70)
+    for p in (1e-5, 1e-4, 1e-3):
+        planner = SlaPlanner(failure_probability=p, sla=0.99)
+        print(f"p={p:g}: wall at {planner.max_safe_fanout} servers; "
+              f"8-partition table headroom: {planner.headroom(8)}")
+    print("\ninverse question: to run a 10,000-node full fan-out at 99%, "
+          f"servers must fail with p < "
+          f"{required_failure_probability(10_000, 0.99):.2e} — "
+          "four nines of instantaneous availability per host")
+
+    print()
+    print("=" * 70)
+    print("Part 3: the fan-out experiment, live (Figure 5)")
+    print("=" * 70)
+    model = LogNormalTailLatency(
+        base=0.002, median=0.010, sigma=0.35,
+        hiccups=HiccupModel(probability=1e-3, min_delay=0.1, max_delay=1.5),
+    )
+    deployment = CubrickDeployment(
+        DeploymentConfig(seed=9, regions=2, racks_per_region=2,
+                         hosts_per_rack=4),
+        latency_model=model,
+    )
+    result = run_fanout_experiment(
+        deployment, [1, 4, 8], queries_per_table=300, rows_per_table=64
+    )
+    print(f"{'fanout':>7} {'p50 (ms)':>10} {'p99 (ms)':>10} {'p99.9 (ms)':>11}")
+    for row in result.rows:
+        print(f"{row.fanout:>7} {row.p50 * 1e3:>10.1f} "
+              f"{row.p99 * 1e3:>10.1f} {row.p999 * 1e3:>11.1f}")
+    print("\nhigher fan-out samples the latency tail more often — medians "
+          "barely move, p99+ explodes. Partial sharding keeps fan-out (and "
+          "therefore the tail exposure) constant as the cluster grows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for environments whose pip lacks the wheel package.
+
+All metadata lives in pyproject.toml; this file only enables the legacy
+`pip install -e . --no-use-pep517` path used in offline environments.
+"""
+from setuptools import setup
+
+setup()

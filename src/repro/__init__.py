@@ -1,0 +1,64 @@
+"""repro — reproduction of "Interactive Analytic DBMSs: Breaching the
+Scalability Wall" (Pedreira et al., ICDE 2021).
+
+The package implements the paper's entire stack from scratch:
+
+* :mod:`repro.core` — the scalability-wall model, fan-out policy and the
+  :class:`~repro.core.CubrickDeployment` facade (start here);
+* :mod:`repro.cubrick` — the Cubrick in-memory analytic DBMS;
+* :mod:`repro.shardmanager` — the Shard Manager framework (SM);
+* :mod:`repro.smc` — service discovery with propagation delays;
+* :mod:`repro.cluster` — hosts/racks/regions + datacenter automation;
+* :mod:`repro.sim` — the deterministic discrete-event substrate;
+* :mod:`repro.workloads` — workload and experiment generators.
+
+Quickstart::
+
+    from repro import CubrickDeployment, DeploymentConfig
+    from repro.cubrick import Dimension, Metric, TableSchema, Query, \\
+        Aggregation, AggFunc, Filter
+
+    deployment = CubrickDeployment(DeploymentConfig(seed=42))
+    schema = TableSchema.build(
+        "events",
+        dimensions=[Dimension("day", 30), Dimension("country", 100)],
+        metrics=[Metric("clicks")],
+    )
+    deployment.create_table(schema)
+    deployment.load("events", [
+        {"day": 1, "country": 5, "clicks": 10.0},
+        {"day": 2, "country": 7, "clicks": 3.0},
+    ])
+    result = deployment.query(Query.build(
+        "events", [Aggregation(AggFunc.SUM, "clicks")],
+        filters=[Filter.between("day", 1, 7)],
+    ))
+    print(result.rows)
+"""
+
+from repro.core import (
+    CubrickDeployment,
+    DeploymentConfig,
+    FanoutPolicy,
+    ShardingMode,
+    SlaPlanner,
+    WallAnalysis,
+    query_success_ratio,
+    scalability_wall,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CubrickDeployment",
+    "DeploymentConfig",
+    "FanoutPolicy",
+    "ShardingMode",
+    "SlaPlanner",
+    "WallAnalysis",
+    "query_success_ratio",
+    "scalability_wall",
+    "ReproError",
+    "__version__",
+]

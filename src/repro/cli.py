@@ -1,0 +1,247 @@
+"""Command-line interface: run the paper's analyses from a shell.
+
+Usage::
+
+    python -m repro.cli wall --failure-probability 1e-4 --sla 0.99
+    python -m repro.cli curve --fanouts 1,10,100,1000
+    python -m repro.cli fanout-experiment --fanouts 1,4,8 --queries 200
+    python -m repro.cli collisions --tables 500 --max-shards 300000
+    python -m repro.cli smc-delay --samples 100000
+
+Each subcommand prints the corresponding paper figure's series as text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.deployment import CubrickDeployment, DeploymentConfig
+from repro.core.wall import (
+    WallAnalysis,
+    required_failure_probability,
+    success_curve,
+)
+from repro.cubrick.partitioning import PartitioningPolicy
+from repro.cubrick.sharding import MonotonicHashMapper, analyze_collisions
+from repro.smc.tree import PropagationTree
+from repro.workloads.fanout_experiment import run_fanout_experiment
+from repro.workloads.tables import TenantWorkload, expected_partitions
+
+
+def _parse_int_list(text: str) -> list[int]:
+    try:
+        return [int(part) for part in text.split(",") if part]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+
+
+def cmd_wall(args: argparse.Namespace) -> int:
+    analysis = WallAnalysis.compute(args.failure_probability, args.sla)
+    print(f"failure probability : {analysis.failure_probability:g}")
+    print(f"SLA                 : {analysis.sla:.2%}")
+    print(f"scalability wall    : {analysis.wall_fanout} servers")
+    print(f"success at wall     : {analysis.success_at_wall:.4%}")
+    print(f"success at 2x wall  : {analysis.success_at_twice_wall:.4%}")
+    return 0
+
+
+def cmd_curve(args: argparse.Namespace) -> int:
+    values = success_curve(args.fanouts, args.failure_probability)
+    print(f"{'fanout':>8}  {'success':>10}  meets {args.sla:.0%} SLA")
+    for fanout, value in zip(args.fanouts, values):
+        meets = "yes" if value >= args.sla else "NO"
+        print(f"{fanout:>8}  {value:>10.4%}  {meets}")
+    return 0
+
+
+def cmd_required_reliability(args: argparse.Namespace) -> int:
+    p = required_failure_probability(args.fanout, args.sla)
+    print(f"to run fan-out {args.fanout} at {args.sla:.2%} success, "
+          f"per-server failure probability must be below {p:.3e}")
+    return 0
+
+
+def cmd_fanout_experiment(args: argparse.Namespace) -> int:
+    deployment = CubrickDeployment(
+        DeploymentConfig(
+            seed=args.seed, regions=2, racks_per_region=2,
+            hosts_per_rack=max(4, max(args.fanouts) // 4),
+        )
+    )
+    result = run_fanout_experiment(
+        deployment, args.fanouts, queries_per_table=args.queries
+    )
+    print(f"{'fanout':>7} {'queries':>8} {'p50ms':>8} {'p99ms':>8} "
+          f"{'p999ms':>8}")
+    for row in result.rows:
+        print(f"{row.fanout:>7} {row.queries:>8} {row.p50 * 1e3:>8.1f} "
+              f"{row.p99 * 1e3:>8.1f} {row.p999 * 1e3:>8.1f}")
+    failures = sum(result.failed_queries.values())
+    if failures:
+        print(f"failed queries: {failures}")
+    return 0
+
+
+def cmd_collisions(args: argparse.Namespace) -> int:
+    workload = TenantWorkload.generate(args.tables, seed=args.seed)
+    policy = PartitioningPolicy()
+    population = {
+        spec.name: expected_partitions(spec.rows, policy)
+        for spec in workload.specs
+    }
+    rng = np.random.default_rng(args.seed)
+    mapper = MonotonicHashMapper(max_shards=args.max_shards)
+    used = set()
+    for table, count in population.items():
+        used.update(mapper.shards_of(table, count))
+    shard_to_host = {
+        shard: f"host{rng.integers(args.hosts):04d}" for shard in sorted(used)
+    }
+    reportage = analyze_collisions(population, mapper, shard_to_host)
+    print(f"tables                      : {reportage.tables}")
+    print(f"shard collisions            : "
+          f"{reportage.shard_collision_fraction:.2%}")
+    print(f"cross-table partition coll. : {reportage.cross_table_fraction:.2%}")
+    print(f"same-table partition coll.  : {reportage.same_table_fraction:.2%}")
+    return 0
+
+
+def cmd_demo_sql(args: argparse.Namespace) -> int:
+    """Run SQL against a freshly built demo deployment.
+
+    The demo table is ``events(day[30], country[50], clicks, cost)``
+    with Zipf-skewed synthetic rows — enough to explore the dialect:
+
+        python -m repro.cli demo-sql \\
+            "SELECT sum(clicks) FROM events GROUP BY day LIMIT 5"
+    """
+    deployment = CubrickDeployment(
+        DeploymentConfig(seed=args.seed, regions=2, racks_per_region=2,
+                         hosts_per_rack=3)
+    )
+    from repro.cubrick.schema import Dimension, Metric, TableSchema
+
+    schema = TableSchema.build(
+        "events",
+        dimensions=[Dimension("day", 30, range_size=7),
+                    Dimension("country", 50, range_size=10)],
+        metrics=[Metric("clicks"), Metric("cost")],
+    )
+    deployment.create_table(schema)
+    rng = np.random.default_rng(args.seed)
+    deployment.load(
+        "events",
+        [{
+            "day": int(rng.integers(30)),
+            "country": min(int(rng.zipf(1.5)) - 1, 49),
+            "clicks": float(rng.integers(1, 20)),
+            "cost": float(rng.exponential(2.0)),
+        } for __ in range(args.rows)],
+    )
+    deployment.simulator.run_until(30.0)
+    result = deployment.sql(args.sql)
+    print("  ".join(result.columns))
+    for row in result.rows:
+        print("  ".join(
+            f"{v:.3f}" if isinstance(v, float) else str(v) for v in row
+        ))
+    print(f"-- {len(result.rows)} row(s), "
+          f"latency {result.metadata['latency'] * 1e3:.1f} ms, "
+          f"fan-out {result.metadata['fanout']}, "
+          f"region {result.metadata['region']}")
+    return 0
+
+
+def cmd_smc_delay(args: argparse.Namespace) -> int:
+    tree = PropagationTree()
+    rng = np.random.default_rng(args.seed)
+    delays = tree.sample_delays(rng, args.samples)
+    for percentile in (50, 90, 99, 99.9):
+        print(f"p{percentile:<5} {np.percentile(delays, percentile):6.2f} s")
+    print(f"mean   {delays.mean():6.2f} s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Breaching the Scalability Wall' "
+                    "(ICDE 2021): run the paper's analyses from a shell.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    wall = sub.add_parser("wall", help="locate the scalability wall (Fig 1)")
+    wall.add_argument("--failure-probability", type=float, default=1e-4)
+    wall.add_argument("--sla", type=float, default=0.99)
+    wall.set_defaults(func=cmd_wall)
+
+    curve = sub.add_parser("curve", help="success-ratio curve (Figs 1-2)")
+    curve.add_argument("--failure-probability", type=float, default=1e-4)
+    curve.add_argument("--sla", type=float, default=0.99)
+    curve.add_argument(
+        "--fanouts", type=_parse_int_list,
+        default=[1, 10, 50, 100, 200, 500, 1000],
+    )
+    curve.set_defaults(func=cmd_curve)
+
+    required = sub.add_parser(
+        "required-reliability",
+        help="failure probability needed for a fan-out to meet an SLA",
+    )
+    required.add_argument("--fanout", type=int, required=True)
+    required.add_argument("--sla", type=float, default=0.99)
+    required.set_defaults(func=cmd_required_reliability)
+
+    fanout = sub.add_parser(
+        "fanout-experiment",
+        help="integrated latency-vs-fanout run (Fig 5)",
+    )
+    fanout.add_argument("--fanouts", type=_parse_int_list, default=[1, 4, 8])
+    fanout.add_argument("--queries", type=int, default=200)
+    fanout.add_argument("--seed", type=int, default=0)
+    fanout.set_defaults(func=cmd_fanout_experiment)
+
+    collisions = sub.add_parser(
+        "collisions", help="collision census (Fig 4a)"
+    )
+    collisions.add_argument("--tables", type=int, default=500)
+    collisions.add_argument("--max-shards", type=int, default=300_000)
+    collisions.add_argument("--hosts", type=int, default=500)
+    collisions.add_argument("--seed", type=int, default=0)
+    collisions.set_defaults(func=cmd_collisions)
+
+    demo = sub.add_parser(
+        "demo-sql",
+        help="run SQL against a synthetic demo deployment",
+    )
+    demo.add_argument("sql", help="the SQL statement to execute")
+    demo.add_argument("--rows", type=int, default=5000)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=cmd_demo_sql)
+
+    smc = sub.add_parser("smc-delay", help="SMC propagation delays (Fig 4c)")
+    smc.add_argument("--samples", type=int, default=100_000)
+    smc.add_argument("--seed", type=int, default=0)
+    smc.set_defaults(func=cmd_smc_delay)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output was piped into something that closed early (e.g. head).
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

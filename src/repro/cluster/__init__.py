@@ -1,0 +1,27 @@
+"""Cluster substrate: hosts, racks, regions and datacenter automation.
+
+This package models the physical fleet the paper's Cubrick deployment runs
+on: thousands of hosts grouped into racks, racks grouped into regions
+(Cubrick runs three regions, each holding a full copy of every table —
+paper §IV-D), plus the datacenter-automation workflows of §IV-G (drains,
+decommissions, repair pipeline, disaster exercises).
+"""
+
+from repro.cluster.host import Host, HostState
+from repro.cluster.topology import Cluster, Rack, Region
+from repro.cluster.automation import (
+    AutomationRequest,
+    DatacenterAutomation,
+    MaintenanceKind,
+)
+
+__all__ = [
+    "Host",
+    "HostState",
+    "Rack",
+    "Region",
+    "Cluster",
+    "DatacenterAutomation",
+    "AutomationRequest",
+    "MaintenanceKind",
+]

@@ -1,0 +1,203 @@
+"""Datacenter automation (paper §IV-G).
+
+Large fleets see a constant stream of *planned* maintenance — server
+decommissions, rack moves, power/network work, disaster-preparedness
+exercises — on top of unplanned hardware failures. The paper stresses
+that SM provides a centralized control plane for these requests and runs
+safety checks before approving them:
+
+  (a) the request must not compromise the application's fault-tolerance
+      model (e.g. never take two replicas of a shard down at once),
+  (b) it must not conflict with in-flight load-balancing operations, and
+  (c) enough capacity must remain once the request completes.
+
+This module implements that control plane against the simulated cluster.
+Permanent failures flow through the repair pipeline, which is what
+Figure 4f counts ("hosts sent to repair per day").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.cluster.host import HostState
+from repro.cluster.topology import Cluster
+from repro.sim.engine import DAY, Simulator
+
+
+class MaintenanceKind(enum.Enum):
+    """Why a host (or larger domain) needs to leave production."""
+
+    REPAIR = "repair"  # unplanned permanent hardware failure
+    DECOMMISSION = "decommission"
+    RACK_MAINTENANCE = "rack_maintenance"
+    POWER_MAINTENANCE = "power_maintenance"
+    DISASTER_EXERCISE = "disaster_exercise"
+
+
+@dataclass
+class AutomationRequest:
+    """One maintenance request handled by the control plane."""
+
+    time: float
+    kind: MaintenanceKind
+    host_ids: list[str]
+    approved: bool
+    reason: str = ""
+    completed_at: Optional[float] = None
+
+
+@dataclass
+class SafetyPolicy:
+    """Safety checks applied before approving a maintenance request."""
+
+    # Minimum fraction of the fleet that must stay available after the
+    # request completes (check (c) in the paper).
+    min_available_fraction: float = 0.7
+    # Maximum hosts a single request may take down at once.
+    max_hosts_per_request: int = 50
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_available_fraction <= 1.0:
+            raise ValueError(
+                f"min_available_fraction out of range: {self.min_available_fraction}"
+            )
+        if self.max_hosts_per_request <= 0:
+            raise ValueError("max_hosts_per_request must be positive")
+
+
+class DatacenterAutomation:
+    """Centralized maintenance control plane integrated with SM.
+
+    The automation calls ``on_drain(host_id)`` before taking a host out
+    (giving SM a chance to migrate shards away gracefully) and
+    ``on_return(host_id)`` when it comes back. Unplanned permanent
+    failures skip the drain (the host is already gone) and are recorded
+    directly into the repair pipeline.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        cluster: Cluster,
+        *,
+        policy: SafetyPolicy | None = None,
+        on_drain: Optional[Callable[[str], None]] = None,
+        on_return: Optional[Callable[[str], None]] = None,
+    ):
+        self._simulator = simulator
+        self._cluster = cluster
+        self._policy = policy if policy is not None else SafetyPolicy()
+        self._on_drain = on_drain
+        self._on_return = on_return
+        self.requests: list[AutomationRequest] = []
+        self.repair_log: list[tuple[float, str]] = []  # (time, host_id)
+
+    # ------------------------------------------------------------------
+    # Safety checks
+    # ------------------------------------------------------------------
+
+    def _passes_safety_checks(self, host_ids: list[str]) -> tuple[bool, str]:
+        if len(host_ids) > self._policy.max_hosts_per_request:
+            return False, (
+                f"request touches {len(host_ids)} hosts, limit is "
+                f"{self._policy.max_hosts_per_request}"
+            )
+        total = len(self._cluster)
+        available_now = len(self._cluster.available_hosts())
+        remaining = available_now - len(host_ids)
+        if total and remaining / total < self._policy.min_available_fraction:
+            return False, (
+                f"would leave {remaining}/{total} hosts available, below the "
+                f"{self._policy.min_available_fraction:.0%} floor"
+            )
+        return True, ""
+
+    # ------------------------------------------------------------------
+    # Planned maintenance
+    # ------------------------------------------------------------------
+
+    def request_maintenance(
+        self,
+        kind: MaintenanceKind,
+        host_ids: list[str],
+        *,
+        duration: float = DAY,
+    ) -> AutomationRequest:
+        """Submit a planned maintenance request; drain approved hosts.
+
+        Returns the request record; ``approved`` is False if a safety
+        check failed (the paper's check (a)/(c) behaviour), in which case
+        nothing is drained.
+        """
+        ok, reason = self._passes_safety_checks(host_ids)
+        request = AutomationRequest(
+            time=self._simulator.now,
+            kind=kind,
+            host_ids=list(host_ids),
+            approved=ok,
+            reason=reason,
+        )
+        self.requests.append(request)
+        if not ok:
+            return request
+        for host_id in host_ids:
+            host = self._cluster.host(host_id)
+            host.start_drain()
+            if self._on_drain is not None:
+                self._on_drain(host_id)
+            host.finish_drain()
+
+        def complete() -> None:
+            request.completed_at = self._simulator.now
+            for hid in host_ids:
+                host = self._cluster.host(hid)
+                if kind is MaintenanceKind.DECOMMISSION:
+                    host.decommission()
+                else:
+                    host.recover()
+                    if self._on_return is not None:
+                        self._on_return(hid)
+
+        self._simulator.call_later(duration, complete)
+        return request
+
+    # ------------------------------------------------------------------
+    # Unplanned failures (wired to the FailureInjector)
+    # ------------------------------------------------------------------
+
+    def handle_host_failure(self, host_id: str, permanent: bool) -> None:
+        """React to an unplanned host failure."""
+        host = self._cluster.host(host_id)
+        host.fail(permanent=permanent)
+        if permanent:
+            self.repair_log.append((self._simulator.now, host_id))
+
+    def handle_host_recovery(self, host_id: str) -> None:
+        """A failed host returned to service (repaired or restarted)."""
+        host = self._cluster.host(host_id)
+        host.recover()
+        if self._on_return is not None:
+            self._on_return(host_id)
+
+    # ------------------------------------------------------------------
+    # Reporting (Figure 4f)
+    # ------------------------------------------------------------------
+
+    def repairs_per_day(self, horizon_days: int) -> list[int]:
+        """Hosts sent to repair in each simulated day (Figure 4f series)."""
+        if horizon_days <= 0:
+            raise ValueError(f"horizon_days must be positive: {horizon_days}")
+        buckets = [0] * horizon_days
+        for time, _host_id in self.repair_log:
+            day = int(time // DAY)
+            if 0 <= day < horizon_days:
+                buckets[day] += 1
+        return buckets
+
+    def hosts_in_repair(self) -> int:
+        return sum(
+            1 for h in self._cluster.hosts() if h.state is HostState.REPAIR
+        )

@@ -1,0 +1,92 @@
+"""Host model: capacity, hardware generation and lifecycle state.
+
+Hosts carry the attributes Shard Manager's load balancer cares about
+(paper §III-A3): a *capacity* in the application's chosen load-balancing
+metric (memory bytes for Cubrick generations 1-2, SSD bytes for
+generation 3), which may differ between hosts (heterogeneous fleets) and
+may be re-exported over time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+GIB = 1024 ** 3
+
+
+class HostState(enum.Enum):
+    """Lifecycle of a host as seen by Shard Manager and automation."""
+
+    HEALTHY = "healthy"
+    FAILED = "failed"  # transient failure; will recover
+    DRAINING = "draining"  # automation asked for the host to be emptied
+    DRAINED = "drained"  # empty, safe for maintenance
+    REPAIR = "repair"  # permanent failure; in the repair pipeline
+    DECOMMISSIONED = "decommissioned"  # removed from the fleet
+
+
+@dataclass
+class Host:
+    """One server in the fleet."""
+
+    host_id: str
+    region: str
+    rack: str
+    memory_bytes: int = 256 * GIB
+    ssd_bytes: int = 2048 * GIB
+    hardware_generation: int = 1
+    state: HostState = HostState.HEALTHY
+    # Capacity as exported to SM, in the active load-balancing metric.
+    # None means "use the default derivation" (e.g. 90% of memory).
+    exported_capacity: int | None = None
+    tags: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0 or self.ssd_bytes <= 0:
+            raise ValueError(
+                f"host {self.host_id}: capacities must be positive "
+                f"(memory={self.memory_bytes}, ssd={self.ssd_bytes})"
+            )
+
+    @property
+    def is_available(self) -> bool:
+        """Whether the host can serve shards right now."""
+        return self.state in (HostState.HEALTHY, HostState.DRAINING)
+
+    @property
+    def accepts_new_shards(self) -> bool:
+        """Whether SM may place *new* shards here (draining hosts refuse)."""
+        return self.state is HostState.HEALTHY
+
+    def fail(self, *, permanent: bool) -> None:
+        """Transition into a failure state."""
+        self.state = HostState.REPAIR if permanent else HostState.FAILED
+
+    def recover(self) -> None:
+        """Return from a failure or maintenance into service."""
+        self.state = HostState.HEALTHY
+
+    def start_drain(self) -> None:
+        self.state = HostState.DRAINING
+
+    def finish_drain(self) -> None:
+        self.state = HostState.DRAINED
+
+    def decommission(self) -> None:
+        self.state = HostState.DECOMMISSIONED
+
+    def failure_domain(self, spread: str) -> str:
+        """Identity of this host's failure domain at the given spread level.
+
+        ``spread`` is one of ``"host"``, ``"rack"`` or ``"region"`` —
+        SM lets applications choose how replicas must be spread
+        (paper §III-A1).
+        """
+        if spread == "host":
+            return self.host_id
+        if spread == "rack":
+            return f"{self.region}/{self.rack}"
+        if spread == "region":
+            return self.region
+        raise ValueError(f"unknown spread domain: {spread!r}")

@@ -1,0 +1,35 @@
+"""Core: the paper's primary contribution.
+
+The analytic scalability-wall model (Figures 1-2), the fan-out policy
+that distinguishes fully- from partially-sharded tables, and the
+:class:`CubrickDeployment` facade wiring the entire system together.
+"""
+
+from repro.core.deployment import CubrickDeployment, DeploymentConfig
+from repro.core.fanout import FanoutPolicy, ShardingMode, SlaPlanner
+from repro.core.wall import (
+    PAPER_FAILURE_PROBABILITY,
+    PAPER_SLA,
+    WallAnalysis,
+    monte_carlo_success_ratio,
+    query_success_ratio,
+    required_failure_probability,
+    scalability_wall,
+    success_curve,
+)
+
+__all__ = [
+    "CubrickDeployment",
+    "DeploymentConfig",
+    "FanoutPolicy",
+    "ShardingMode",
+    "SlaPlanner",
+    "PAPER_FAILURE_PROBABILITY",
+    "PAPER_SLA",
+    "WallAnalysis",
+    "monte_carlo_success_ratio",
+    "query_success_ratio",
+    "required_failure_probability",
+    "scalability_wall",
+    "success_curve",
+]

@@ -1,0 +1,128 @@
+"""The scalability wall: analytic model behind Figures 1 and 2.
+
+Assume each server visited by a query independently has probability ``p``
+of being failed at query time. A full-fan-out query visiting ``n``
+servers succeeds only if all of them are healthy::
+
+    success(n) = (1 - p) ** n
+
+The **scalability wall** is the largest ``n`` for which ``success(n)``
+still meets the system's SLA. With the paper's headline numbers —
+p = 0.01% and a 99% query-success SLA — the wall sits at about 100
+servers: beyond that, sharding a table across more nodes makes the
+success ratio *worse*.
+
+A Monte-Carlo estimator cross-checks the closed form, and the same model
+evaluates partially-sharded systems, whose fan-out is the table's
+partition count rather than the cluster size — which is why partial
+sharding scales: adding nodes no longer adds fan-out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: The paper's headline parameters (Figure 1).
+PAPER_FAILURE_PROBABILITY = 1e-4  # 0.01% per-server failure chance
+PAPER_SLA = 0.99  # 99% query success SLA
+
+
+def query_success_ratio(fanout: int, failure_probability: float) -> float:
+    """P(query succeeds) when visiting ``fanout`` servers."""
+    _validate_probability(failure_probability)
+    if fanout < 0:
+        raise ConfigurationError(f"fanout must be non-negative: {fanout}")
+    return (1.0 - failure_probability) ** fanout
+
+
+def success_curve(fanouts: Sequence[int],
+                  failure_probability: float) -> np.ndarray:
+    """Vectorised :func:`query_success_ratio` over many fan-outs."""
+    _validate_probability(failure_probability)
+    counts = np.asarray(list(fanouts), dtype=np.float64)
+    if (counts < 0).any():
+        raise ConfigurationError("fanouts must be non-negative")
+    return (1.0 - failure_probability) ** counts
+
+
+def scalability_wall(failure_probability: float, sla: float) -> int:
+    """Largest fan-out whose success ratio still meets the SLA.
+
+    >>> scalability_wall(1e-4, 0.99)
+    100
+    """
+    _validate_probability(failure_probability)
+    if not 0.0 < sla < 1.0:
+        raise ConfigurationError(f"sla must be in (0, 1): {sla}")
+    if failure_probability == 0.0:
+        return 2 ** 63 - 1  # no wall without failures
+    return int(math.floor(math.log(sla) / math.log(1.0 - failure_probability)))
+
+
+def required_failure_probability(fanout: int, sla: float) -> float:
+    """Per-server failure probability needed to meet the SLA at a fan-out.
+
+    Useful for the inverse question: "how reliable must servers be for a
+    10,000-node full fan-out to meet 99%?"
+    """
+    if fanout <= 0:
+        raise ConfigurationError(f"fanout must be positive: {fanout}")
+    if not 0.0 < sla < 1.0:
+        raise ConfigurationError(f"sla must be in (0, 1): {sla}")
+    return 1.0 - sla ** (1.0 / fanout)
+
+
+def monte_carlo_success_ratio(
+    fanout: int,
+    failure_probability: float,
+    *,
+    trials: int = 100_000,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Empirical estimate of :func:`query_success_ratio` by simulation."""
+    _validate_probability(failure_probability)
+    if fanout < 0:
+        raise ConfigurationError(f"fanout must be non-negative: {fanout}")
+    if trials <= 0:
+        raise ConfigurationError(f"trials must be positive: {trials}")
+    generator = rng if rng is not None else np.random.default_rng(0)
+    if fanout == 0:
+        return 1.0
+    failures = generator.random((trials, fanout)) < failure_probability
+    succeeded = ~failures.any(axis=1)
+    return float(succeeded.mean())
+
+
+@dataclass(frozen=True)
+class WallAnalysis:
+    """Summary of the wall for one (failure probability, SLA) setting."""
+
+    failure_probability: float
+    sla: float
+    wall_fanout: int
+    success_at_wall: float
+    success_at_twice_wall: float
+
+    @classmethod
+    def compute(cls, failure_probability: float, sla: float) -> "WallAnalysis":
+        wall = scalability_wall(failure_probability, sla)
+        return cls(
+            failure_probability=failure_probability,
+            sla=sla,
+            wall_fanout=wall,
+            success_at_wall=query_success_ratio(wall, failure_probability),
+            success_at_twice_wall=query_success_ratio(
+                wall * 2, failure_probability
+            ),
+        )
+
+
+def _validate_probability(p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"failure probability out of range: {p}")

@@ -1,0 +1,276 @@
+"""Bricks: Cubrick's data blocks, with hotness counters and compression.
+
+A *brick* is the unit of storage inside a partition, addressed by the
+Granular Partitioning index (one brick per combination of per-dimension
+range buckets). Each brick keeps a *hotness counter*: incremented when a
+query touches the brick, and slowly, stochastically decayed over time
+when unused (paper §IV-F2, inspired by LeanStore's hot/cold
+classification [16]). The adaptive-compression memory monitor uses the
+counters to compress coldest-first under memory pressure and decompress
+hottest-first when memory frees up.
+
+Compression here is *real*: column arrays are serialised and
+zlib-compressed, so compressed footprints and the compression ratio come
+from actual data, not a constant.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CubrickError
+
+DIMENSION_DTYPE = np.int64
+METRIC_DTYPE = np.float64
+
+
+@dataclass
+class BrickStats:
+    """Aggregate stats for monitoring/benchmarks."""
+
+    rows: int
+    hotness: float
+    compressed: bool
+    footprint_bytes: int
+    decompressed_bytes: int
+    evicted: bool = False
+    ssd_bytes: int = 0
+    io_reads: int = 0
+
+
+class Brick:
+    """One data block: columnar arrays for a bucket of rows.
+
+    Rows are appended into builder lists and sealed into numpy arrays on
+    first read; compression pickles the arrays through zlib. A compressed
+    brick transparently decompresses on access (and the access bumps its
+    hotness, so the memory monitor will tend to keep it decompressed).
+    """
+
+    def __init__(self, brick_id: int, dimension_names: tuple[str, ...],
+                 metric_names: tuple[str, ...]):
+        self.brick_id = brick_id
+        self.dimension_names = dimension_names
+        self.metric_names = metric_names
+        self._builders: dict[str, list] = {
+            name: [] for name in dimension_names + metric_names
+        }
+        self._arrays: dict[str, np.ndarray] | None = None
+        self._compressed: dict[str, bytes] | None = None
+        # Generation-3 tier (paper §IV-F3): compressed blobs evicted to
+        # SSD occupy no memory; reading them back costs an IO.
+        self._ssd: dict[str, bytes] | None = None
+        self._rows = 0
+        self.hotness: float = 0.0
+        self._touched_since_decay = False
+        #: IOs paid loading this brick back from SSD (gen-3 LB input).
+        self.io_reads = 0
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def append(self, row: dict[str, float]) -> None:
+        """Append one row (loading/decompressing first if needed)."""
+        if self._ssd is not None:
+            self._load_from_ssd()
+        if self._compressed is not None:
+            self._decompress()
+        for name in self.dimension_names:
+            self._builders[name].append(int(row[name]))
+        for name in self.metric_names:
+            self._builders[name].append(float(row[name]))
+        self._arrays = None
+        self._rows += 1
+
+    def append_columns(self, columns: dict[str, np.ndarray]) -> None:
+        """Bulk-append pre-validated column arrays (same length each)."""
+        lengths = {name: len(arr) for name, arr in columns.items()}
+        if len(set(lengths.values())) != 1:
+            raise CubrickError(f"ragged column lengths: {lengths}")
+        if self._ssd is not None:
+            self._load_from_ssd()
+        if self._compressed is not None:
+            self._decompress()
+        n = next(iter(lengths.values()))
+        for name in self.dimension_names + self.metric_names:
+            if name not in columns:
+                raise CubrickError(f"missing column {name!r} in bulk append")
+            self._builders[name].extend(columns[name].tolist())
+        self._arrays = None
+        self._rows += n
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        return self._rows
+
+    def touch(self) -> None:
+        """A query needed this brick: bump its hotness counter."""
+        self.hotness += 1.0
+        self._touched_since_decay = True
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """The sealed columnar arrays (loading/decompressing if needed)."""
+        if self._ssd is not None:
+            self._load_from_ssd()
+        if self._compressed is not None:
+            self._decompress()
+        if self._arrays is None:
+            arrays: dict[str, np.ndarray] = {}
+            for name in self.dimension_names:
+                arrays[name] = np.asarray(self._builders[name], dtype=DIMENSION_DTYPE)
+            for name in self.metric_names:
+                arrays[name] = np.asarray(self._builders[name], dtype=METRIC_DTYPE)
+            self._arrays = arrays
+        return self._arrays
+
+    # ------------------------------------------------------------------
+    # Hotness decay (paper §IV-F2)
+    # ------------------------------------------------------------------
+
+    def decay(self, rng: np.random.Generator, probability: float = 0.5,
+              factor: float = 0.5) -> None:
+        """Stochastically decay the counter if the brick sat unused.
+
+        With ``probability``, an untouched brick's counter is multiplied
+        by ``factor``. Touched bricks skip decay this round (recent use
+        protects them) and the touch flag resets.
+        """
+        if self._touched_since_decay:
+            self._touched_since_decay = False
+            return
+        if self.hotness > 0 and rng.random() < probability:
+            self.hotness *= factor
+            if self.hotness < 1e-3:
+                self.hotness = 0.0
+
+    # ------------------------------------------------------------------
+    # Compression
+    # ------------------------------------------------------------------
+
+    @property
+    def is_compressed(self) -> bool:
+        return self._compressed is not None
+
+    def compress(self) -> None:
+        """zlib-compress the sealed arrays, dropping the builders."""
+        if self._compressed is not None:
+            return
+        arrays = self.columns()
+        self._compressed = {
+            name: zlib.compress(np.ascontiguousarray(arr).tobytes(), level=1)
+            for name, arr in arrays.items()
+        }
+        self._arrays = None
+        self._builders = {name: [] for name in self._builders}
+
+    def _decompress(self) -> None:
+        assert self._compressed is not None
+        arrays: dict[str, np.ndarray] = {}
+        for name in self.dimension_names:
+            raw = zlib.decompress(self._compressed[name])
+            arrays[name] = np.frombuffer(raw, dtype=DIMENSION_DTYPE).copy()
+        for name in self.metric_names:
+            raw = zlib.decompress(self._compressed[name])
+            arrays[name] = np.frombuffer(raw, dtype=METRIC_DTYPE).copy()
+        self._compressed = None
+        self._arrays = arrays
+        self._builders = {
+            name: arr.tolist() for name, arr in arrays.items()
+        }
+
+    def decompress(self) -> None:
+        """Public decompression hook for the memory monitor."""
+        if self._ssd is not None:
+            self._load_from_ssd()
+        if self._compressed is not None:
+            self._decompress()
+
+    # ------------------------------------------------------------------
+    # SSD eviction (generation 3, paper §IV-F3)
+    # ------------------------------------------------------------------
+
+    @property
+    def is_evicted(self) -> bool:
+        return self._ssd is not None
+
+    def evict(self) -> None:
+        """Move the brick's (compressed) bytes to SSD; frees all memory.
+
+        An unevicted read (:meth:`columns`, :meth:`append`) transparently
+        pays one IO and restores the compressed-in-memory state.
+        """
+        if self._ssd is not None:
+            return
+        if self._compressed is None:
+            self.compress()
+        self._ssd = self._compressed
+        self._compressed = None
+        self._arrays = None
+        self._builders = {name: [] for name in self._builders}
+
+    def _load_from_ssd(self) -> None:
+        assert self._ssd is not None
+        self.io_reads += 1
+        self._compressed = self._ssd
+        self._ssd = None
+
+    def load_from_ssd(self) -> None:
+        """Public un-evict hook for the memory monitor (counts the IO)."""
+        if self._ssd is not None:
+            self._load_from_ssd()
+
+    def ssd_bytes(self) -> int:
+        """Bytes this brick occupies on SSD (0 when memory-resident)."""
+        if self._ssd is None:
+            return 0
+        return sum(len(blob) for blob in self._ssd.values())
+
+    # ------------------------------------------------------------------
+    # Footprint accounting
+    # ------------------------------------------------------------------
+
+    def decompressed_bytes(self) -> int:
+        """Memory the brick would occupy fully decompressed.
+
+        This is the load-balancing metric of Cubrick's second generation
+        (paper §IV-F2): stable under the server's current memory
+        pressure, changing only when data is added.
+        """
+        width = np.dtype(DIMENSION_DTYPE).itemsize * len(self.dimension_names)
+        width += np.dtype(METRIC_DTYPE).itemsize * len(self.metric_names)
+        return self._rows * width
+
+    def footprint_bytes(self) -> int:
+        """Actual current *memory* footprint (0 when evicted to SSD)."""
+        if self._ssd is not None:
+            return 0
+        if self._compressed is not None:
+            return sum(len(blob) for blob in self._compressed.values())
+        return self.decompressed_bytes()
+
+    def compression_ratio(self) -> float:
+        """decompressed/compressed size (1.0 when not compressed)."""
+        footprint = self.footprint_bytes()
+        if not self.is_compressed or footprint == 0:
+            return 1.0
+        return self.decompressed_bytes() / footprint
+
+    def stats(self) -> BrickStats:
+        return BrickStats(
+            rows=self._rows,
+            hotness=self.hotness,
+            compressed=self.is_compressed,
+            footprint_bytes=self.footprint_bytes(),
+            decompressed_bytes=self.decompressed_bytes(),
+            evicted=self.is_evicted,
+            ssd_bytes=self.ssd_bytes(),
+            io_reads=self.io_reads,
+        )

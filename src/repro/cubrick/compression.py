@@ -1,0 +1,189 @@
+"""Adaptive compression: the memory monitor (paper §IV-F2).
+
+Cubrick keeps hotness counters per brick. When a host runs low on free
+memory, a memory-monitor procedure incrementally compresses bricks from
+*coldest to hottest* until enough memory is freed; when there is a
+surplus, it decompresses from *hottest to coldest*, minimising the
+decompressions paid at query time.
+
+The monitor operates on any collection of bricks (typically all bricks
+of all partitions on one host) against a configured memory budget with
+high/low watermarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.cubrick.bricks import Brick
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """Host memory budget with hysteresis watermarks.
+
+    The monitor compresses when footprint exceeds
+    ``high_watermark * capacity`` (down to the target) and decompresses
+    when it falls below ``low_watermark * capacity``.
+    """
+
+    capacity_bytes: int
+    high_watermark: float = 0.9
+    low_watermark: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"capacity_bytes must be positive: {self.capacity_bytes}"
+            )
+        if not 0.0 < self.low_watermark <= self.high_watermark <= 1.0:
+            raise ConfigurationError(
+                f"watermarks must satisfy 0 < low <= high <= 1, got "
+                f"low={self.low_watermark} high={self.high_watermark}"
+            )
+
+    @property
+    def high_bytes(self) -> int:
+        return int(self.capacity_bytes * self.high_watermark)
+
+    @property
+    def low_bytes(self) -> int:
+        return int(self.capacity_bytes * self.low_watermark)
+
+
+@dataclass
+class MonitorReport:
+    """What one monitor pass did."""
+
+    footprint_before: int
+    footprint_after: int
+    compressed: int
+    decompressed: int
+    evicted: int = 0
+    loaded: int = 0
+
+
+class MemoryMonitor:
+    """Compress coldest-first under pressure; decompress hottest-first.
+
+    With ``allow_eviction=True`` (the generation-3 model of §IV-F3), a
+    host still above its low watermark after compressing everything
+    starts *evicting* the coldest compressed bricks to SSD — memory
+    footprint can then drop all the way to zero, which is exactly why
+    the generation-2 metric stops working and SSD footprint (plus IOPS)
+    becomes the load-balancing input.
+    """
+
+    def __init__(self, budget: MemoryBudget, *, allow_eviction: bool = False):
+        self.budget = budget
+        self.allow_eviction = allow_eviction
+
+    @staticmethod
+    def _footprint(bricks: list[Brick]) -> int:
+        return sum(b.footprint_bytes() for b in bricks)
+
+    def run(self, bricks: Iterable[Brick]) -> MonitorReport:
+        """One monitor pass over the host's bricks."""
+        brick_list = list(bricks)
+        before = self._footprint(brick_list)
+        compressed = 0
+        decompressed = 0
+        evicted = 0
+        loaded = 0
+        footprint = before
+
+        if footprint > self.budget.high_bytes:
+            # Memory pressure: compress coldest-first until under the
+            # low watermark (hysteresis avoids thrashing at the edge).
+            candidates = sorted(
+                (b for b in brick_list
+                 if not b.is_compressed and not b.is_evicted and b.rows > 0),
+                key=lambda b: (b.hotness, b.brick_id),
+            )
+            for brick in candidates:
+                if footprint <= self.budget.low_bytes:
+                    break
+                old = brick.footprint_bytes()
+                brick.compress()
+                footprint += brick.footprint_bytes() - old
+                compressed += 1
+            if self.allow_eviction and footprint > self.budget.low_bytes:
+                # Still under pressure: evict coldest compressed bricks.
+                evictable = sorted(
+                    (b for b in brick_list if b.is_compressed),
+                    key=lambda b: (b.hotness, b.brick_id),
+                )
+                for brick in evictable:
+                    if footprint <= self.budget.low_bytes:
+                        break
+                    old = brick.footprint_bytes()
+                    brick.evict()
+                    footprint -= old
+                    evicted += 1
+        elif footprint < self.budget.low_bytes:
+            # Surplus: decompress hottest-first while staying under the
+            # high watermark...
+            candidates = sorted(
+                (b for b in brick_list if b.is_compressed),
+                key=lambda b: (-b.hotness, b.brick_id),
+            )
+            for brick in candidates:
+                gain = brick.decompressed_bytes() - brick.footprint_bytes()
+                if footprint + gain > self.budget.high_bytes:
+                    continue
+                brick.decompress()
+                footprint += gain
+                decompressed += 1
+            # ... then pull the hottest evicted bricks back from SSD.
+            if self.allow_eviction:
+                returners = sorted(
+                    (b for b in brick_list if b.is_evicted),
+                    key=lambda b: (-b.hotness, b.brick_id),
+                )
+                for brick in returners:
+                    gain = brick.ssd_bytes()
+                    if footprint + gain > self.budget.high_bytes:
+                        continue
+                    brick.load_from_ssd()
+                    footprint += brick.footprint_bytes()
+                    loaded += 1
+
+        return MonitorReport(
+            footprint_before=before,
+            footprint_after=footprint,
+            compressed=compressed,
+            decompressed=decompressed,
+            evicted=evicted,
+            loaded=loaded,
+        )
+
+
+def decay_all(bricks: Iterable[Brick], rng: np.random.Generator,
+              probability: float = 0.5, factor: float = 0.5) -> int:
+    """Apply one stochastic decay round to every brick; returns count."""
+    count = 0
+    for brick in bricks:
+        brick.decay(rng, probability=probability, factor=factor)
+        count += 1
+    return count
+
+
+def classify_hot_cold(bricks: Iterable[Brick],
+                      hot_threshold: float = 1.0) -> tuple[int, int]:
+    """Split bricks into (hot, cold) counts by hotness threshold.
+
+    Figure 4e plots this distribution for a production week: hot blocks
+    (recently queried, counter above threshold) versus cold ones.
+    """
+    hot = 0
+    cold = 0
+    for brick in bricks:
+        if brick.hotness >= hot_threshold:
+            hot += 1
+        else:
+            cold += 1
+    return hot, cold

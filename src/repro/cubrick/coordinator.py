@@ -1,0 +1,265 @@
+"""Query coordinator: distributed execution within one region (§IV-C/D).
+
+A query is executed entirely inside one region: the coordinator host
+(one of the hosts storing a partition of the target table) distributes
+the query to every host holding partitions, collects partial results and
+merges them. If *any* required partition is unavailable in the region,
+the query fails and the Cubrick proxy retries it in a different region —
+there is never cross-region traffic during execution.
+
+Latency is simulated: each participating host's service time is sampled
+from the tail-latency model, and the query's latency is the max over
+hosts (fan-out amplification) plus coordinator merge overhead — the
+mechanism behind Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.cubrick.query import PartialResult, Query, QueryResult
+from repro.cubrick.schema import Catalog
+from repro.cubrick.sharding import ShardDirectory
+from repro.errors import (
+    PartitionNotFoundError,
+    QueryFailedError,
+    ShardMappingUnknownError,
+)
+from repro.shardmanager.server import SMServer
+from repro.sim.latency import LatencyModel, LogNormalTailLatency
+from repro.sim.failures import BernoulliFailureModel
+
+
+@dataclass
+class QueryExecution:
+    """Diagnostics for one executed (or failed) query."""
+
+    query: Query
+    region: str
+    fanout: int = 0
+    latency: float = 0.0
+    per_host_latency: dict[str, float] = field(default_factory=dict)
+    failed_host: Optional[str] = None
+    succeeded: bool = False
+
+
+class RegionCoordinator:
+    """Executes queries against the Cubrick nodes of one region."""
+
+    #: Fixed merge/parse overhead charged on the coordinator, per query.
+    COORDINATOR_OVERHEAD = 0.001
+    #: Cost of one extra result-buffer network hop (locator strategy 2).
+    HOP_COST = 0.002
+
+    def __init__(
+        self,
+        region: str,
+        sm_server: SMServer,
+        catalog: Catalog,
+        directory: ShardDirectory,
+        *,
+        latency_model: Optional[LatencyModel] = None,
+        failure_model: Optional[BernoulliFailureModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.region = region
+        self.sm = sm_server
+        self.catalog = catalog
+        self.directory = directory
+        self.latency_model = (
+            latency_model if latency_model is not None else LogNormalTailLatency()
+        )
+        self.failure_model = failure_model
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.executions: list[QueryExecution] = []
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def partition_hosts(self, table: str) -> dict[str, list[int]]:
+        """host id → partition indexes it must answer for, via SMC.
+
+        Raises :class:`QueryFailedError` if any partition's shard has no
+        propagated mapping (e.g. a failover still publishing).
+        """
+        shards = self.directory.shards_for_table(table)
+        now = self.sm.simulator.now
+        hosts: dict[str, list[int]] = {}
+        for index, shard in enumerate(shards):
+            try:
+                # The coordinator resolves through its own local SMC
+                # proxy, with its own propagation delays (Figure 3).
+                host = self.sm.discovery.resolve(
+                    shard, now, client_id=f"coordinator:{self.region}"
+                )
+            except ShardMappingUnknownError as exc:
+                raise QueryFailedError(
+                    f"table {table}: shard {shard} unresolved in {self.region}",
+                    region=self.region,
+                ) from exc
+            if host is None:
+                raise QueryFailedError(
+                    f"table {table}: shard {shard} unassigned in {self.region}",
+                    region=self.region,
+                )
+            hosts.setdefault(host, []).append(index)
+        return hosts
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: Query,
+        *,
+        coordinator_partition: int = 0,
+        extra_hops: int = 0,
+        extra_roundtrips: int = 0,
+        allow_partial: bool = False,
+        straggler_timeout: Optional[float] = None,
+    ) -> QueryResult:
+        """Distribute, execute and merge one query in this region.
+
+        In the default (strict) mode, a down or failed participating host
+        raises a retryable :class:`QueryFailedError` — the Cubrick proxy
+        then retries in a different region, preserving result accuracy.
+
+        ``allow_partial=True`` switches to the Scuba-style mode the paper
+        describes as the *other* way past the wall (§II-C): answers from
+        dead hosts are silently dropped, and — when ``straggler_timeout``
+        is set — so are answers from hosts slower than the timeout. The
+        result carries ``metadata["partial"]`` and ``metadata["coverage"]``
+        (fraction of partitions that contributed), trading consistency
+        and accuracy for availability and bounded latency.
+        """
+        info = self.catalog.get(query.table)
+        execution = QueryExecution(query=query, region=self.region)
+        self.executions.append(execution)
+
+        hosts = self.partition_hosts(query.table)
+        execution.fanout = len(hosts)
+        total_partitions = sum(len(v) for v in hosts.values())
+
+        merged = PartialResult(query=query)
+        slowest = 0.0
+        answered_partitions = 0
+        skipped_hosts: list[str] = []
+        for host_id in sorted(hosts):
+            indexes = hosts[host_id]
+            host = self.sm.cluster.host(host_id)
+            failed = not host.is_available
+            if not failed and self.failure_model is not None:
+                failed = self._rng.random() < self.failure_model.probability
+            if failed:
+                if allow_partial:
+                    skipped_hosts.append(host_id)
+                    continue
+                execution.failed_host = host_id
+                raise QueryFailedError(
+                    f"host {host_id} unavailable/failed during query on "
+                    f"{query.table}",
+                    region=self.region,
+                    host=host_id,
+                )
+            service_time = self.latency_model.sample(self._rng).total
+            if (
+                allow_partial
+                and straggler_timeout is not None
+                and service_time > straggler_timeout
+            ):
+                # Scuba-style: too slow, drop its answer entirely.
+                skipped_hosts.append(host_id)
+                continue
+            node = self.sm.app_server(host_id)
+            try:
+                partial = node.execute_local(query, indexes)
+            except PartitionNotFoundError as exc:
+                if allow_partial:
+                    skipped_hosts.append(host_id)
+                    continue
+                # Stale SMC mapping: the authoritative owner may differ.
+                partial = self._forwarded_execution(query, host_id, indexes, exc)
+            execution.per_host_latency[host_id] = service_time
+            slowest = max(slowest, service_time)
+            answered_partitions += len(indexes)
+            merged.merge(partial)
+
+        latency = (
+            slowest
+            + self.COORDINATOR_OVERHEAD
+            + extra_hops * self.HOP_COST
+            + extra_roundtrips * self.HOP_COST
+        )
+        if allow_partial and straggler_timeout is not None:
+            # The coordinator stopped waiting at the timeout.
+            latency = min(
+                latency,
+                straggler_timeout + self.COORDINATOR_OVERHEAD
+                + (extra_hops + extra_roundtrips) * self.HOP_COST,
+            )
+        execution.latency = latency
+        execution.succeeded = True
+
+        result = merged.finalize()
+        coverage = (
+            answered_partitions / total_partitions if total_partitions else 1.0
+        )
+        result.metadata.update(
+            {
+                "table": query.table,
+                "num_partitions": info.num_partitions,
+                "region": self.region,
+                "latency": latency,
+                "fanout": execution.fanout,
+                "coordinator_partition": coordinator_partition,
+                "partial": bool(skipped_hosts),
+                "coverage": coverage,
+                "skipped_hosts": skipped_hosts,
+            }
+        )
+        return result
+
+    def _forwarded_execution(
+        self,
+        query: Query,
+        stale_host: str,
+        indexes: list[int],
+        original: PartitionNotFoundError,
+    ) -> PartialResult:
+        """Handle stale routing: ask the authoritative owner instead.
+
+        Mirrors the graceful-migration forwarding window: the old server
+        no longer has the data but the migration published a new owner.
+        """
+        shards = self.directory.shards_for_table(query.table)
+        partial = PartialResult(query=query)
+        for index in indexes:
+            shard = shards[index]
+            owner = self.sm.discovery.resolve_authoritative(shard)
+            if owner is None or owner == stale_host:
+                raise QueryFailedError(
+                    f"partition {query.table}#{index} missing on {stale_host}",
+                    region=self.region,
+                    host=stale_host,
+                ) from original
+            node = self.sm.app_server(owner)
+            partial.merge(node.execute_local(query, [index]))
+        return partial
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    def success_ratio(self) -> float:
+        if not self.executions:
+            return 1.0
+        succeeded = sum(1 for e in self.executions if e.succeeded)
+        return succeeded / len(self.executions)
+
+    def latencies(self) -> list[float]:
+        return [e.latency for e in self.executions if e.succeeded]

@@ -1,0 +1,137 @@
+"""Locating a table: choosing the query-coordinator partition (§IV-C).
+
+Cubrick queries execute on the hosts storing the table's partitions, and
+the host receiving the client connection becomes the *query coordinator*
+(it parses, distributes, merges partials). Because tables have varying
+partition counts, clients must pick which partition to connect to. The
+paper describes four strategies tried in production:
+
+1. **Always partition 0** — trivial, but the same host always coordinates,
+   creating a resource-usage hotspot.
+2. **Forward from partition 0** — partition 0 re-forwards to a random
+   partition: balanced, but pays an extra network hop (bad for large
+   result buffers).
+3. **Lookup then random** — fetch the current partition count, then pick
+   randomly: balanced, no extra transfer hop, but an extra round trip
+   before every query.
+4. **Cached random** *(production)* — the proxy caches partition counts
+   and picks randomly; the count piggy-backs on every query result's
+   metadata, keeping the cache fresh with zero extra round trips.
+
+Each strategy returns the chosen partition plus the latency penalty its
+routing pattern implies, so benchmarks can compare them directly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LocatorChoice:
+    """Outcome of one coordinator-selection decision."""
+
+    partition_index: int
+    extra_hops: int  # extra data transfers of the result buffer
+    extra_roundtrips: int  # extra control round trips before the query
+    used_cache: bool = False
+
+
+class CoordinatorLocator(abc.ABC):
+    """Strategy interface: pick the coordinator partition for a query."""
+
+    name: str
+
+    @abc.abstractmethod
+    def choose(self, table: str, actual_partitions: int,
+               rng: np.random.Generator) -> LocatorChoice:
+        """Pick a partition in ``[0, actual_partitions)``."""
+
+    def observe_result(self, table: str, num_partitions: int) -> None:
+        """Feed back the partition count piggy-backed on query results."""
+
+
+class AlwaysPartitionZero(CoordinatorLocator):
+    """Strategy 1: clients always append #0."""
+
+    name = "always_zero"
+
+    def choose(self, table: str, actual_partitions: int,
+               rng: np.random.Generator) -> LocatorChoice:
+        return LocatorChoice(partition_index=0, extra_hops=0, extra_roundtrips=0)
+
+
+class ForwardFromZero(CoordinatorLocator):
+    """Strategy 2: connect to #0, which forwards to a random partition."""
+
+    name = "forward_from_zero"
+
+    def choose(self, table: str, actual_partitions: int,
+               rng: np.random.Generator) -> LocatorChoice:
+        partition = int(rng.integers(actual_partitions))
+        # The forward costs one extra result-buffer transfer unless #0
+        # happens to pick itself.
+        extra_hops = 0 if partition == 0 else 1
+        return LocatorChoice(
+            partition_index=partition, extra_hops=extra_hops, extra_roundtrips=0
+        )
+
+
+class LookupThenRandom(CoordinatorLocator):
+    """Strategy 3: fetch the live partition count, then pick randomly."""
+
+    name = "lookup_then_random"
+
+    def choose(self, table: str, actual_partitions: int,
+               rng: np.random.Generator) -> LocatorChoice:
+        partition = int(rng.integers(actual_partitions))
+        return LocatorChoice(
+            partition_index=partition, extra_hops=0, extra_roundtrips=1
+        )
+
+
+class CachedRandom(CoordinatorLocator):
+    """Strategy 4 (production): cached partition counts + random pick.
+
+    On a cache miss the strategy degrades to one lookup round trip (and
+    caches the answer). A stale cache is harmless: picks are taken
+    modulo the actual count, and the result metadata refreshes the
+    cache (paper §IV-C).
+    """
+
+    name = "cached_random"
+
+    def __init__(self) -> None:
+        self._cache: dict[str, int] = {}
+
+    def choose(self, table: str, actual_partitions: int,
+               rng: np.random.Generator) -> LocatorChoice:
+        cached = self._cache.get(table)
+        if cached is None:
+            self._cache[table] = actual_partitions
+            partition = int(rng.integers(actual_partitions))
+            return LocatorChoice(
+                partition_index=partition,
+                extra_hops=0,
+                extra_roundtrips=1,
+                used_cache=False,
+            )
+        partition = int(rng.integers(cached)) % actual_partitions
+        return LocatorChoice(
+            partition_index=partition,
+            extra_hops=0,
+            extra_roundtrips=0,
+            used_cache=True,
+        )
+
+    def observe_result(self, table: str, num_partitions: int) -> None:
+        self._cache[table] = num_partitions
+
+    def cached_count(self, table: str) -> int | None:
+        return self._cache.get(table)
+
+    def invalidate(self, table: str) -> None:
+        self._cache.pop(table, None)

@@ -1,0 +1,118 @@
+"""Record→partition assignment and dynamic re-partitioning (paper §IV-B).
+
+Cubrick segments each table into horizontal partitions; records are
+assigned by a deterministic hash of the dimension values (minimising
+skew between partitions so every server does roughly equal work at
+query time). The partition count is *dynamic*: tables start at 8
+partitions — enough parallelism for small tables without frequent
+re-partitions — and a re-partition (doubling) is triggered when any
+partition exceeds a size threshold. Shrinking collapses data into fewer
+partitions when they get too small. Re-partitions shuffle data and are
+expensive, so thresholds are chosen to keep them sporadic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cubrick.schema import TableSchema
+from repro.cubrick.sharding import stable_hash
+from repro.errors import ConfigurationError
+
+DEFAULT_INITIAL_PARTITIONS = 8
+
+
+@dataclass(frozen=True)
+class PartitioningPolicy:
+    """When to grow/shrink a table's partition count.
+
+    ``max_rows_per_partition`` triggers growth (doubling);
+    ``min_rows_per_partition`` triggers shrinking (halving) once the
+    table is above the initial partition count. ``max_partitions``
+    caps growth — the paper notes production tables top out around 60
+    partitions, bounded by the ~1TB max dataset size.
+    """
+
+    initial_partitions: int = DEFAULT_INITIAL_PARTITIONS
+    max_rows_per_partition: int = 100_000
+    min_rows_per_partition: int = 10_000
+    max_partitions: int = 64
+
+    def __post_init__(self) -> None:
+        if self.initial_partitions <= 0:
+            raise ConfigurationError(
+                f"initial_partitions must be positive: {self.initial_partitions}"
+            )
+        if self.max_rows_per_partition <= 0:
+            raise ConfigurationError(
+                f"max_rows_per_partition must be positive: "
+                f"{self.max_rows_per_partition}"
+            )
+        if not 0 <= self.min_rows_per_partition < self.max_rows_per_partition:
+            raise ConfigurationError(
+                "min_rows_per_partition must be in [0, max_rows_per_partition)"
+            )
+        if self.max_partitions < self.initial_partitions:
+            raise ConfigurationError(
+                "max_partitions must be >= initial_partitions"
+            )
+
+    def next_partition_count(self, current: int, max_partition_rows: int,
+                             total_rows: int) -> int:
+        """Partition count after evaluating thresholds (may be unchanged)."""
+        if current < 1:
+            raise ConfigurationError(f"current partition count invalid: {current}")
+        if (
+            max_partition_rows > self.max_rows_per_partition
+            and current < self.max_partitions
+        ):
+            return min(current * 2, self.max_partitions)
+        if (
+            current > self.initial_partitions
+            and total_rows / current < self.min_rows_per_partition
+        ):
+            return max(current // 2, self.initial_partitions)
+        return current
+
+
+def partition_of(schema: TableSchema, row: dict[str, float],
+                 num_partitions: int) -> int:
+    """Deterministic record→partition assignment.
+
+    Hashes the full dimension tuple so sibling records spread evenly
+    and the assignment is reproducible across loaders.
+    """
+    if num_partitions <= 0:
+        raise ConfigurationError(f"num_partitions must be positive: {num_partitions}")
+    key = "|".join(f"{d.name}={int(row[d.name])}" for d in schema.dimensions)
+    return stable_hash(key) % num_partitions
+
+
+def plan_repartition(
+    schema: TableSchema,
+    rows: list[dict[str, float]],
+    new_partition_count: int,
+) -> dict[int, list[dict[str, float]]]:
+    """Shuffle rows into their new partitions (the data-movement plan).
+
+    Returns new-partition-index → rows. Callers execute the plan by
+    rebuilding partition storages and re-registering shards; this is the
+    computationally expensive shuffle the paper warns should stay
+    sporadic.
+    """
+    plan: dict[int, list[dict[str, float]]] = {
+        i: [] for i in range(new_partition_count)
+    }
+    for row in rows:
+        plan[partition_of(schema, row, new_partition_count)].append(row)
+    return plan
+
+
+def skew(partition_rows: list[int]) -> float:
+    """Max/mean row-count ratio across partitions (1.0 = perfectly even)."""
+    if not partition_rows:
+        return 1.0
+    mean = sum(partition_rows) / len(partition_rows)
+    if mean == 0:
+        return 1.0
+    return max(partition_rows) / mean

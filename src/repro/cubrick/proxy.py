@@ -1,0 +1,292 @@
+"""Cubrick proxy: the stateless front door for all queries (paper §IV-D).
+
+Every query is submitted to a Cubrick proxy, which:
+
+* runs **admission control** (sliding-window QPS limiting);
+* picks the most suitable **region** (availability first, then client
+  proximity = configured preference order);
+* **retries** queries that failed with retryable errors (hardware
+  failure mid-query, unavailable partitions) transparently in a
+  different region;
+* maintains a **blacklist** of recently failing hosts;
+* keeps the **partition-count cache** fresh from query-result metadata
+  (locator strategy 4, §IV-C);
+* **logs** every query for tracing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.cubrick.coordinator import RegionCoordinator
+from repro.cubrick.locator import CachedRandom, CoordinatorLocator
+from repro.cubrick.query import Query, QueryResult
+from repro.errors import (
+    AdmissionControlError,
+    ConfigurationError,
+    QueryFailedError,
+    RegionUnavailableError,
+)
+
+
+@dataclass
+class QueryLogEntry:
+    """One proxied query, for tracing and SLA accounting."""
+
+    time: float
+    table: str
+    succeeded: bool
+    attempts: int
+    region: Optional[str] = None
+    latency: Optional[float] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class AdmissionController:
+    """Sliding-window QPS limiter, global plus per-table quotas.
+
+    Per-table quotas are the multi-tenant fairness lever: the paper
+    notes multi-tenant systems must keep single users or tables from
+    monopolising cluster capacity (§II-C); table-level rate limits are
+    the query-side counterpart of the table-size limits it describes.
+    """
+
+    max_qps: float = float("inf")
+    window: float = 1.0
+    table_qps: dict = field(default_factory=dict)
+    _recent: deque = field(default_factory=deque)
+    _recent_per_table: dict = field(default_factory=dict)
+
+    def set_table_quota(self, table: str, max_qps: float) -> None:
+        if max_qps <= 0:
+            raise ValueError(f"table quota must be positive: {max_qps}")
+        self.table_qps[table] = max_qps
+
+    def admit(self, now: float, table: Optional[str] = None) -> bool:
+        quota = self.table_qps.get(table) if table is not None else None
+        if self.max_qps == float("inf") and quota is None:
+            return True
+        while self._recent and now - self._recent[0] >= self.window:
+            self._recent.popleft()
+        if len(self._recent) >= self.max_qps * self.window:
+            return False
+        if quota is not None:
+            recent = self._recent_per_table.setdefault(table, deque())
+            while recent and now - recent[0] >= self.window:
+                recent.popleft()
+            if len(recent) >= quota * self.window:
+                return False
+            recent.append(now)
+        self._recent.append(now)
+        return True
+
+
+class CubrickProxy:
+    """Routes queries to regional coordinators with retries + blacklisting."""
+
+    def __init__(
+        self,
+        coordinators: dict[str, RegionCoordinator],
+        *,
+        region_preference: Optional[list[str]] = None,
+        locator: Optional[CoordinatorLocator] = None,
+        max_qps: float = float("inf"),
+        blacklist_ttl: float = 300.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if not coordinators:
+            raise ConfigurationError("proxy needs at least one region coordinator")
+        self.coordinators = dict(coordinators)
+        preference = region_preference or sorted(coordinators)
+        unknown = set(preference) - set(coordinators)
+        if unknown:
+            raise ConfigurationError(f"unknown regions in preference: {unknown}")
+        self.region_preference = preference
+        self.locator = locator if locator is not None else CachedRandom()
+        self.admission = AdmissionController(max_qps=max_qps)
+        self.blacklist_ttl = blacklist_ttl
+        self._blacklist: dict[str, float] = {}  # host -> expiry time
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.query_log: list[QueryLogEntry] = []
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def _now(self) -> float:
+        any_coordinator = next(iter(self.coordinators.values()))
+        return any_coordinator.sm.simulator.now
+
+    def blacklist_host(self, host_id: str) -> None:
+        self._blacklist[host_id] = self._now + self.blacklist_ttl
+
+    def is_blacklisted(self, host_id: str) -> bool:
+        expiry = self._blacklist.get(host_id)
+        if expiry is None:
+            return False
+        if expiry <= self._now:
+            del self._blacklist[host_id]
+            return False
+        return True
+
+    def blacklisted_hosts(self) -> list[str]:
+        now = self._now
+        return sorted(h for h, exp in self._blacklist.items() if exp > now)
+
+    def _candidate_regions(self) -> list[str]:
+        """Available regions, in proximity/preference order."""
+        candidates = []
+        for region in self.region_preference:
+            coordinator = self.coordinators[region]
+            if coordinator.sm.cluster.region(region).available:
+                candidates.append(region)
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        query: Query,
+        *,
+        allow_partial: bool = False,
+        straggler_timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+    ) -> QueryResult:
+        """Route one query; retry retryable failures across regions.
+
+        ``allow_partial``/``straggler_timeout`` select the Scuba-style
+        accuracy-for-availability trade (paper §II-C): dead or slow
+        hosts are dropped from the answer instead of failing the query;
+        the result's ``metadata["coverage"]`` reports completeness.
+
+        ``deadline`` (seconds) is a per-region latency budget: a region
+        whose execution exceeds it is treated as failed (exact results,
+        just too slow) and the query is hedged to the next region. The
+        final result's ``metadata["latency_total"]`` accounts for the
+        time burnt on abandoned attempts.
+
+        Raises :class:`AdmissionControlError` when over the QPS limit,
+        :class:`RegionUnavailableError` when no region can serve, and
+        re-raises the last :class:`QueryFailedError` when all regions
+        were tried and failed.
+        """
+        if deadline is not None and deadline <= 0:
+            raise ConfigurationError(f"deadline must be positive: {deadline}")
+        now = self._now
+        if not self.admission.admit(now, query.table):
+            entry = QueryLogEntry(
+                time=now, table=query.table, succeeded=False, attempts=0,
+                error="admission_control",
+            )
+            self.query_log.append(entry)
+            raise AdmissionControlError(
+                f"query on {query.table} rejected: QPS limit reached"
+            )
+
+        regions = self._candidate_regions()
+        if not regions:
+            entry = QueryLogEntry(
+                time=now, table=query.table, succeeded=False, attempts=0,
+                error="no_region_available",
+            )
+            self.query_log.append(entry)
+            raise RegionUnavailableError("no region available for query")
+
+        attempts = 0
+        timeouts = 0
+        wasted_latency = 0.0
+        last_error: Optional[QueryFailedError] = None
+        for region in regions:
+            coordinator = self.coordinators[region]
+            attempts += 1
+            info = coordinator.catalog.get(query.table)
+            choice = self.locator.choose(
+                query.table, info.num_partitions, self._rng
+            )
+            try:
+                result = coordinator.execute(
+                    query,
+                    coordinator_partition=choice.partition_index,
+                    extra_hops=choice.extra_hops,
+                    extra_roundtrips=choice.extra_roundtrips,
+                    allow_partial=allow_partial,
+                    straggler_timeout=straggler_timeout,
+                )
+            except QueryFailedError as exc:
+                last_error = exc
+                if exc.host is not None:
+                    self.blacklist_host(exc.host)
+                if not exc.retryable:
+                    break
+                continue  # transparently retry in the next region
+            latency = result.metadata.get("latency", 0.0)
+            if deadline is not None and latency > deadline:
+                # Too slow: abandon this answer at the deadline and hedge
+                # to the next region.
+                timeouts += 1
+                wasted_latency += deadline
+                last_error = QueryFailedError(
+                    f"query on {query.table} exceeded {deadline}s deadline "
+                    f"in {region}",
+                    region=region,
+                )
+                continue
+            self.locator.observe_result(
+                query.table, result.metadata.get("num_partitions", 0)
+            )
+            self.query_log.append(
+                QueryLogEntry(
+                    time=now,
+                    table=query.table,
+                    succeeded=True,
+                    attempts=attempts,
+                    region=region,
+                    latency=latency,
+                )
+            )
+            result.metadata["attempts"] = attempts
+            result.metadata["timeouts"] = timeouts
+            result.metadata["latency_total"] = wasted_latency + latency
+            return result
+
+        message = str(last_error) if last_error else "all regions failed"
+        self.query_log.append(
+            QueryLogEntry(
+                time=now, table=query.table, succeeded=False,
+                attempts=attempts, error=message,
+            )
+        )
+        if last_error is not None:
+            raise last_error
+        raise RegionUnavailableError(message)
+
+    # ------------------------------------------------------------------
+    # SLA accounting
+    # ------------------------------------------------------------------
+
+    def success_ratio(self) -> float:
+        if not self.query_log:
+            return 1.0
+        succeeded = sum(1 for e in self.query_log if e.succeeded)
+        return succeeded / len(self.query_log)
+
+    def first_try_success_ratio(self) -> float:
+        """Success without needing a cross-region retry."""
+        if not self.query_log:
+            return 1.0
+        first_try = sum(
+            1 for e in self.query_log if e.succeeded and e.attempts == 1
+        )
+        return first_try / len(self.query_log)
+
+    def latencies(self) -> list[float]:
+        return [e.latency for e in self.query_log
+                if e.succeeded and e.latency is not None]

@@ -1,0 +1,372 @@
+"""Query model: filters, aggregations, partial and final results.
+
+Cubrick serves low-latency OLAP aggregations: a query names a table,
+a set of dimension filters, optional group-by dimensions and one or more
+metric aggregations. Execution is distributed — every host holding a
+partition computes a *partial result*, and the query coordinator merges
+partials and materialises the final result (paper §I, §IV-C).
+
+Partial aggregates are kept in merge-friendly state form (``avg`` is a
+(sum, count) pair) so partials combine associatively regardless of how
+rows were split across partitions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import QueryError
+
+
+class FilterOp(enum.Enum):
+    EQ = "eq"
+    IN = "in"
+    BETWEEN = "between"
+
+
+@dataclass(frozen=True)
+class Filter:
+    """A predicate over one dimension column."""
+
+    dimension: str
+    op: FilterOp
+    values: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.op is FilterOp.EQ and len(self.values) != 1:
+            raise QueryError(f"EQ filter needs exactly one value: {self.values}")
+        if self.op is FilterOp.IN and not self.values:
+            raise QueryError("IN filter needs at least one value")
+        if self.op is FilterOp.BETWEEN:
+            if len(self.values) != 2:
+                raise QueryError(f"BETWEEN filter needs (low, high): {self.values}")
+            low, high = self.values
+            if low > high:
+                raise QueryError(f"BETWEEN range is empty: {self.values}")
+
+    @classmethod
+    def eq(cls, dimension: str, value: int) -> "Filter":
+        return cls(dimension=dimension, op=FilterOp.EQ, values=(int(value),))
+
+    @classmethod
+    def isin(cls, dimension: str, values: list[int] | tuple[int, ...]) -> "Filter":
+        return cls(dimension=dimension, op=FilterOp.IN,
+                   values=tuple(int(v) for v in values))
+
+    @classmethod
+    def between(cls, dimension: str, low: int, high: int) -> "Filter":
+        return cls(dimension=dimension, op=FilterOp.BETWEEN,
+                   values=(int(low), int(high)))
+
+
+class AggFunc(enum.Enum):
+    SUM = "sum"
+    COUNT = "count"
+    MIN = "min"
+    MAX = "max"
+    AVG = "avg"
+    # Exact distinct count; the partial state is the value set, which
+    # merges associatively across partitions like every other state.
+    COUNT_DISTINCT = "count_distinct"
+
+
+@dataclass(frozen=True)
+class Aggregation:
+    """One aggregate over a metric column."""
+
+    func: AggFunc
+    metric: str
+
+    def label(self) -> str:
+        return f"{self.func.value}({self.metric})"
+
+
+class CompareOp(enum.Enum):
+    GT = ">"
+    GE = ">="
+    LT = "<"
+    LE = "<="
+    EQ = "="
+
+
+@dataclass(frozen=True)
+class Having:
+    """A post-aggregation predicate over a result column.
+
+    ``column`` is an aggregation label (``"sum(clicks)"``) or a group
+    column; evaluated after all partials are merged, alongside ORDER BY.
+    """
+
+    column: str
+    op: CompareOp
+    value: float
+
+    def matches(self, actual) -> bool:
+        if actual is None:
+            return False
+        if self.op is CompareOp.GT:
+            return actual > self.value
+        if self.op is CompareOp.GE:
+            return actual >= self.value
+        if self.op is CompareOp.LT:
+            return actual < self.value
+        if self.op is CompareOp.LE:
+            return actual <= self.value
+        return actual == self.value
+
+
+@dataclass(frozen=True)
+class Join:
+    """An equi-join from the fact table to a *replicated* dimension table.
+
+    Interactive analytic DBMSs replicate small, frequently-joined tables
+    to every node so joins with large distributed tables never cross the
+    network (paper §II-B). Joined columns are referenced in filters and
+    group-bys with dotted names (``"dim_users.country"``); rows whose
+    key has no match in the dimension table are dropped (inner join).
+    """
+
+    table: str  # the replicated dimension table
+    fact_key: str  # join column on the fact table
+    dim_key: str  # key column on the dimension table
+
+    def __post_init__(self) -> None:
+        if not self.table or not self.fact_key or not self.dim_key:
+            raise QueryError("join needs table, fact_key and dim_key")
+
+    def column_of(self, dotted: str) -> Optional[str]:
+        """The dimension-table column a dotted reference names (or None)."""
+        prefix = f"{self.table}."
+        if dotted.startswith(prefix):
+            return dotted[len(prefix):]
+        return None
+
+
+@dataclass(frozen=True)
+class Query:
+    """An OLAP aggregation query against one table (plus optional joins
+    to replicated dimension tables)."""
+
+    table: str
+    aggregations: tuple[Aggregation, ...]
+    group_by: tuple[str, ...] = ()
+    filters: tuple[Filter, ...] = ()
+    joins: tuple[Join, ...] = ()
+    # Post-aggregation shaping, applied after the coordinator merges all
+    # partials: HAVING predicates, then ORDER BY a group column or an
+    # aggregation label ("sum(clicks)"), then LIMIT.
+    having: tuple[Having, ...] = ()
+    order_by: Optional[str] = None
+    descending: bool = True
+    limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.aggregations:
+            raise QueryError("query needs at least one aggregation")
+        join_tables = [j.table for j in self.joins]
+        if len(join_tables) != len(set(join_tables)):
+            raise QueryError("duplicate join table")
+        if self.limit is not None and self.limit <= 0:
+            raise QueryError(f"limit must be positive: {self.limit}")
+        labels = {agg.label() for agg in self.aggregations}
+        if self.order_by is not None:
+            if self.order_by not in labels and self.order_by not in self.group_by:
+                raise QueryError(
+                    f"order_by {self.order_by!r} is neither a group column "
+                    f"nor an aggregation label ({sorted(labels)})"
+                )
+        for predicate in self.having:
+            if predicate.column not in labels and \
+                    predicate.column not in self.group_by:
+                raise QueryError(
+                    f"having column {predicate.column!r} is neither a group "
+                    f"column nor an aggregation label ({sorted(labels)})"
+                )
+
+    @classmethod
+    def build(
+        cls,
+        table: str,
+        aggregations: list[Aggregation],
+        *,
+        group_by: Optional[list[str]] = None,
+        filters: Optional[list[Filter]] = None,
+        joins: Optional[list[Join]] = None,
+        having: Optional[list[Having]] = None,
+        order_by: Optional[str] = None,
+        descending: bool = True,
+        limit: Optional[int] = None,
+    ) -> "Query":
+        return cls(
+            table=table,
+            aggregations=tuple(aggregations),
+            group_by=tuple(group_by or ()),
+            filters=tuple(filters or ()),
+            joins=tuple(joins or ()),
+            having=tuple(having or ()),
+            order_by=order_by,
+            descending=descending,
+            limit=limit,
+        )
+
+    def joined_columns(self) -> set[str]:
+        """Dotted dimension-table references used by this query."""
+        names = set(self.group_by)
+        names.update(f.dimension for f in self.filters)
+        return {n for n in names if "." in n}
+
+
+# ----------------------------------------------------------------------
+# Aggregation state machinery
+# ----------------------------------------------------------------------
+
+#: Merge-friendly state per aggregate:
+#:   SUM   -> float
+#:   COUNT -> float (count)
+#:   MIN   -> float or None
+#:   MAX   -> float or None
+#:   AVG   -> (sum, count)
+AggState = object
+
+
+def initial_state(func: AggFunc) -> AggState:
+    if func is AggFunc.SUM or func is AggFunc.COUNT:
+        return 0.0
+    if func is AggFunc.MIN or func is AggFunc.MAX:
+        return None
+    if func is AggFunc.COUNT_DISTINCT:
+        return frozenset()
+    return (0.0, 0.0)  # AVG
+
+
+def merge_states(func: AggFunc, a: AggState, b: AggState) -> AggState:
+    if func is AggFunc.SUM or func is AggFunc.COUNT:
+        return float(a) + float(b)
+    if func is AggFunc.MIN:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return min(a, b)
+    if func is AggFunc.MAX:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return max(a, b)
+    if func is AggFunc.COUNT_DISTINCT:
+        return frozenset(a) | frozenset(b)
+    return (a[0] + b[0], a[1] + b[1])  # AVG
+
+
+def finalize_state(func: AggFunc, state: AggState) -> Optional[float]:
+    if func is AggFunc.AVG:
+        total, count = state
+        return total / count if count else None
+    if func is AggFunc.MIN or func is AggFunc.MAX:
+        return state
+    if func is AggFunc.COUNT_DISTINCT:
+        return float(len(state))
+    return float(state)
+
+
+@dataclass
+class PartialResult:
+    """Per-group aggregate states from one partition (or a merge)."""
+
+    query: Query
+    groups: dict[tuple[int, ...], list[AggState]] = field(default_factory=dict)
+    rows_scanned: int = 0
+    bricks_scanned: int = 0
+
+    def accumulate(self, key: tuple[int, ...], states: list[AggState]) -> None:
+        existing = self.groups.get(key)
+        if existing is None:
+            self.groups[key] = list(states)
+        else:
+            for i, agg in enumerate(self.query.aggregations):
+                existing[i] = merge_states(agg.func, existing[i], states[i])
+
+    def merge(self, other: "PartialResult") -> "PartialResult":
+        if other.query.aggregations != self.query.aggregations:
+            raise QueryError("cannot merge partials from different queries")
+        for key, states in other.groups.items():
+            self.accumulate(key, states)
+        self.rows_scanned += other.rows_scanned
+        self.bricks_scanned += other.bricks_scanned
+        return self
+
+    def finalize(self) -> "QueryResult":
+        rows = []
+        for key in sorted(self.groups):
+            states = self.groups[key]
+            values = [
+                finalize_state(agg.func, state)
+                for agg, state in zip(self.query.aggregations, states)
+            ]
+            rows.append(tuple(key) + tuple(values))
+        columns = list(self.query.group_by) + [
+            agg.label() for agg in self.query.aggregations
+        ]
+        rows = self._shape_rows(rows, columns)
+        return QueryResult(
+            columns=tuple(columns),
+            rows=rows,
+            rows_scanned=self.rows_scanned,
+            bricks_scanned=self.bricks_scanned,
+        )
+
+    def _shape_rows(self, rows: list[tuple], columns: list[str]) -> list[tuple]:
+        """Apply the query's HAVING / ORDER BY / LIMIT shaping.
+
+        Only correct after *all* partials are merged — which is exactly
+        where it runs: the coordinator finalizes once per query.
+        """
+        query = self.query
+        for predicate in query.having:
+            index = columns.index(predicate.column)
+            rows = [r for r in rows if predicate.matches(r[index])]
+        if query.order_by is not None:
+            index = columns.index(query.order_by)
+            # None values (empty MIN/AVG) sort last regardless of order.
+            rows = sorted(
+                rows,
+                key=lambda r: (r[index] is None,
+                               -r[index] if query.descending and
+                               r[index] is not None else r[index]),
+            )
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        return rows
+
+
+@dataclass
+class QueryResult:
+    """Final materialised result, plus execution metadata.
+
+    ``metadata`` carries the piggy-backed info the Cubrick proxy uses to
+    keep its partition-count cache fresh (paper §IV-C strategy 4).
+    """
+
+    columns: tuple[str, ...]
+    rows: list[tuple]
+    rows_scanned: int = 0
+    bricks_scanned: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self) -> Optional[float]:
+        """Value of a single-row, single-aggregate result."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise QueryError(
+                f"scalar() needs a 1x1 result, got {len(self.rows)} rows x "
+                f"{len(self.columns)} cols"
+            )
+        return self.rows[0][0]
+
+    def to_dicts(self) -> list[dict[str, float]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]

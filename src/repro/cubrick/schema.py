@@ -1,0 +1,270 @@
+"""Table schemas for Cubrick.
+
+Cubrick is an OLAP store: tables declare *dimension* columns (integer
+coded, used for filtering/grouping and for the Granular Partitioning
+index) and *metric* columns (numeric, used in aggregations) — the model
+described in the Cubrick paper [22] that this system builds on.
+
+Table names may not contain ``#``: Cubrick reserves it as the internal
+separator between a table name and its partition index
+(``dim_users#0`` … ``dim_users#3`` — paper §IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidTableNameError, SchemaError
+
+PARTITION_SEPARATOR = "#"
+
+
+def validate_table_name(name: str) -> str:
+    """Validate and return a table name (no ``#``, non-empty)."""
+    if not name:
+        raise InvalidTableNameError("table name must be non-empty")
+    if PARTITION_SEPARATOR in name:
+        raise InvalidTableNameError(
+            f"table name {name!r} contains reserved character "
+            f"{PARTITION_SEPARATOR!r}"
+        )
+    return name
+
+
+def partition_name(table: str, index: int) -> str:
+    """The internal name of one table partition, e.g. ``dim_users#2``."""
+    if index < 0:
+        raise SchemaError(f"partition index must be non-negative: {index}")
+    return f"{table}{PARTITION_SEPARATOR}{index}"
+
+
+def split_partition_name(name: str) -> tuple[str, int]:
+    """Inverse of :func:`partition_name`."""
+    table, sep, index = name.rpartition(PARTITION_SEPARATOR)
+    if not sep or not table:
+        raise SchemaError(f"not a partition name: {name!r}")
+    try:
+        return table, int(index)
+    except ValueError:
+        raise SchemaError(f"not a partition name: {name!r}") from None
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """An integer-coded dimension column.
+
+    ``cardinality`` bounds the value domain ``[0, cardinality)``;
+    ``range_size`` is the Granular Partitioning bucket width on this
+    dimension (every dimension is range-partitioned — paper §IV).
+    """
+
+    name: str
+    cardinality: int
+    range_size: int = 0  # 0 = one bucket spanning the whole domain
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("dimension name must be non-empty")
+        if self.cardinality <= 0:
+            raise SchemaError(
+                f"dimension {self.name}: cardinality must be positive, "
+                f"got {self.cardinality}"
+            )
+        if self.range_size < 0:
+            raise SchemaError(
+                f"dimension {self.name}: range_size must be non-negative"
+            )
+
+    @property
+    def effective_range_size(self) -> int:
+        return self.range_size if self.range_size > 0 else self.cardinality
+
+    @property
+    def bucket_count(self) -> int:
+        """Number of Granular Partitioning buckets on this dimension."""
+        size = self.effective_range_size
+        return (self.cardinality + size - 1) // size
+
+    def bucket_of(self, value: int) -> int:
+        """The bucket index containing ``value``."""
+        if not 0 <= value < self.cardinality:
+            raise SchemaError(
+                f"dimension {self.name}: value {value} outside "
+                f"[0, {self.cardinality})"
+            )
+        return value // self.effective_range_size
+
+
+@dataclass(frozen=True)
+class Metric:
+    """A numeric metric column (aggregated at query time)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("metric name must be non-empty")
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """A Cubrick table: dimensions + metrics."""
+
+    name: str
+    dimensions: tuple[Dimension, ...]
+    metrics: tuple[Metric, ...]
+
+    def __post_init__(self) -> None:
+        validate_table_name(self.name)
+        if not self.dimensions:
+            raise SchemaError(f"table {self.name}: at least one dimension required")
+        # Metrics may be empty: replicated dimension tables (paper §II-B)
+        # carry only key/attribute columns.
+        names = [d.name for d in self.dimensions] + [m.name for m in self.metrics]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"table {self.name}: duplicate column names")
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        dimensions: list[Dimension] | tuple[Dimension, ...],
+        metrics: list[Metric] | tuple[Metric, ...],
+    ) -> "TableSchema":
+        return cls(name=name, dimensions=tuple(dimensions), metrics=tuple(metrics))
+
+    @property
+    def dimension_names(self) -> tuple[str, ...]:
+        return tuple(d.name for d in self.dimensions)
+
+    @property
+    def metric_names(self) -> tuple[str, ...]:
+        return tuple(m.name for m in self.metrics)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return self.dimension_names + self.metric_names
+
+    def dimension(self, name: str) -> Dimension:
+        for d in self.dimensions:
+            if d.name == name:
+                return d
+        raise SchemaError(f"table {self.name}: unknown dimension {name!r}")
+
+    def has_dimension(self, name: str) -> bool:
+        return any(d.name == name for d in self.dimensions)
+
+    def has_metric(self, name: str) -> bool:
+        return any(m.name == name for m in self.metrics)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable description of this schema."""
+        return {
+            "name": self.name,
+            "dimensions": [
+                {
+                    "name": d.name,
+                    "cardinality": d.cardinality,
+                    "range_size": d.range_size,
+                }
+                for d in self.dimensions
+            ],
+            "metrics": [{"name": m.name} for m in self.metrics],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TableSchema":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            dimensions = [
+                Dimension(
+                    name=d["name"],
+                    cardinality=int(d["cardinality"]),
+                    range_size=int(d.get("range_size", 0)),
+                )
+                for d in payload["dimensions"]
+            ]
+            metrics = [Metric(name=m["name"]) for m in payload["metrics"]]
+            return cls.build(payload["name"], dimensions, metrics)
+        except (KeyError, TypeError) as exc:
+            raise SchemaError(f"malformed schema payload: {exc}") from exc
+
+    def validate_row(self, row: dict[str, float]) -> None:
+        """Check a row has every column with in-domain dimension values."""
+        for d in self.dimensions:
+            if d.name not in row:
+                raise SchemaError(f"row missing dimension {d.name!r}")
+            value = row[d.name]
+            if int(value) != value:
+                raise SchemaError(
+                    f"dimension {d.name!r} must be integer, got {value!r}"
+                )
+            if not 0 <= int(value) < d.cardinality:
+                raise SchemaError(
+                    f"dimension {d.name!r} value {value} outside "
+                    f"[0, {d.cardinality})"
+                )
+        for m in self.metrics:
+            if m.name not in row:
+                raise SchemaError(f"row missing metric {m.name!r}")
+
+
+@dataclass
+class TableInfo:
+    """Catalog entry: schema plus current partitioning state.
+
+    ``replicated`` marks small dimension tables that are fully copied to
+    every cluster node instead of being sharded, so joins against them
+    resolve locally (paper §II-B).
+    """
+
+    schema: TableSchema
+    num_partitions: int = 8  # the paper's starting point for new tables
+    generation: int = 0  # bumped by every re-partition
+    replicated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_partitions <= 0:
+            raise SchemaError(
+                f"table {self.schema.name}: num_partitions must be positive"
+            )
+
+
+@dataclass
+class Catalog:
+    """The cluster-wide table catalog."""
+
+    tables: dict[str, TableInfo] = field(default_factory=dict)
+
+    def create(self, schema: TableSchema, *, num_partitions: int = 8,
+               replicated: bool = False) -> TableInfo:
+        from repro.errors import TableAlreadyExistsError
+
+        if schema.name in self.tables:
+            raise TableAlreadyExistsError(f"table {schema.name} already exists")
+        info = TableInfo(
+            schema=schema, num_partitions=num_partitions, replicated=replicated
+        )
+        self.tables[schema.name] = info
+        return info
+
+    def get(self, name: str) -> TableInfo:
+        from repro.errors import TableNotFoundError
+
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise TableNotFoundError(f"unknown table: {name}") from None
+
+    def drop(self, name: str) -> None:
+        from repro.errors import TableNotFoundError
+
+        if name not in self.tables:
+            raise TableNotFoundError(f"unknown table: {name}")
+        del self.tables[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self.tables)

@@ -1,0 +1,330 @@
+"""Mapping table partitions to SM shards (paper §IV-A).
+
+SM exposes a flat shard space ``[0..maxShards)``; Cubrick must map every
+table partition (``table#idx``) into it. Three mappers are implemented:
+
+* :class:`NaiveHashMapper` — ``hash(f"{table}#{idx}") % maxShards``.
+  Simple, but partitions of the *same* table can collide onto one shard,
+  permanently doubling one server's work for that table (the paper's
+  ``test_table`` example).
+
+* :class:`MonotonicHashMapper` — Cubrick's production fix: hash only
+  partition zero and monotonically increment for the remaining
+  partitions. Same-table collisions are impossible while tables have at
+  most ``maxShards`` partitions.
+
+* :class:`ReplicaMapper` — the alternative (used by other Facebook
+  systems, e.g. Scuba): map each table to a *single* shard and store the
+  partitions as that shard's replicas. Avoids shard collisions entirely,
+  but forces every table to have exactly ``replication_factor + 1``
+  partitions and breaks the replicas-hold-identical-data invariant.
+
+The module also provides the collision taxonomy of §IV-A1: *partition
+collisions* (different application keys on one shard — expected and
+unavoidable) and *shard collisions* (shards of one table co-located on
+one host — resolved by SM migrating one of them away; Cubrick raises a
+non-retryable error to refuse migrations that would create one).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Mapping, Protocol
+
+from repro.cubrick.schema import partition_name
+from repro.errors import ConfigurationError
+
+
+def stable_hash(key: str) -> int:
+    """Deterministic 64-bit string hash (process-independent)."""
+    digest = hashlib.md5(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+_JUMP_MULTIPLIER = 2862933555777941757
+_UINT64_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def jump_consistent_hash(key: int, num_buckets: int) -> int:
+    """Jump consistent hash (Lamping & Veach, 2014).
+
+    Maps a 64-bit key to ``[0, num_buckets)`` such that growing the
+    bucket count from n to n+1 remaps only ~1/(n+1) of the keys — the
+    property the paper says Cubrick would need "in case changing the
+    maximum number of shards had to be supported" (§IV-A).
+    """
+    if num_buckets <= 0:
+        raise ConfigurationError(f"num_buckets must be positive: {num_buckets}")
+    key &= _UINT64_MASK
+    b, j = -1, 0
+    while j < num_buckets:
+        b = j
+        key = (key * _JUMP_MULTIPLIER + 1) & _UINT64_MASK
+        j = int((b + 1) * (1 << 31) / ((key >> 33) + 1))
+    return b
+
+
+class ShardMapper(Protocol):
+    """Maps (table, partition index) to an SM shard id."""
+
+    max_shards: int
+
+    def shard_of(self, table: str, partition_index: int) -> int:
+        """Shard id for one table partition."""
+        ...
+
+    def shards_of(self, table: str, num_partitions: int) -> list[int]:
+        """Shard ids for all partitions of a table."""
+        ...
+
+
+@dataclass(frozen=True)
+class NaiveHashMapper:
+    """Hash every partition name independently (collision-prone)."""
+
+    max_shards: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.max_shards <= 0:
+            raise ConfigurationError(f"max_shards must be positive: {self.max_shards}")
+
+    def shard_of(self, table: str, partition_index: int) -> int:
+        return stable_hash(partition_name(table, partition_index)) % self.max_shards
+
+    def shards_of(self, table: str, num_partitions: int) -> list[int]:
+        return [self.shard_of(table, i) for i in range(num_partitions)]
+
+
+@dataclass(frozen=True)
+class MonotonicHashMapper:
+    """Hash partition 0, monotonically increment the rest (production)."""
+
+    max_shards: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.max_shards <= 0:
+            raise ConfigurationError(f"max_shards must be positive: {self.max_shards}")
+
+    def shard_of(self, table: str, partition_index: int) -> int:
+        base = stable_hash(partition_name(table, 0)) % self.max_shards
+        return (base + partition_index) % self.max_shards
+
+    def shards_of(self, table: str, num_partitions: int) -> list[int]:
+        base = stable_hash(partition_name(table, 0)) % self.max_shards
+        return [(base + i) % self.max_shards for i in range(num_partitions)]
+
+
+@dataclass(frozen=True)
+class ConsistentHashMapper:
+    """Monotonic mapping whose base comes from a consistent hash.
+
+    Behaves like :class:`MonotonicHashMapper` (partition 0 anchors the
+    table, remaining partitions increment — no same-table collisions)
+    but derives the anchor with jump consistent hashing, so growing
+    ``max_shards`` from n to m remaps only ~(m-n)/m of the tables
+    instead of nearly all of them. This is the variant the paper says
+    Cubrick would adopt if the shard-space size ever had to change.
+    """
+
+    max_shards: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.max_shards <= 0:
+            raise ConfigurationError(f"max_shards must be positive: {self.max_shards}")
+
+    def shard_of(self, table: str, partition_index: int) -> int:
+        base = jump_consistent_hash(stable_hash(table), self.max_shards)
+        return (base + partition_index) % self.max_shards
+
+    def shards_of(self, table: str, num_partitions: int) -> list[int]:
+        base = jump_consistent_hash(stable_hash(table), self.max_shards)
+        return [(base + i) % self.max_shards for i in range(num_partitions)]
+
+
+@dataclass(frozen=True)
+class ReplicaMapper:
+    """Map a table to one shard; partitions become shard replicas.
+
+    Limitations (paper §IV-A "Other approaches"): every table must have
+    exactly ``replicas`` partitions, and the replicas of the shard no
+    longer hold identical data — which forecloses reusing SM features
+    that assume replica equivalence.
+    """
+
+    max_shards: int = 100_000
+    replicas: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_shards <= 0:
+            raise ConfigurationError(f"max_shards must be positive: {self.max_shards}")
+        if self.replicas <= 0:
+            raise ConfigurationError(f"replicas must be positive: {self.replicas}")
+
+    def shard_of(self, table: str, partition_index: int) -> int:
+        if not 0 <= partition_index < self.replicas:
+            raise ConfigurationError(
+                f"replica mapping fixes partitions at {self.replicas}; "
+                f"index {partition_index} is out of range"
+            )
+        return stable_hash(table) % self.max_shards
+
+    def shards_of(self, table: str, num_partitions: int) -> list[int]:
+        if num_partitions != self.replicas:
+            raise ConfigurationError(
+                f"replica mapping requires exactly {self.replicas} partitions, "
+                f"got {num_partitions}"
+            )
+        return [self.shard_of(table, i) for i in range(num_partitions)]
+
+
+# ----------------------------------------------------------------------
+# Shard directory: which table partitions live inside which shard
+# ----------------------------------------------------------------------
+
+
+class ShardDirectory:
+    """Registry of the table-partition → shard mapping for one service.
+
+    Partition collisions (different tables on one shard) are expected
+    and recorded — those partitions simply travel together on migration
+    (paper §IV-A1). The directory is what a Cubrick node consults in
+    ``addShard`` to know which partitions it must create/copy.
+    """
+
+    def __init__(self, mapper: ShardMapper):
+        self.mapper = mapper
+        self._shard_contents: dict[int, list[tuple[str, int]]] = {}
+        self._table_shards: dict[str, list[int]] = {}
+
+    def register_table(self, table: str, num_partitions: int) -> list[int]:
+        """Map a new table's partitions to shards; returns the shard ids."""
+        if table in self._table_shards:
+            raise ConfigurationError(f"table {table} already registered")
+        shards = self.mapper.shards_of(table, num_partitions)
+        self._table_shards[table] = shards
+        for index, shard in enumerate(shards):
+            self._shard_contents.setdefault(shard, []).append((table, index))
+        return shards
+
+    def unregister_table(self, table: str) -> list[int]:
+        """Remove a table; returns the shards it occupied."""
+        shards = self._table_shards.pop(table, None)
+        if shards is None:
+            raise ConfigurationError(f"table {table} not registered")
+        for shard in set(shards):
+            contents = self._shard_contents.get(shard, [])
+            contents[:] = [(t, i) for t, i in contents if t != table]
+            if not contents:
+                self._shard_contents.pop(shard, None)
+        return shards
+
+    def contents(self, shard_id: int) -> list[tuple[str, int]]:
+        """The (table, partition index) pairs stored in one shard."""
+        return list(self._shard_contents.get(shard_id, []))
+
+    def shards_for_table(self, table: str) -> list[int]:
+        shards = self._table_shards.get(table)
+        if shards is None:
+            raise ConfigurationError(f"table {table} not registered")
+        return list(shards)
+
+    def shard_for_partition(self, table: str, partition_index: int) -> int:
+        shards = self.shards_for_table(table)
+        if not 0 <= partition_index < len(shards):
+            raise ConfigurationError(
+                f"table {table} has {len(shards)} partitions; "
+                f"index {partition_index} out of range"
+            )
+        return shards[partition_index]
+
+    def tables(self) -> list[str]:
+        return sorted(self._table_shards)
+
+    def occupied_shards(self) -> list[int]:
+        return sorted(self._shard_contents)
+
+
+# ----------------------------------------------------------------------
+# Collision analysis (paper §IV-A1, Figure 4a)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CollisionReport:
+    """Collision census over a deployment of tables.
+
+    Fractions are per-table: a table counts once no matter how many of
+    its partitions collide.
+    """
+
+    tables: int
+    same_table_partition_collisions: int  # same table, same shard
+    cross_table_partition_collisions: int  # different tables, same shard
+    shard_collisions: int  # same table, different shards, same host
+
+    @property
+    def same_table_fraction(self) -> float:
+        return self._fraction(self.same_table_partition_collisions)
+
+    @property
+    def cross_table_fraction(self) -> float:
+        return self._fraction(self.cross_table_partition_collisions)
+
+    @property
+    def shard_collision_fraction(self) -> float:
+        return self._fraction(self.shard_collisions)
+
+    def _fraction(self, count: int) -> float:
+        return count / self.tables if self.tables else 0.0
+
+
+def analyze_collisions(
+    table_partitions: Mapping[str, int],
+    mapper: ShardMapper,
+    shard_to_host: Mapping[int, str] | None = None,
+) -> CollisionReport:
+    """Census of partition and shard collisions for a set of tables.
+
+    ``table_partitions`` maps table name → number of partitions;
+    ``shard_to_host`` (optional) enables the shard-collision check
+    (same table's shards co-located on one host by SM's placement).
+    """
+    shard_tables: dict[int, set[str]] = {}
+    table_shards: dict[str, list[int]] = {}
+    same_table = 0
+    for table, count in table_partitions.items():
+        shards = mapper.shards_of(table, count)
+        table_shards[table] = shards
+        if len(set(shards)) != len(shards):
+            same_table += 1
+        for shard in set(shards):
+            shard_tables.setdefault(shard, set()).add(table)
+
+    cross_table_tables: set[str] = set()
+    for tables_on_shard in shard_tables.values():
+        if len(tables_on_shard) > 1:
+            cross_table_tables.update(tables_on_shard)
+
+    shard_collision_tables = 0
+    if shard_to_host is not None:
+        for table, shards in table_shards.items():
+            hosts_seen: set[str] = set()
+            collided = False
+            for shard in set(shards):
+                host = shard_to_host.get(shard)
+                if host is None:
+                    continue
+                if host in hosts_seen:
+                    collided = True
+                    break
+                hosts_seen.add(host)
+            if collided:
+                shard_collision_tables += 1
+
+    return CollisionReport(
+        tables=len(table_partitions),
+        same_table_partition_collisions=same_table,
+        cross_table_partition_collisions=len(cross_table_tables),
+        shard_collisions=shard_collision_tables,
+    )

@@ -1,0 +1,355 @@
+"""Partition storage: columnar execution over bricks.
+
+One :class:`PartitionStorage` holds the rows of a single table partition
+(``table#idx``) on one host, organised into bricks by the Granular
+Partitioning index. Query execution is vectorised with numpy: filters
+become boolean masks, group-bys use ``np.unique`` over composite keys,
+and every touched brick's hotness counter is bumped (feeding adaptive
+compression — paper §IV-F2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.cubrick.bricks import Brick
+from repro.cubrick.granular import GranularIndex
+from repro.cubrick.query import (
+    AggFunc,
+    Filter,
+    FilterOp,
+    PartialResult,
+    Query,
+)
+from repro.cubrick.schema import TableSchema
+from repro.errors import CubrickError, QueryError
+
+
+class PartitionStorage:
+    """In-memory columnar storage for one table partition."""
+
+    def __init__(self, schema: TableSchema, partition_index: int):
+        self.schema = schema
+        self.partition_index = partition_index
+        self.index = GranularIndex(schema)
+        self._bricks: dict[int, Brick] = {}
+        self._rows = 0
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def insert(self, row: dict[str, float]) -> int:
+        """Insert one validated row; returns the target brick id."""
+        self.schema.validate_row(row)
+        brick_id = self.index.brick_of(row)
+        brick = self._bricks.get(brick_id)
+        if brick is None:
+            brick = Brick(
+                brick_id,
+                self.schema.dimension_names,
+                self.schema.metric_names,
+            )
+            self._bricks[brick_id] = brick
+        brick.append(row)
+        self._rows += 1
+        return brick_id
+
+    def insert_many(self, rows: Iterable[dict[str, float]]) -> int:
+        """Insert many rows; returns how many were inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def insert_columns(self, columns: dict[str, np.ndarray]) -> int:
+        """Vectorised bulk load from column arrays (the fast path).
+
+        All schema columns must be present with equal lengths; dimension
+        domains are validated vectorised, rows are routed to bricks in
+        one pass (the ingestion-rate story of the Cubrick paper [22]).
+        """
+        lengths = {
+            name: len(np.asarray(columns[name]))
+            for name in self.schema.column_names
+            if name in columns
+        }
+        missing = set(self.schema.column_names) - set(lengths)
+        if missing:
+            raise CubrickError(f"missing columns in bulk load: {sorted(missing)}")
+        if len(set(lengths.values())) > 1:
+            raise CubrickError(f"ragged column lengths: {lengths}")
+        n = next(iter(lengths.values()))
+        if n == 0:
+            return 0
+        dim_arrays = {
+            d.name: np.asarray(columns[d.name], dtype=np.int64)
+            for d in self.schema.dimensions
+        }
+        metric_arrays = {
+            m.name: np.asarray(columns[m.name], dtype=np.float64)
+            for m in self.schema.metrics
+        }
+        brick_ids = self.index.bricks_of_columns(dim_arrays)
+        order = np.argsort(brick_ids, kind="stable")
+        sorted_ids = brick_ids[order]
+        boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [n]))
+        for start, end in zip(starts, ends):
+            brick_id = int(sorted_ids[start])
+            brick = self._bricks.get(brick_id)
+            if brick is None:
+                brick = Brick(
+                    brick_id,
+                    self.schema.dimension_names,
+                    self.schema.metric_names,
+                )
+                self._bricks[brick_id] = brick
+            rows_slice = order[start:end]
+            chunk = {
+                name: arr[rows_slice] for name, arr in dim_arrays.items()
+            }
+            chunk.update(
+                {name: arr[rows_slice] for name, arr in metric_arrays.items()}
+            )
+            brick.append_columns(chunk)
+        self._rows += n
+        return n
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        return self._rows
+
+    @property
+    def brick_count(self) -> int:
+        return len(self._bricks)
+
+    def bricks(self) -> list[Brick]:
+        return [self._bricks[bid] for bid in sorted(self._bricks)]
+
+    def brick(self, brick_id: int) -> Optional[Brick]:
+        return self._bricks.get(brick_id)
+
+    def footprint_bytes(self) -> int:
+        """Actual memory footprint (respects compression)."""
+        return sum(b.footprint_bytes() for b in self._bricks.values())
+
+    def decompressed_bytes(self) -> int:
+        """Footprint if everything were decompressed (LB generation 2)."""
+        return sum(b.decompressed_bytes() for b in self._bricks.values())
+
+    def all_rows(self) -> list[dict[str, float]]:
+        """Materialise every row (used by re-partitioning/migration)."""
+        out: list[dict[str, float]] = []
+        names = self.schema.column_names
+        for brick in self.bricks():
+            arrays = brick.columns()
+            for i in range(brick.rows):
+                out.append({name: arrays[name][i].item() for name in names})
+        return out
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def explain(self, query: Query) -> dict[str, int]:
+        """Describe what executing the query here would scan.
+
+        Returns ``{"bricks_total", "bricks_scanned", "rows_estimated"}``
+        — the Granular Partitioning pruning decision, without executing
+        or touching hotness counters.
+        """
+        buckets = self._filter_buckets(query.filters)
+        candidates = list(self.index.prune(buckets, sorted(self._bricks)))
+        rows = sum(self._bricks[bid].rows for bid in candidates)
+        return {
+            "bricks_total": len(self._bricks),
+            "bricks_scanned": len(candidates),
+            "rows_estimated": rows,
+        }
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: Query,
+        lookups: Optional[dict[str, tuple[str, np.ndarray]]] = None,
+    ) -> PartialResult:
+        """Evaluate the query over this partition; returns a partial.
+
+        ``lookups`` supplies join materialisation for dotted column
+        references: ``"dim.attr" -> (fact_key, lookup_array)`` where
+        ``lookup_array[key]`` is the attribute value (or -1 for keys
+        absent from the dimension table — such fact rows are dropped,
+        i.e. inner-join semantics). Built by the node from its local
+        replica of the dimension table (paper §II-B).
+        """
+        effective_lookups = lookups if lookups is not None else {}
+        self._validate_query(query, effective_lookups)
+        partial = PartialResult(query=query)
+        buckets = self._filter_buckets(query.filters)
+        candidate_ids = self.index.prune(buckets, sorted(self._bricks))
+        for brick_id in candidate_ids:
+            brick = self._bricks[brick_id]
+            brick.touch()
+            partial.bricks_scanned += 1
+            self._scan_brick(brick, query, partial, effective_lookups)
+        return partial
+
+    def _validate_query(
+        self, query: Query, lookups: dict[str, tuple[str, np.ndarray]]
+    ) -> None:
+        for flt in query.filters:
+            self._validate_column_ref(flt.dimension, lookups, "filter")
+        for dim in query.group_by:
+            self._validate_column_ref(dim, lookups, "group-by")
+        for agg in query.aggregations:
+            if agg.func is AggFunc.COUNT:
+                continue
+            if agg.func is AggFunc.COUNT_DISTINCT:
+                # Distinct counts apply to any column (dimension or metric).
+                if not (self.schema.has_metric(agg.metric)
+                        or self.schema.has_dimension(agg.metric)):
+                    raise QueryError(
+                        f"table {self.schema.name}: unknown column "
+                        f"{agg.metric!r}"
+                    )
+                continue
+            if not self.schema.has_metric(agg.metric):
+                raise QueryError(
+                    f"table {self.schema.name}: unknown metric {agg.metric!r}"
+                )
+
+    def _validate_column_ref(
+        self, name: str, lookups: dict[str, tuple[str, np.ndarray]], kind: str
+    ) -> None:
+        if "." in name:
+            if name not in lookups:
+                raise QueryError(
+                    f"table {self.schema.name}: joined column {name!r} has "
+                    f"no lookup (missing join or replicated table?)"
+                )
+            return
+        if not self.schema.has_dimension(name):
+            raise QueryError(
+                f"table {self.schema.name}: unknown {kind} dimension {name!r}"
+            )
+
+    def _filter_buckets(self, filters: tuple[Filter, ...]) -> dict[str, set[int]]:
+        buckets: dict[str, set[int]] = {}
+        for flt in filters:
+            if "." in flt.dimension:
+                continue  # joined columns cannot prune fact bricks
+            if flt.op is FilterOp.BETWEEN:
+                allowed = self.index.candidate_buckets(
+                    flt.dimension, None, (flt.values[0], flt.values[1])
+                )
+            else:
+                allowed = self.index.candidate_buckets(
+                    flt.dimension, flt.values, None
+                )
+            if flt.dimension in buckets:
+                buckets[flt.dimension] &= allowed
+            else:
+                buckets[flt.dimension] = allowed
+        return buckets
+
+    def _scan_brick(self, brick: Brick, query: Query, partial: PartialResult,
+                    lookups: dict[str, tuple[str, np.ndarray]]) -> None:
+        arrays = brick.columns()
+        if brick.rows == 0:
+            return
+        mask = self._build_mask(arrays, query.filters, brick.rows, lookups)
+        # Inner-join semantics: rows whose key misses the dimension table
+        # are dropped whenever the query references a joined column.
+        for name in query.joined_columns():
+            values = self._resolve_column(name, arrays, lookups)
+            mask &= values >= 0
+        matched = int(mask.sum())
+        partial.rows_scanned += brick.rows
+        if matched == 0:
+            return
+
+        if not query.group_by:
+            states = [
+                self._aggregate_column(agg, arrays, mask, matched)
+                for agg in query.aggregations
+            ]
+            partial.accumulate((), states)
+            return
+
+        key_columns = [
+            self._resolve_column(dim, arrays, lookups)[mask]
+            for dim in query.group_by
+        ]
+        stacked = np.stack(key_columns, axis=1)
+        unique_keys, inverse = np.unique(stacked, axis=0, return_inverse=True)
+        for group_idx in range(len(unique_keys)):
+            group_mask = inverse == group_idx
+            states = []
+            for agg in query.aggregations:
+                if agg.func is AggFunc.COUNT:
+                    states.append(float(group_mask.sum()))
+                    continue
+                values = arrays[agg.metric][mask][group_mask]
+                states.append(self._reduce(agg.func, values))
+            key = tuple(int(v) for v in unique_keys[group_idx])
+            partial.accumulate(key, states)
+
+    @staticmethod
+    def _resolve_column(
+        name: str,
+        arrays: dict[str, np.ndarray],
+        lookups: dict[str, tuple[str, np.ndarray]],
+    ) -> np.ndarray:
+        """Column values for a plain or joined (dotted) reference."""
+        if "." in name:
+            fact_key, lookup = lookups[name]
+            return lookup[arrays[fact_key]]
+        return arrays[name]
+
+    @classmethod
+    def _build_mask(cls, arrays: dict[str, np.ndarray],
+                    filters: tuple[Filter, ...], rows: int,
+                    lookups: dict[str, tuple[str, np.ndarray]]) -> np.ndarray:
+        mask = np.ones(rows, dtype=bool)
+        for flt in filters:
+            column = cls._resolve_column(flt.dimension, arrays, lookups)
+            if flt.op is FilterOp.EQ:
+                mask &= column == flt.values[0]
+            elif flt.op is FilterOp.IN:
+                mask &= np.isin(column, np.asarray(flt.values))
+            else:  # BETWEEN
+                mask &= (column >= flt.values[0]) & (column <= flt.values[1])
+        return mask
+
+    def _aggregate_column(self, agg, arrays: dict[str, np.ndarray],
+                          mask: np.ndarray, matched: int):
+        if agg.func is AggFunc.COUNT:
+            return float(matched)
+        values = arrays[agg.metric][mask]
+        return self._reduce(agg.func, values)
+
+    @staticmethod
+    def _reduce(func: AggFunc, values: np.ndarray):
+        if func is AggFunc.SUM:
+            return float(values.sum())
+        if func is AggFunc.MIN:
+            return float(values.min())
+        if func is AggFunc.MAX:
+            return float(values.max())
+        if func is AggFunc.AVG:
+            return (float(values.sum()), float(len(values)))
+        if func is AggFunc.COUNT_DISTINCT:
+            return frozenset(np.unique(values).tolist())
+        raise QueryError(f"unsupported aggregate: {func}")

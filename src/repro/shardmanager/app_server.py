@@ -1,0 +1,147 @@
+"""Application Server interface — the endpoints SM calls.
+
+SM server is excluded from the data-intensive path: shard migrations are
+orchestrated by SM but *executed* by the application servers themselves
+through the endpoints below (paper §III-A). Cubrick's node
+(:class:`repro.cubrick.node.CubrickNode`) implements this interface; a
+lightweight :class:`InMemoryApplicationServer` is provided for SM's own
+tests and for demo workloads that do not need a full DBMS.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.errors import (
+    ShardAlreadyAssignedError,
+    ShardNotFoundError,
+)
+
+
+class ApplicationServer(abc.ABC):
+    """The SM-facing surface of one application host.
+
+    The two mandatory endpoints are :meth:`add_shard` and
+    :meth:`drop_shard`; the ``prepare_*`` pair enables graceful (zero
+    downtime) migrations (paper §IV-E). Implementations own all business
+    logic — discovering what data to recover and copying it; SM only
+    coordinates.
+    """
+
+    def __init__(self, host_id: str):
+        self.host_id = host_id
+
+    @abc.abstractmethod
+    def add_shard(self, shard_id: int, source: Optional["ApplicationServer"]) -> None:
+        """Take ownership of ``shard_id``.
+
+        ``source`` is the healthy old server on a live migration, or
+        ``None`` on a failover / fresh placement (the implementation must
+        then recover data from wherever its durability story lives — for
+        Cubrick, a healthy replica in another region).
+
+        May raise :class:`repro.errors.NonRetryableShardError` to tell SM
+        this host cannot take the shard (Cubrick does this on shard
+        collisions) — SM will try a different target.
+        """
+
+    @abc.abstractmethod
+    def drop_shard(self, shard_id: int) -> None:
+        """Release ownership of ``shard_id`` and delete its data."""
+
+    def prepare_add_shard(
+        self, shard_id: int, source: Optional["ApplicationServer"]
+    ) -> None:
+        """Graceful migration step 1: copy data, serve only forwarded traffic.
+
+        Default implementation simply performs the copy via
+        :meth:`add_shard`-equivalent logic; subclasses may override.
+        """
+        self.add_shard(shard_id, source)
+
+    def prepare_drop_shard(self, shard_id: int, target: "ApplicationServer") -> None:
+        """Graceful migration step 2: start forwarding requests to target."""
+
+    def commit_add_shard(self, shard_id: int) -> None:
+        """Graceful migration step 3: the data was already copied by
+        :meth:`prepare_add_shard`; this host now handles requests for the
+        shard from all sources (the protocol's ``addShard`` call)."""
+
+    # -- metrics (measurement side of load balancing) --------------------
+
+    @abc.abstractmethod
+    def shard_metrics(self) -> dict[int, float]:
+        """Per-shard load in the service's chosen metric."""
+
+    @abc.abstractmethod
+    def exported_capacity(self) -> float:
+        """This host's capacity in the same metric."""
+
+    @abc.abstractmethod
+    def hosted_shards(self) -> set[int]:
+        """Shards currently owned by this server."""
+
+
+class InMemoryApplicationServer(ApplicationServer):
+    """A minimal stateful application: each shard is a blob with a size.
+
+    Useful for exercising SM's placement/balancing/migration machinery
+    without a full DBMS behind it.
+    """
+
+    def __init__(self, host_id: str, capacity: float = 1000.0):
+        super().__init__(host_id)
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self._capacity = capacity
+        self._shards: dict[int, float] = {}  # shard_id -> size
+        self._forwarding: set[int] = set()
+
+    def add_shard(self, shard_id: int, source: Optional[ApplicationServer]) -> None:
+        if shard_id in self._shards:
+            raise ShardAlreadyAssignedError(
+                f"{self.host_id} already hosts shard {shard_id}"
+            )
+        size = 0.0
+        if isinstance(source, InMemoryApplicationServer):
+            size = source._shards.get(shard_id, 0.0)
+        self._shards[shard_id] = size
+
+    def drop_shard(self, shard_id: int) -> None:
+        if shard_id not in self._shards:
+            raise ShardNotFoundError(f"{self.host_id} does not host shard {shard_id}")
+        del self._shards[shard_id]
+        self._forwarding.discard(shard_id)
+
+    def prepare_drop_shard(self, shard_id: int, target: ApplicationServer) -> None:
+        if shard_id not in self._shards:
+            raise ShardNotFoundError(f"{self.host_id} does not host shard {shard_id}")
+        self._forwarding.add(shard_id)
+
+    def set_capacity(self, capacity: float) -> None:
+        """Re-export this host's capacity (paper §III-A3: applications
+        may periodically change the current capacity of a host)."""
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self._capacity = capacity
+
+    def set_shard_size(self, shard_id: int, size: float) -> None:
+        """Simulate data growth inside a shard."""
+        if shard_id not in self._shards:
+            raise ShardNotFoundError(f"{self.host_id} does not host shard {shard_id}")
+        if size < 0:
+            raise ValueError(f"shard size must be non-negative: {size}")
+        self._shards[shard_id] = float(size)
+
+    def shard_metrics(self) -> dict[int, float]:
+        return dict(self._shards)
+
+    def exported_capacity(self) -> float:
+        return self._capacity
+
+    def hosted_shards(self) -> set[int]:
+        return set(self._shards)
+
+    def is_forwarding(self, shard_id: int) -> bool:
+        return shard_id in self._forwarding

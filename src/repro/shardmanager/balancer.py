@@ -1,0 +1,166 @@
+"""Load balancing: propose shard migrations to even out host loads.
+
+SM server periodically evaluates per-host utilization (reported load over
+exported capacity) and proposes migrations from hosts above the fleet
+mean to hosts below it. The number of migrations per run is throttled,
+since migrations invariably cause overhead (paper §III-A3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.topology import Cluster
+from repro.shardmanager.metrics import MetricsStore
+from repro.shardmanager.spec import ServiceSpec
+
+
+@dataclass(frozen=True)
+class MigrationProposal:
+    """One shard move suggested by the balancer."""
+
+    shard_id: int
+    from_host: str
+    to_host: str
+    shard_load: float
+    reason: str = "load_balance"
+
+
+class LoadBalancer:
+    """Greedy utilization-levelling balancer with a per-run throttle."""
+
+    def __init__(self, spec: ServiceSpec, cluster: Cluster, metrics: MetricsStore):
+        self._spec = spec
+        self._cluster = cluster
+        self._metrics = metrics
+
+    def propose(
+        self,
+        hosted: dict[str, set[int]],
+        *,
+        region: Optional[str] = None,
+        forbidden_targets: Optional[dict[int, set[str]]] = None,
+    ) -> list[MigrationProposal]:
+        """Compute up to ``max_migrations_per_run`` load-levelling moves.
+
+        ``hosted`` maps host id → shards it currently owns (from SM's
+        assignment table). ``forbidden_targets`` maps shard id → hosts
+        that must not receive it (other replicas' hosts, hosts that threw
+        non-retryable errors).
+        """
+        forbidden = forbidden_targets if forbidden_targets is not None else {}
+        budget = self._spec.max_migrations_per_run
+        if budget == 0:
+            return []
+
+        # Receivers may be any placeable host (including empty ones);
+        # donors must actually host shards.
+        hosts = self._cluster.placeable_hosts(region)
+        donors = {h.host_id for h in hosts} & {
+            host_id for host_id, owned in hosted.items() if owned
+        }
+        if len(hosts) < 2 or not donors:
+            return []
+
+        # Work on a mutable copy of loads so successive proposals in one
+        # run see the effect of earlier ones.
+        load = {h.host_id: self._metrics.host_load(h.host_id) for h in hosts}
+        capacity = {h.host_id: self._metrics.capacity(h.host_id) for h in hosts}
+        # Movable shards: only what SM's assignment table says the host
+        # owns (metrics may briefly include shards mid-graceful-drop).
+        shards = {
+            h.host_id: {
+                shard_id: weight
+                for shard_id, weight in self._metrics.shards_on_host(h.host_id)
+                if shard_id in hosted.get(h.host_id, set())
+            }
+            for h in hosts
+        }
+        # Shards with no metric yet still need to be movable — weight 0.
+        for host_id, owned in hosted.items():
+            if host_id in shards:
+                for shard_id in owned:
+                    shards[host_id].setdefault(shard_id, 0.0)
+
+        eligible = [h.host_id for h in hosts if capacity.get(h.host_id, 0.0) > 0]
+        if len(eligible) < 2:
+            return []
+
+        proposals: list[MigrationProposal] = []
+        for __ in range(budget):
+            move = self._best_move(eligible, donors, load, capacity, shards, forbidden)
+            if move is None:
+                break
+            proposals.append(move)
+            load[move.from_host] -= move.shard_load
+            load[move.to_host] += move.shard_load
+            del shards[move.from_host][move.shard_id]
+            shards.setdefault(move.to_host, {})[move.shard_id] = move.shard_load
+            donors.add(move.to_host)
+            if not shards[move.from_host]:
+                donors.discard(move.from_host)
+        return proposals
+
+    def _best_move(
+        self,
+        eligible: list[str],
+        donors: set[str],
+        load: dict[str, float],
+        capacity: dict[str, float],
+        shards: dict[str, dict[int, float]],
+        forbidden: dict[int, set[str]],
+    ) -> Optional[MigrationProposal]:
+        util = {h: load[h] / capacity[h] for h in eligible}
+        mean_util = sum(util.values()) / len(util)
+        tolerance = self._spec.load_imbalance_tolerance
+
+        donor_candidates = [h for h in eligible if h in donors and shards.get(h)]
+        if not donor_candidates:
+            return None
+        donor = max(donor_candidates, key=lambda h: util[h])
+        if util[donor] <= mean_util * (1.0 + tolerance):
+            return None  # fleet already balanced within tolerance
+
+        receivers = sorted(eligible, key=lambda h: util[h])
+        # Move the heaviest shard that actually reduces the donor's excess
+        # without overshooting the receiver past the mean.
+        donor_shards = sorted(
+            shards[donor].items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        for shard_id, shard_load in donor_shards:
+            if shard_load <= 0:
+                continue
+            blocked = forbidden.get(shard_id, set())
+            for receiver in receivers:
+                if receiver == donor or receiver in blocked:
+                    continue
+                new_receiver_load = load[receiver] + shard_load
+                if new_receiver_load > capacity[receiver] * self._spec.capacity_headroom:
+                    continue
+                new_receiver_util = new_receiver_load / capacity[receiver]
+                # Don't create a new hotspot worse than the donor was.
+                if new_receiver_util >= util[donor]:
+                    continue
+                return MigrationProposal(
+                    shard_id=shard_id,
+                    from_host=donor,
+                    to_host=receiver,
+                    shard_load=shard_load,
+                )
+        return None
+
+    def imbalance(self, region: Optional[str] = None) -> float:
+        """Max/mean utilization ratio across placeable hosts (1.0 = even)."""
+        hosts = self._cluster.placeable_hosts(region)
+        utils = [
+            self._metrics.utilization(h.host_id)
+            for h in hosts
+            if self._metrics.capacity(h.host_id) > 0
+        ]
+        if not utils:
+            return 1.0
+        mean = sum(utils) / len(utils)
+        if mean == 0:
+            return 1.0
+        return max(utils) / mean

@@ -1,0 +1,145 @@
+"""Zookeeper-like datastore with ephemeral sessions and watches.
+
+SM stores its persistent state in Zookeeper (Facebook's implementation is
+called Zeus) and collects application-server heartbeats through it: each
+AS holds an ephemeral session, and when heartbeats stop, Zookeeper
+notifies SM server, which may trigger a shard failover (paper §III-A).
+
+The substitution is deliberate and documented in DESIGN.md: SM only needs
+key-value storage, ephemeral nodes tied to sessions, and watch
+notifications — not the replication/consensus internals of a real
+Zookeeper ensemble. This in-memory implementation provides exactly those
+semantics on top of the simulated clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class Session:
+    """One application server's ephemeral session."""
+
+    session_id: int
+    owner: str  # host id
+    last_heartbeat: float
+    expired: bool = False
+    ephemeral_keys: set[str] = field(default_factory=set)
+
+
+class Datastore:
+    """In-memory coordination store on the simulated clock.
+
+    * ``set``/``get``/``delete`` manage persistent keys.
+    * ``create_ephemeral`` ties a key to a session; the key vanishes when
+      the session expires.
+    * ``watch_sessions`` registers a callback invoked with the owner name
+      whenever a session expires — the SM server's failure detector.
+
+    Session expiry is evaluated by a periodic sweep (``check_interval``);
+    a session is expired when no heartbeat arrived within
+    ``session_timeout`` seconds of virtual time.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        session_timeout: float = 30.0,
+        check_interval: float = 5.0,
+    ):
+        if session_timeout <= 0 or check_interval <= 0:
+            raise SimulationError("session_timeout and check_interval must be positive")
+        self._simulator = simulator
+        self.session_timeout = session_timeout
+        self._data: dict[str, Any] = {}
+        self._sessions: dict[int, Session] = {}
+        self._next_session_id = 1
+        self._expiry_watchers: list[Callable[[str], None]] = []
+        self._cancel_sweep = simulator.schedule_periodic(
+            check_interval, self._sweep_sessions
+        )
+
+    # ------------------------------------------------------------------
+    # Key-value storage
+    # ------------------------------------------------------------------
+
+    def set(self, key: str, value: Any) -> None:
+        self._data[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def delete(self, key: str) -> None:
+        self._data.pop(key, None)
+
+    def keys_with_prefix(self, prefix: str) -> list[str]:
+        return sorted(k for k in self._data if k.startswith(prefix))
+
+    # ------------------------------------------------------------------
+    # Sessions and heartbeats
+    # ------------------------------------------------------------------
+
+    def create_session(self, owner: str) -> Session:
+        session = Session(
+            session_id=self._next_session_id,
+            owner=owner,
+            last_heartbeat=self._simulator.now,
+        )
+        self._next_session_id += 1
+        self._sessions[session.session_id] = session
+        return session
+
+    def heartbeat(self, session: Session) -> None:
+        """Record a heartbeat; expired sessions cannot be revived."""
+        if session.expired:
+            raise SimulationError(
+                f"session {session.session_id} ({session.owner}) already expired"
+            )
+        session.last_heartbeat = self._simulator.now
+
+    def close_session(self, session: Session) -> None:
+        """Graceful shutdown: remove ephemeral keys without expiry alarms."""
+        for key in session.ephemeral_keys:
+            self._data.pop(key, None)
+        session.expired = True
+        self._sessions.pop(session.session_id, None)
+
+    def create_ephemeral(self, session: Session, key: str, value: Any) -> None:
+        if session.expired:
+            raise SimulationError(
+                f"cannot create ephemeral key on expired session {session.session_id}"
+            )
+        self._data[key] = value
+        session.ephemeral_keys.add(key)
+
+    def watch_sessions(self, callback: Callable[[str], None]) -> None:
+        """Register a callback invoked with the owner of expired sessions."""
+        self._expiry_watchers.append(callback)
+
+    def live_sessions(self) -> list[Session]:
+        return [s for s in self._sessions.values() if not s.expired]
+
+    def _sweep_sessions(self) -> None:
+        now = self._simulator.now
+        expired = [
+            s
+            for s in self._sessions.values()
+            if not s.expired and now - s.last_heartbeat > self.session_timeout
+        ]
+        for session in expired:
+            session.expired = True
+            for key in session.ephemeral_keys:
+                self._data.pop(key, None)
+            del self._sessions[session.session_id]
+            for watcher in self._expiry_watchers:
+                watcher(session.owner)
+
+    def shutdown(self) -> None:
+        """Stop the background sweep (end of experiment)."""
+        self._cancel_sweep()

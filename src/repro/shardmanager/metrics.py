@@ -1,0 +1,134 @@
+"""Per-shard load metrics and server capacities (paper §III-A3).
+
+SM decouples *measurement* from *management*: applications export
+whatever metric describes their load (memory, CPU, QPS, IOPS, ...), and
+SM server runs the balancing logic on top. Key requirements reproduced
+here:
+
+* metrics are exported **per shard** (asymmetric shards);
+* shard sizes change over time, so SM collects them periodically
+  (dynamic shards);
+* spiky metrics must be smoothed by the application — an exponential
+  moving average helper is provided;
+* servers may be heterogeneous and may re-export their capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class MovingAverage:
+    """Exponential moving average for smoothing spiky metrics.
+
+    The paper notes that if the load-balancing metric has a spiky nature
+    (such as CPU usage), it is the application's responsibility to smooth
+    bursts out; this is the canonical tool for that.
+    """
+
+    alpha: float = 0.3
+    value: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1]: {self.alpha}")
+
+    def update(self, sample: float) -> float:
+        if self.value is None:
+            self.value = float(sample)
+        else:
+            self.value = self.alpha * float(sample) + (1.0 - self.alpha) * self.value
+        return self.value
+
+
+@dataclass
+class ShardMetric:
+    """The latest reported load of one shard on one host."""
+
+    shard_id: int
+    host_id: str
+    value: float
+    reported_at: float
+
+
+class MetricsStore:
+    """SM server's view of shard loads and host capacities."""
+
+    def __init__(self) -> None:
+        self._shard_metrics: dict[tuple[int, str], ShardMetric] = {}
+        self._capacities: dict[str, float] = {}
+
+    # -- shard loads ----------------------------------------------------
+
+    def report_shard(self, shard_id: int, host_id: str, value: float,
+                     now: float) -> None:
+        if value < 0:
+            raise ValueError(
+                f"shard metric must be non-negative: shard={shard_id} value={value}"
+            )
+        self._shard_metrics[(shard_id, host_id)] = ShardMetric(
+            shard_id=shard_id, host_id=host_id, value=value, reported_at=now
+        )
+
+    def drop_shard(self, shard_id: int, host_id: str) -> None:
+        self._shard_metrics.pop((shard_id, host_id), None)
+
+    def shard_load(self, shard_id: int, host_id: str) -> float:
+        metric = self._shard_metrics.get((shard_id, host_id))
+        return metric.value if metric is not None else 0.0
+
+    def host_load(self, host_id: str) -> float:
+        """Total reported load of all shards on one host."""
+        return sum(
+            m.value for (__, hid), m in self._shard_metrics.items() if hid == host_id
+        )
+
+    def shards_on_host(self, host_id: str) -> list[tuple[int, float]]:
+        """(shard_id, load) pairs on a host, heaviest first."""
+        pairs = [
+            (sid, m.value)
+            for (sid, hid), m in self._shard_metrics.items()
+            if hid == host_id
+        ]
+        pairs.sort(key=lambda p: (-p[1], p[0]))
+        return pairs
+
+    # -- host capacities ------------------------------------------------
+
+    def report_capacity(self, host_id: str, capacity: float) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative: {capacity}")
+        self._capacities[host_id] = float(capacity)
+
+    def capacity(self, host_id: str) -> float:
+        return self._capacities.get(host_id, 0.0)
+
+    def remove_host(self, host_id: str) -> None:
+        self._capacities.pop(host_id, None)
+        stale = [key for key in self._shard_metrics if key[1] == host_id]
+        for key in stale:
+            del self._shard_metrics[key]
+
+    # -- fleet summaries --------------------------------------------------
+
+    def utilization(self, host_id: str) -> float:
+        """Load as a fraction of capacity (inf if capacity unknown/zero)."""
+        capacity = self.capacity(host_id)
+        load = self.host_load(host_id)
+        if capacity <= 0:
+            return float("inf") if load > 0 else 0.0
+        return load / capacity
+
+    def fleet_snapshot(self) -> dict[str, dict[str, float]]:
+        """Per-host {load, capacity, utilization} for dashboards/tests."""
+        hosts = set(self._capacities) | {hid for (_, hid) in self._shard_metrics}
+        return {
+            hid: {
+                "load": self.host_load(hid),
+                "capacity": self.capacity(hid),
+                "utilization": self.utilization(hid),
+            }
+            for hid in sorted(hosts)
+        }

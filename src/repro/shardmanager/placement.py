@@ -1,0 +1,127 @@
+"""Shard placement: choosing a host for a shard replica.
+
+SM's placement goals (paper §III-A3): (a) only assign shards to servers
+with enough capacity, and (b) spread load evenly. Placement additionally
+honours the service's *spread* configuration — replicas of one shard must
+land in distinct failure domains (host, rack or region).
+
+The algorithm is greedy least-utilization-first, which is what a
+production balancer converges to for the size-like metrics Cubrick
+exports (memory footprint / decompressed size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.cluster.topology import Cluster
+from repro.errors import CapacityExceededError
+from repro.shardmanager.metrics import MetricsStore
+from repro.shardmanager.spec import ServiceSpec
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """The host chosen for one shard replica."""
+
+    shard_id: int
+    host_id: str
+    projected_load: float
+    projected_utilization: float
+
+
+class PlacementPolicy:
+    """Greedy capacity-aware, spread-aware replica placement."""
+
+    def __init__(self, spec: ServiceSpec, cluster: Cluster, metrics: MetricsStore):
+        self._spec = spec
+        self._cluster = cluster
+        self._metrics = metrics
+
+    def choose_host(
+        self,
+        shard_id: int,
+        *,
+        size_hint: float = 0.0,
+        region: Optional[str] = None,
+        exclude_hosts: Iterable[str] = (),
+        exclude_domains: Iterable[str] = (),
+        pending_load: Optional[dict[str, float]] = None,
+    ) -> PlacementDecision:
+        """Pick the least-utilized eligible host for a replica of ``shard_id``.
+
+        ``exclude_hosts`` carries hosts that refused the shard with a
+        non-retryable error (paper §IV-A) plus hosts already holding a
+        replica. ``exclude_domains`` carries the failure domains (at the
+        service's spread level) of existing replicas. ``pending_load``
+        lets callers account for placements made earlier in the same
+        batch before metrics catch up.
+
+        Raises :class:`CapacityExceededError` when no host fits.
+        """
+        excluded_hosts = set(exclude_hosts)
+        excluded_domains = set(exclude_domains)
+        pending = pending_load if pending_load is not None else {}
+        spread = self._spec.spread.value
+
+        best: Optional[PlacementDecision] = None
+        for host in self._cluster.placeable_hosts(region):
+            if host.host_id in excluded_hosts:
+                continue
+            if host.failure_domain(spread) in excluded_domains:
+                continue
+            capacity = self._metrics.capacity(host.host_id)
+            if capacity <= 0:
+                continue
+            load = self._metrics.host_load(host.host_id) + pending.get(
+                host.host_id, 0.0
+            )
+            projected = load + size_hint
+            if projected > capacity * self._spec.capacity_headroom:
+                continue
+            utilization = projected / capacity
+            if best is None or utilization < best.projected_utilization:
+                best = PlacementDecision(
+                    shard_id=shard_id,
+                    host_id=host.host_id,
+                    projected_load=projected,
+                    projected_utilization=utilization,
+                )
+        if best is None:
+            raise CapacityExceededError(
+                f"no eligible host for shard {shard_id} "
+                f"(size_hint={size_hint}, region={region}, "
+                f"excluded={len(excluded_hosts)} hosts, "
+                f"{len(excluded_domains)} domains)"
+            )
+        return best
+
+    def choose_replica_set(
+        self,
+        shard_id: int,
+        *,
+        size_hint: float = 0.0,
+        region: Optional[str] = None,
+    ) -> list[PlacementDecision]:
+        """Place all replicas of a shard across distinct failure domains."""
+        decisions: list[PlacementDecision] = []
+        used_hosts: set[str] = set()
+        used_domains: set[str] = set()
+        pending: dict[str, float] = {}
+        spread = self._spec.spread.value
+        for __ in range(self._spec.replicas_per_shard):
+            decision = self.choose_host(
+                shard_id,
+                size_hint=size_hint,
+                region=region,
+                exclude_hosts=used_hosts,
+                exclude_domains=used_domains,
+                pending_load=pending,
+            )
+            decisions.append(decision)
+            used_hosts.add(decision.host_id)
+            host = self._cluster.host(decision.host_id)
+            used_domains.add(host.failure_domain(spread))
+            pending[decision.host_id] = pending.get(decision.host_id, 0.0) + size_hint
+        return decisions

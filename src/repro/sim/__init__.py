@@ -1,0 +1,38 @@
+"""Discrete-event simulation kernel.
+
+The paper's evaluation runs on Facebook's production fleet; this package is
+the laptop-scale substitute. It provides a deterministic, seeded
+discrete-event engine (:class:`~repro.sim.engine.Simulator`), latency models
+that reproduce tail behaviour (:mod:`repro.sim.latency`), and failure models
+(:mod:`repro.sim.failures`). All stochastic components draw from named RNG
+streams so that experiments are reproducible bit-for-bit given a seed.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.latency import (
+    HiccupModel,
+    LatencyModel,
+    LatencySample,
+    LogNormalTailLatency,
+)
+from repro.sim.failures import (
+    BernoulliFailureModel,
+    FailureEvent,
+    FailureInjector,
+    MtbfFailureModel,
+)
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "RngRegistry",
+    "LatencyModel",
+    "LatencySample",
+    "LogNormalTailLatency",
+    "HiccupModel",
+    "BernoulliFailureModel",
+    "MtbfFailureModel",
+    "FailureEvent",
+    "FailureInjector",
+]

@@ -1,0 +1,171 @@
+"""Failure models and a failure injector for the cluster simulation.
+
+Two views of failure are used by the paper and reproduced here:
+
+* **Instantaneous failure probability** (Figures 1 and 2): "servers have a
+  0.01% chance of failure at any given time". This is a per-query-visit
+  Bernoulli model — :class:`BernoulliFailureModel` — used by the analytic
+  scalability-wall math and the Monte-Carlo cross-check.
+
+* **Failures over time** (Figures 4d and 4f): hosts fail following an
+  exponential MTBF process, some failures are *permanent* (the host is
+  sent to repair) and the rest are transient (the host recovers after an
+  MTTR-distributed downtime). This drives Shard Manager failovers and the
+  datacenter-automation repair pipeline — :class:`MtbfFailureModel` and
+  :class:`FailureInjector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class BernoulliFailureModel:
+    """Per-visit failure probability, matching the paper's Figure 1 model."""
+
+    probability: float = 1e-4  # 0.01%, the paper's headline assumption
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"failure probability out of range: {self.probability}")
+
+    def query_success_ratio(self, fanout: int) -> float:
+        """P(all ``fanout`` visited hosts are healthy) = (1-p)^fanout."""
+        if fanout < 0:
+            raise ValueError(f"fanout must be non-negative: {fanout}")
+        return (1.0 - self.probability) ** fanout
+
+    def sample_visit_failures(self, rng: np.random.Generator, fanout: int) -> int:
+        """Number of failed hosts among ``fanout`` independent visits."""
+        return int(rng.binomial(fanout, self.probability))
+
+
+@dataclass(frozen=True)
+class MtbfFailureModel:
+    """Exponential mean-time-between-failures model for one host.
+
+    ``permanent_fraction`` of failures are hardware losses that send the
+    host to repair (Figure 4f); the rest are transient (crash/restart,
+    kernel hiccup) and recover after an exponential MTTR.
+    """
+
+    mtbf: float = 30 * 86400.0  # one failure a month per host
+    mttr: float = 15 * 60.0  # 15 minutes of downtime for transient failures
+    permanent_fraction: float = 0.1
+    repair_time: float = 3 * 86400.0  # permanent failures: days in repair
+
+    def __post_init__(self) -> None:
+        if self.mtbf <= 0 or self.mttr <= 0 or self.repair_time <= 0:
+            raise ValueError("mtbf, mttr and repair_time must be positive")
+        if not 0.0 <= self.permanent_fraction <= 1.0:
+            raise ValueError(
+                f"permanent_fraction out of range: {self.permanent_fraction}"
+            )
+
+    def sample_time_to_failure(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mtbf))
+
+    def sample_is_permanent(self, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.permanent_fraction)
+
+    def sample_downtime(self, rng: np.random.Generator, permanent: bool) -> float:
+        mean = self.repair_time if permanent else self.mttr
+        return float(rng.exponential(mean))
+
+    def instantaneous_unavailability(self) -> float:
+        """Steady-state fraction of time a host is down (for calibration)."""
+        mean_down = (
+            self.permanent_fraction * self.repair_time
+            + (1.0 - self.permanent_fraction) * self.mttr
+        )
+        return mean_down / (self.mtbf + mean_down)
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A recorded host failure, for experiment post-processing."""
+
+    time: float
+    host_id: str
+    permanent: bool
+    downtime: float
+
+
+class FailureInjector:
+    """Drives MTBF failures for a set of hosts on a :class:`Simulator`.
+
+    The injector calls ``on_fail(host_id, permanent)`` when a host goes
+    down and ``on_recover(host_id)`` when it comes back (transient
+    failures recover automatically; permanent failures recover only after
+    the repair pipeline returns the host — modelled as the longer
+    ``repair_time``). All events are recorded in :attr:`events`.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        model: MtbfFailureModel,
+        rng: np.random.Generator,
+        on_fail: Callable[[str, bool], None],
+        on_recover: Callable[[str], None],
+    ):
+        self._simulator = simulator
+        self._model = model
+        self._rng = rng
+        self._on_fail = on_fail
+        self._on_recover = on_recover
+        self.events: list[FailureEvent] = []
+        self._active: set[str] = set()
+
+    def track(self, host_id: str, *, until: Optional[float] = None) -> None:
+        """Begin injecting failures for ``host_id``."""
+        if host_id in self._active:
+            return
+        self._active.add(host_id)
+        self._schedule_next_failure(host_id, until)
+
+    def untrack(self, host_id: str) -> None:
+        """Stop injecting failures for ``host_id`` (decommission)."""
+        self._active.discard(host_id)
+
+    def _schedule_next_failure(self, host_id: str, until: Optional[float]) -> None:
+        delay = self._model.sample_time_to_failure(self._rng)
+        when = self._simulator.now + delay
+        if until is not None and when > until:
+            return
+        self._simulator.schedule(when, lambda: self._fail(host_id, until))
+
+    def _fail(self, host_id: str, until: Optional[float]) -> None:
+        if host_id not in self._active:
+            return
+        permanent = self._model.sample_is_permanent(self._rng)
+        downtime = self._model.sample_downtime(self._rng, permanent)
+        self.events.append(
+            FailureEvent(
+                time=self._simulator.now,
+                host_id=host_id,
+                permanent=permanent,
+                downtime=downtime,
+            )
+        )
+        self._on_fail(host_id, permanent)
+        self._simulator.call_later(downtime, lambda: self._recover(host_id, until))
+
+    def _recover(self, host_id: str, until: Optional[float]) -> None:
+        if host_id not in self._active:
+            return
+        self._on_recover(host_id)
+        self._schedule_next_failure(host_id, until)
+
+    def permanent_failures_per_day(self, horizon_days: float) -> float:
+        """Average permanent failures (hosts sent to repair) per day."""
+        if horizon_days <= 0:
+            raise ValueError(f"horizon_days must be positive: {horizon_days}")
+        permanent = sum(1 for e in self.events if e.permanent)
+        return permanent / horizon_days

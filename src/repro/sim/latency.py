@@ -1,0 +1,179 @@
+"""Latency models with heavy tails.
+
+The paper (§II-B, §IV-H, citing Dean & Barroso's "The Tail at Scale")
+attributes the scalability wall to non-deterministic sources of tail
+latency: a query's latency is the *maximum* over all participating hosts,
+so the more hosts a query fans out to, the more it samples from the tail.
+
+We model per-host service time as::
+
+    latency = base + LogNormal(mu, sigma)            (common case)
+            + Pareto-ish hiccup with probability p    (rare slow events:
+                                                       GC pauses, network
+                                                       retransmits, …)
+
+This reproduces the Figure 5 behaviour: medians barely move with fan-out
+while p99/p999 grow sharply.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """One sampled service time, with its components for diagnostics."""
+
+    total: float
+    base: float
+    tail: float
+    hiccup: float
+
+
+class LatencyModel:
+    """Interface for per-host service-time models."""
+
+    def sample(self, rng: np.random.Generator) -> LatencySample:
+        raise NotImplementedError
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Vectorised sampling of ``n`` total latencies (seconds)."""
+        return np.array([self.sample(rng).total for _ in range(n)])
+
+
+@dataclass(frozen=True)
+class HiccupModel:
+    """Rare slow events layered on top of the common-case distribution.
+
+    With probability ``probability`` a request suffers an extra delay
+    drawn uniformly from ``[min_delay, max_delay]`` — a coarse but
+    effective stand-in for GC pauses, page faults, TCP retransmits and
+    co-location interference.
+    """
+
+    probability: float = 1e-3
+    min_delay: float = 0.05
+    max_delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"hiccup probability out of range: {self.probability}")
+        if self.min_delay < 0 or self.max_delay < self.min_delay:
+            raise ValueError(
+                f"invalid hiccup delay range [{self.min_delay}, {self.max_delay}]"
+            )
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if rng.random() >= self.probability:
+            return 0.0
+        return float(rng.uniform(self.min_delay, self.max_delay))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        hits = rng.random(n) < self.probability
+        delays = np.zeros(n)
+        count = int(hits.sum())
+        if count:
+            delays[hits] = rng.uniform(self.min_delay, self.max_delay, size=count)
+        return delays
+
+
+class LogNormalTailLatency(LatencyModel):
+    """Base + lognormal service time with optional hiccups.
+
+    Parameters are expressed in intuitive units: ``median`` is the median
+    of the lognormal component (seconds) and ``sigma`` its log-space
+    standard deviation (1.0 is a realistically heavy tail; 0.25 is a very
+    well-behaved service).
+    """
+
+    def __init__(
+        self,
+        base: float = 0.002,
+        median: float = 0.010,
+        sigma: float = 0.8,
+        hiccups: HiccupModel | None = None,
+    ):
+        if base < 0 or median <= 0 or sigma <= 0:
+            raise ValueError(
+                f"invalid latency parameters base={base} median={median} sigma={sigma}"
+            )
+        self.base = base
+        self.mu = math.log(median)
+        self.sigma = sigma
+        self.hiccups = hiccups if hiccups is not None else HiccupModel()
+
+    def sample(self, rng: np.random.Generator) -> LatencySample:
+        tail = float(rng.lognormal(self.mu, self.sigma))
+        hiccup = self.hiccups.sample(rng)
+        return LatencySample(
+            total=self.base + tail + hiccup, base=self.base, tail=tail, hiccup=hiccup
+        )
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        tails = rng.lognormal(self.mu, self.sigma, size=n)
+        hiccups = self.hiccups.sample_many(rng, n)
+        return self.base + tails + hiccups
+
+    def quantile_no_hiccup(self, q: float) -> float:
+        """Analytic quantile of the base+lognormal part (ignoring hiccups).
+
+        Useful for sanity-checking simulated percentiles in tests.
+        """
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1): {q}")
+        # Inverse CDF of the lognormal via the probit function.
+        z = math.sqrt(2.0) * _erfinv(2.0 * q - 1.0)
+        return self.base + math.exp(self.mu + self.sigma * z)
+
+
+def _erfinv(x: float) -> float:
+    """Inverse error function (Winitzki's approximation, ~1e-4 accurate)."""
+    if not -1.0 < x < 1.0:
+        raise ValueError(f"erfinv domain is (-1, 1): {x}")
+    a = 0.147
+    ln_term = math.log(1.0 - x * x)
+    first = 2.0 / (math.pi * a) + ln_term / 2.0
+    inner = first * first - ln_term / a
+    result = math.sqrt(math.sqrt(inner) - first)
+    return math.copysign(result, x)
+
+
+def fit_lognormal_tail(
+    samples: "np.ndarray",
+    *,
+    base: float = 0.0,
+    hiccups: HiccupModel | None = None,
+) -> LogNormalTailLatency:
+    """Calibrate a :class:`LogNormalTailLatency` to observed latencies.
+
+    Method-of-moments fit in log space over ``samples - base`` (after
+    clipping to positive values). Use this to replay a recorded trace
+    against a latency model matched to your own measurements instead of
+    the defaults.
+    """
+    values = np.asarray(samples, dtype=np.float64) - base
+    values = values[values > 0]
+    if values.size < 2:
+        raise ValueError("need at least two positive samples to fit")
+    logs = np.log(values)
+    mu = float(logs.mean())
+    sigma = float(logs.std())
+    if sigma <= 0:
+        sigma = 1e-6
+    return LogNormalTailLatency(
+        base=base,
+        median=math.exp(mu),
+        sigma=sigma,
+        hiccups=hiccups if hiccups is not None else HiccupModel(probability=0.0),
+    )
+
+
+def fanout_latency(per_host: np.ndarray) -> float:
+    """Latency of a fan-out query: the slowest participating host wins."""
+    if per_host.size == 0:
+        raise ValueError("fan-out query must visit at least one host")
+    return float(per_host.max())

@@ -1,0 +1,54 @@
+"""Named, reproducible random-number streams.
+
+Every stochastic component in the simulation (failures, tail latency,
+hotness decay, workload generation) draws from its own named stream so
+that adding randomness to one subsystem does not perturb another — a
+standard technique for variance reduction and reproducibility in
+discrete-event simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a stable 64-bit child seed from a root seed and stream name.
+
+    Uses SHA-256 so the derivation is stable across Python processes and
+    versions (``hash()`` is salted per-process and unsuitable).
+    """
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class RngRegistry:
+    """A registry of named :class:`numpy.random.Generator` streams.
+
+    >>> rngs = RngRegistry(seed=7)
+    >>> a = rngs.stream("failures").random()
+    >>> b = RngRegistry(seed=7).stream("failures").random()
+    >>> a == b
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the generator for ``name``."""
+        generator = self._streams.get(name)
+        if generator is None:
+            generator = np.random.default_rng(derive_seed(self.seed, name))
+            self._streams[name] = generator
+        return generator
+
+    def fork(self, name: str) -> "RngRegistry":
+        """Return a child registry whose streams are independent of ours."""
+        return RngRegistry(derive_seed(self.seed, f"fork:{name}"))
+
+    def __repr__(self) -> str:
+        return f"RngRegistry(seed={self.seed}, streams={sorted(self._streams)})"

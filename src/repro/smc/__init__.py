@@ -1,0 +1,21 @@
+"""SMC — Services Management Configuration (service discovery).
+
+Facebook's service-discovery system exposes shard→server mappings to
+clients. Because the client population is large, SMC uses a multi-level
+data-distribution tree that caches and propagates mappings; updates
+therefore reach clients with a small delay (paper §III-A, Figure 4c).
+
+This package implements the authoritative registry, the propagation
+tree with per-hop delay sampling, and per-host local proxies that
+clients read from (avoiding network round-trips — paper §III-A).
+"""
+
+from repro.smc.registry import ServiceDiscovery, ShardAssignment
+from repro.smc.tree import PropagationTree, TreeLevelConfig
+
+__all__ = [
+    "ServiceDiscovery",
+    "ShardAssignment",
+    "PropagationTree",
+    "TreeLevelConfig",
+]

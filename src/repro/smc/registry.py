@@ -1,0 +1,140 @@
+"""Authoritative shard→host registry with delayed client visibility.
+
+SM server writes assignments to the registry; clients resolve shards via
+their local proxy, which sees each update only after a propagation delay
+sampled from the distribution tree (paper §III-A, Figure 4c). The
+registry keeps both the *authoritative* view (what SM wrote last) and the
+*visible* view at any virtual time, so the simulation can exercise the
+stale-read window that graceful shard migration must tolerate
+(paper §IV-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ShardMappingUnknownError
+from repro.sim.rng import derive_seed
+from repro.smc.tree import PropagationTree
+
+
+@dataclass(frozen=True)
+class ShardAssignment:
+    """One versioned assignment of a shard to a host."""
+
+    shard_id: int
+    host_id: Optional[str]  # None = shard unassigned (dropped)
+    version: int
+    written_at: float
+    visible_at: float
+
+
+@dataclass
+class _ShardHistory:
+    """Assignment history for one shard, newest last."""
+
+    entries: list[ShardAssignment] = field(default_factory=list)
+
+
+class ServiceDiscovery:
+    """SMC: authoritative store plus propagation-delayed client reads.
+
+    The ``service`` namespace is implicit: one instance per SM service
+    (Cubrick deploys one service per region — paper §IV-D).
+    """
+
+    def __init__(
+        self,
+        tree: PropagationTree | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.tree = tree if tree is not None else PropagationTree()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._history: dict[int, _ShardHistory] = {}
+        self._version = 0
+        self.propagation_delays: list[float] = []  # Figure 4c raw samples
+
+    # ------------------------------------------------------------------
+    # Writes (SM server side)
+    # ------------------------------------------------------------------
+
+    def publish(self, shard_id: int, host_id: Optional[str], now: float) -> ShardAssignment:
+        """Record that ``shard_id`` is now served by ``host_id``.
+
+        The assignment becomes visible to clients after a sampled
+        propagation delay.
+        """
+        self._version += 1
+        delay = self.tree.sample_delay(self._rng)
+        self.propagation_delays.append(delay)
+        assignment = ShardAssignment(
+            shard_id=shard_id,
+            host_id=host_id,
+            version=self._version,
+            written_at=now,
+            visible_at=now + delay,
+        )
+        history = self._history.setdefault(shard_id, _ShardHistory())
+        history.entries.append(assignment)
+        return assignment
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def resolve_authoritative(self, shard_id: int) -> Optional[str]:
+        """The latest written mapping, regardless of propagation."""
+        history = self._history.get(shard_id)
+        if history is None or not history.entries:
+            raise ShardMappingUnknownError(f"shard {shard_id} never published")
+        return history.entries[-1].host_id
+
+    def resolve(self, shard_id: int, now: float,
+                client_id: Optional[str] = None) -> Optional[str]:
+        """What a client's local SMC proxy believes at virtual time ``now``.
+
+        Every server in the fleet runs its own caching proxy (paper
+        §III-A, Figure 3), so different clients learn about an update at
+        different times. Without ``client_id`` the reference proxy's
+        recorded delay applies; with it, a per-client delay is derived
+        deterministically from the assignment and the client, so two
+        calls from the same client always agree while distinct clients
+        may briefly disagree.
+
+        Returns the newest assignment visible to that client. Raises
+        :class:`ShardMappingUnknownError` if nothing has propagated yet.
+        """
+        history = self._history.get(shard_id)
+        if history is None or not history.entries:
+            raise ShardMappingUnknownError(f"shard {shard_id} never published")
+        visible = None
+        for entry in history.entries:
+            if self._visible_at(entry, client_id) <= now:
+                visible = entry
+        if visible is None:
+            raise ShardMappingUnknownError(
+                f"shard {shard_id} has no propagated mapping at t={now:.3f}"
+            )
+        return visible.host_id
+
+    def _visible_at(self, entry: ShardAssignment,
+                    client_id: Optional[str]) -> float:
+        if client_id is None:
+            return entry.visible_at
+        rng = np.random.default_rng(
+            derive_seed(entry.version, f"smc-client:{client_id}")
+        )
+        return entry.written_at + self.tree.sample_delay(rng)
+
+    def is_stale(self, shard_id: int, now: float) -> bool:
+        """True while clients may still read an outdated mapping."""
+        history = self._history.get(shard_id)
+        if history is None or not history.entries:
+            return False
+        return history.entries[-1].visible_at > now
+
+    def known_shards(self) -> list[int]:
+        return sorted(self._history)

@@ -1,0 +1,87 @@
+"""Multi-level data-distribution tree for SMC.
+
+Mappings written at the root (by SM server) propagate down through cache
+levels to per-host local proxies. Each hop adds a sampled delay: a fixed
+polling component plus jitter. The end-to-end propagation delay observed
+by a client is the sum over hops — this is the distribution Figure 4c
+reports (a few seconds in production).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TreeLevelConfig:
+    """Delay characteristics of one level of the distribution tree.
+
+    Each cache level polls (or is pushed from) its parent. The per-hop
+    delay is ``uniform(0, poll_interval) + jitter`` where jitter is
+    exponentially distributed — the uniform part models where in the
+    poll cycle the update lands, the jitter models processing/queueing.
+    """
+
+    name: str
+    poll_interval: float = 1.0
+    jitter_mean: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.poll_interval < 0 or self.jitter_mean < 0:
+            raise ValueError(
+                f"level {self.name}: intervals must be non-negative "
+                f"(poll={self.poll_interval}, jitter={self.jitter_mean})"
+            )
+
+    def sample_hop_delay(self, rng: np.random.Generator) -> float:
+        delay = float(rng.uniform(0.0, self.poll_interval))
+        if self.jitter_mean > 0:
+            delay += float(rng.exponential(self.jitter_mean))
+        return delay
+
+
+#: Default three-level tree: root → regional caches → per-host proxies.
+#: Calibrated so end-to-end delays land in the "few seconds" range the
+#: paper reports for production (Figure 4c).
+DEFAULT_LEVELS = (
+    TreeLevelConfig(name="root", poll_interval=0.5, jitter_mean=0.05),
+    TreeLevelConfig(name="regional", poll_interval=2.0, jitter_mean=0.2),
+    TreeLevelConfig(name="local-proxy", poll_interval=3.0, jitter_mean=0.3),
+)
+
+
+class PropagationTree:
+    """Samples end-to-end propagation delays through the cache tree."""
+
+    def __init__(self, levels: tuple[TreeLevelConfig, ...] = DEFAULT_LEVELS):
+        if not levels:
+            raise ValueError("propagation tree needs at least one level")
+        self.levels = tuple(levels)
+
+    def sample_delay(self, rng: np.random.Generator) -> float:
+        """End-to-end delay for one update to reach one client's proxy."""
+        return sum(level.sample_hop_delay(rng) for level in self.levels)
+
+    def sample_delays(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Vectorised sampling of ``n`` end-to-end delays (seconds)."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative: {n}")
+        total = np.zeros(n)
+        for level in self.levels:
+            total += rng.uniform(0.0, level.poll_interval, size=n)
+            if level.jitter_mean > 0:
+                total += rng.exponential(level.jitter_mean, size=n)
+        return total
+
+    def max_expected_delay(self) -> float:
+        """Worst-case polling delay plus three jitter means per hop.
+
+        Used by Cubrick's graceful ``dropShard`` implementation, which
+        waits out "SMC's usual propagation delay" before deleting data
+        (paper §IV-E).
+        """
+        return sum(
+            level.poll_interval + 3.0 * level.jitter_mean for level in self.levels
+        )

@@ -1,0 +1,183 @@
+"""The fan-out experiment (paper §IV-H, Figure 5).
+
+The paper ran "the same simple query every 500 ms for about one week"
+against tables with varying fan-out levels in a production cluster —
+over 1M queries per table — and plotted per-fan-out latency on a log
+scale, showing high-fan-out queries far more exposed to tail latency.
+
+Two reproductions are provided:
+
+* :func:`sample_fanout_latencies` — the statistical core at full paper
+  scale: per-query latency is the max over ``fanout`` iid draws from the
+  tail-latency model; vectorised, so 1M+ queries per fan-out is cheap.
+
+* :func:`run_fanout_experiment` — the integrated version: real tables of
+  each fan-out inside a :class:`CubrickDeployment`, real probe queries
+  through the proxy, latencies from the coordinator's per-host sampling.
+  Slower (full engine per query) but exercises the entire stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cubrick.query import Query
+from repro.cubrick.schema import Dimension, Metric, TableSchema
+from repro.errors import QueryFailedError
+from repro.sim.latency import LatencyModel
+from repro.workloads.queries import simple_probe_query
+
+#: The paper's probe cadence: one query every 500 ms.
+PROBE_INTERVAL = 0.5
+#: Queries per table in a one-week run at that cadence.
+QUERIES_PER_WEEK = int(7 * 86400 / PROBE_INTERVAL)  # 1,209,600
+
+
+@dataclass(frozen=True)
+class LatencyPercentiles:
+    """Latency summary for one fan-out level (seconds)."""
+
+    fanout: int
+    queries: int
+    p50: float
+    p90: float
+    p99: float
+    p999: float
+    p9999: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, fanout: int, samples: np.ndarray) -> "LatencyPercentiles":
+        if samples.size == 0:
+            raise ValueError("no latency samples")
+        quantiles = np.percentile(samples, [50, 90, 99, 99.9, 99.99])
+        return cls(
+            fanout=fanout,
+            queries=int(samples.size),
+            p50=float(quantiles[0]),
+            p90=float(quantiles[1]),
+            p99=float(quantiles[2]),
+            p999=float(quantiles[3]),
+            p9999=float(quantiles[4]),
+            maximum=float(samples.max()),
+        )
+
+
+@dataclass
+class FanoutExperimentResult:
+    """Figure 5 series: one percentile row per fan-out level."""
+
+    rows: list[LatencyPercentiles]
+    failed_queries: dict[int, int]
+
+    def series(self, attribute: str) -> list[tuple[int, float]]:
+        """(fanout, value) pairs for one percentile attribute."""
+        return [(r.fanout, getattr(r, attribute)) for r in self.rows]
+
+
+def sample_fanout_latencies(
+    model: LatencyModel,
+    fanout: int,
+    queries: int,
+    rng: np.random.Generator,
+    *,
+    batch: int = 200_000,
+) -> np.ndarray:
+    """Sampled per-query latencies for a fan-out level (vectorised).
+
+    Each query's latency is the maximum of ``fanout`` independent host
+    service times — the defining mechanic of the fan-out experiment.
+    Batched so 1M × 64 samples stay within memory.
+    """
+    if fanout <= 0:
+        raise ValueError(f"fanout must be positive: {fanout}")
+    if queries <= 0:
+        raise ValueError(f"queries must be positive: {queries}")
+    out = np.empty(queries)
+    done = 0
+    per_batch = max(1, batch // fanout)
+    while done < queries:
+        n = min(per_batch, queries - done)
+        samples = model.sample_many(rng, n * fanout).reshape(n, fanout)
+        out[done:done + n] = samples.max(axis=1)
+        done += n
+    return out
+
+
+def statistical_fanout_experiment(
+    model: LatencyModel,
+    fanouts: list[int],
+    queries: int,
+    rng: np.random.Generator,
+) -> FanoutExperimentResult:
+    """Figure 5 at paper scale via the statistical model."""
+    rows = []
+    for fanout in fanouts:
+        samples = sample_fanout_latencies(model, fanout, queries, rng)
+        rows.append(LatencyPercentiles.from_samples(fanout, samples))
+    return FanoutExperimentResult(rows=rows, failed_queries={f: 0 for f in fanouts})
+
+
+def probe_schema(name: str) -> TableSchema:
+    """Schema used by the integrated fan-out probes."""
+    return TableSchema.build(
+        name,
+        dimensions=[Dimension("bucket", 64, range_size=8)],
+        metrics=[Metric("value")],
+    )
+
+
+def run_fanout_experiment(
+    deployment,
+    fanouts: list[int],
+    *,
+    queries_per_table: int = 2_000,
+    rows_per_table: int = 512,
+) -> FanoutExperimentResult:
+    """Integrated Figure 5: real tables, real probe queries end-to-end.
+
+    ``deployment`` is a :class:`repro.core.CubrickDeployment`. One table
+    per fan-out level is created with exactly that many partitions, a
+    small dataset is loaded, and the fixed probe query runs
+    ``queries_per_table`` times; failures (host down / sampled failure)
+    are counted separately and excluded from the latency distribution,
+    matching how the paper reports latency for successful runs.
+    """
+    rng = deployment.rngs.stream("fanout-experiment")
+    rows_out: list[LatencyPercentiles] = []
+    failed: dict[int, int] = {}
+    for fanout in fanouts:
+        table = f"fanout_{fanout:04d}"
+        schema = probe_schema(table)
+        deployment.create_table(schema, num_partitions=fanout)
+        data = [
+            {"bucket": int(rng.integers(64)), "value": float(rng.exponential(5.0))}
+            for __ in range(rows_per_table)
+        ]
+        deployment.load(table, data)
+        probe: Query = simple_probe_query(schema)
+        # Let the new table's shard mappings propagate through SMC.
+        simulator = deployment.simulator
+        simulator.run_until(simulator.now + 30.0)
+
+        latencies = np.empty(queries_per_table)
+        count = 0
+        failures = 0
+        for __ in range(queries_per_table):
+            # The paper's cadence: one probe every 500 ms of (virtual) time.
+            simulator.run_until(simulator.now + PROBE_INTERVAL)
+            try:
+                result = deployment.query(probe)
+            except QueryFailedError:
+                failures += 1
+                continue
+            latencies[count] = result.metadata["latency"]
+            count += 1
+        failed[fanout] = failures
+        if count:
+            rows_out.append(
+                LatencyPercentiles.from_samples(fanout, latencies[:count])
+            )
+    return FanoutExperimentResult(rows=rows_out, failed_queries=failed)

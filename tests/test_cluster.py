@@ -1,0 +1,208 @@
+"""Tests for the cluster substrate: hosts, topology, automation."""
+
+import pytest
+
+from repro.cluster.automation import (
+    DatacenterAutomation,
+    MaintenanceKind,
+    SafetyPolicy,
+)
+from repro.cluster.host import GIB, Host, HostState
+from repro.cluster.topology import Cluster
+from repro.errors import HostNotFoundError
+from repro.sim.engine import DAY, Simulator
+
+
+def make_host(host_id="h1", region="region0", rack="rack0", **kwargs) -> Host:
+    return Host(host_id=host_id, region=region, rack=rack, **kwargs)
+
+
+class TestHost:
+    def test_healthy_host_is_available(self):
+        host = make_host()
+        assert host.is_available
+        assert host.accepts_new_shards
+
+    def test_failed_host_is_unavailable(self):
+        host = make_host()
+        host.fail(permanent=False)
+        assert host.state is HostState.FAILED
+        assert not host.is_available
+
+    def test_permanent_failure_goes_to_repair(self):
+        host = make_host()
+        host.fail(permanent=True)
+        assert host.state is HostState.REPAIR
+
+    def test_draining_host_serves_but_refuses_new_shards(self):
+        host = make_host()
+        host.start_drain()
+        assert host.is_available
+        assert not host.accepts_new_shards
+
+    def test_recover_restores_health(self):
+        host = make_host()
+        host.fail(permanent=False)
+        host.recover()
+        assert host.state is HostState.HEALTHY
+
+    def test_failure_domains(self):
+        host = make_host(host_id="x", region="r1", rack="k7")
+        assert host.failure_domain("host") == "x"
+        assert host.failure_domain("rack") == "r1/k7"
+        assert host.failure_domain("region") == "r1"
+
+    def test_unknown_spread_rejected(self):
+        with pytest.raises(ValueError):
+            make_host().failure_domain("continent")
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            make_host(memory_bytes=0)
+
+
+class TestCluster:
+    def test_build_dimensions(self):
+        cluster = Cluster.build(regions=2, racks_per_region=3, hosts_per_rack=4)
+        assert len(cluster) == 24
+        assert len(cluster.region_names()) == 2
+        assert len(cluster.hosts_in_region("region0")) == 12
+        assert len(cluster.hosts_in_rack("region0", "rack001")) == 4
+
+    def test_duplicate_host_rejected(self):
+        cluster = Cluster()
+        cluster.add_host(make_host())
+        with pytest.raises(ValueError):
+            cluster.add_host(make_host())
+
+    def test_unknown_host_raises(self, small_cluster):
+        with pytest.raises(HostNotFoundError):
+            small_cluster.host("nope")
+
+    def test_contains(self, small_cluster):
+        host_id = small_cluster.host_ids()[0]
+        assert host_id in small_cluster
+        assert "nope" not in small_cluster
+
+    def test_available_excludes_failed(self, small_cluster):
+        victim = small_cluster.host_ids()[0]
+        small_cluster.host(victim).fail(permanent=False)
+        available = {h.host_id for h in small_cluster.available_hosts()}
+        assert victim not in available
+        assert len(available) == len(small_cluster) - 1
+
+    def test_region_drain_hides_all_hosts(self, three_region_cluster):
+        three_region_cluster.set_region_available("region1", False)
+        assert three_region_cluster.available_hosts("region1") == []
+        assert len(three_region_cluster.available_hosts("region0")) == 6
+
+    def test_placeable_excludes_draining(self, small_cluster):
+        victim = small_cluster.host_ids()[0]
+        small_cluster.host(victim).start_drain()
+        placeable = {h.host_id for h in small_cluster.placeable_hosts()}
+        available = {h.host_id for h in small_cluster.available_hosts()}
+        assert victim not in placeable
+        assert victim in available
+
+    def test_count_by_state(self, small_cluster):
+        small_cluster.host(small_cluster.host_ids()[0]).fail(permanent=True)
+        counts = small_cluster.count_by_state()
+        assert counts[HostState.REPAIR] == 1
+        assert counts[HostState.HEALTHY] == len(small_cluster) - 1
+
+    def test_build_validates_dimensions(self):
+        with pytest.raises(ValueError):
+            Cluster.build(regions=0)
+
+    def test_unknown_rack_raises(self, small_cluster):
+        with pytest.raises(HostNotFoundError):
+            small_cluster.hosts_in_rack("region0", "rack999")
+
+
+class TestAutomation:
+    def _make(self, cluster=None, policy=None):
+        simulator = Simulator()
+        cluster = cluster or Cluster.build(
+            regions=1, racks_per_region=2, hosts_per_rack=5
+        )
+        drained, returned = [], []
+        automation = DatacenterAutomation(
+            simulator,
+            cluster,
+            policy=policy,
+            on_drain=drained.append,
+            on_return=returned.append,
+        )
+        return simulator, cluster, automation, drained, returned
+
+    def test_maintenance_drains_and_returns(self):
+        simulator, cluster, automation, drained, returned = self._make()
+        target = cluster.host_ids()[0]
+        request = automation.request_maintenance(
+            MaintenanceKind.POWER_MAINTENANCE, [target], duration=DAY
+        )
+        assert request.approved
+        assert drained == [target]
+        assert cluster.host(target).state is HostState.DRAINED
+        simulator.run_until(2 * DAY)
+        assert cluster.host(target).state is HostState.HEALTHY
+        assert returned == [target]
+
+    def test_decommission_is_permanent(self):
+        simulator, cluster, automation, __, returned = self._make()
+        target = cluster.host_ids()[0]
+        automation.request_maintenance(
+            MaintenanceKind.DECOMMISSION, [target], duration=100.0
+        )
+        simulator.run_until(DAY)
+        assert cluster.host(target).state is HostState.DECOMMISSIONED
+        assert returned == []
+
+    def test_safety_check_blocks_oversized_request(self):
+        policy = SafetyPolicy(max_hosts_per_request=2)
+        simulator, cluster, automation, drained, __ = self._make(policy=policy)
+        request = automation.request_maintenance(
+            MaintenanceKind.RACK_MAINTENANCE, cluster.host_ids()[:5]
+        )
+        assert not request.approved
+        assert "limit" in request.reason
+        assert drained == []
+
+    def test_safety_check_blocks_capacity_violation(self):
+        policy = SafetyPolicy(min_available_fraction=0.9)
+        simulator, cluster, automation, drained, __ = self._make(policy=policy)
+        request = automation.request_maintenance(
+            MaintenanceKind.DISASTER_EXERCISE, cluster.host_ids()[:3]
+        )
+        assert not request.approved
+        assert drained == []
+
+    def test_repair_log_counts_permanent_failures(self):
+        simulator, cluster, automation, __, __r = self._make()
+        hosts = cluster.host_ids()
+        automation.handle_host_failure(hosts[0], permanent=True)
+        simulator.run_until(DAY + 1)
+        automation.handle_host_failure(hosts[1], permanent=True)
+        automation.handle_host_failure(hosts[2], permanent=False)
+        per_day = automation.repairs_per_day(horizon_days=2)
+        assert per_day == [1, 1]
+        assert automation.hosts_in_repair() == 2
+
+    def test_recovery_notifies(self):
+        simulator, cluster, automation, __, returned = self._make()
+        target = cluster.host_ids()[0]
+        automation.handle_host_failure(target, permanent=False)
+        automation.handle_host_recovery(target)
+        assert cluster.host(target).state is HostState.HEALTHY
+        assert returned == [target]
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SafetyPolicy(min_available_fraction=1.5)
+        with pytest.raises(ValueError):
+            SafetyPolicy(max_hosts_per_request=0)
+
+    def test_repairs_per_day_validates_horizon(self):
+        __, __c, automation, __d, __r = self._make()
+        with pytest.raises(ValueError):
+            automation.repairs_per_day(0)

@@ -1,0 +1,131 @@
+"""Tests for on-the-fly cluster resize (paper §II-C design question)."""
+
+import numpy as np
+import pytest
+
+from repro.core.deployment import CubrickDeployment, DeploymentConfig
+from repro.cubrick.query import AggFunc, Aggregation, Query
+from repro.cubrick.schema import Dimension, Metric, TableSchema
+from repro.errors import ConfigurationError
+from repro.workloads.fanout_experiment import probe_schema
+from repro.workloads.queries import simple_probe_query
+
+
+@pytest.fixture
+def deployment():
+    deployment = CubrickDeployment(
+        DeploymentConfig(seed=55, regions=1, racks_per_region=2,
+                         hosts_per_rack=5)
+    )
+    schema = probe_schema("resize")
+    deployment.create_table(schema)
+    rng = np.random.default_rng(1)
+    deployment.load(
+        "resize",
+        [{"bucket": int(rng.integers(64)), "value": 1.0} for __ in range(500)],
+    )
+    deployment.simulator.run_until(30.0)
+    return deployment
+
+
+class TestScaleOut:
+    def test_added_hosts_are_registered(self, deployment):
+        added = deployment.add_hosts("region0", 3)
+        assert len(added) == 3
+        sm = deployment.sm_servers["region0"]
+        for host_id in added:
+            assert host_id in sm.registered_hosts()
+            assert host_id in deployment.cluster
+        assert len(deployment.cluster) == 13
+
+    def test_balancer_uses_new_hosts(self):
+        # A small cluster where every host carries multiple shards, so
+        # moving some to fresh hosts genuinely improves the balance.
+        deployment = CubrickDeployment(
+            DeploymentConfig(seed=56, regions=1, racks_per_region=2,
+                             hosts_per_rack=2)
+        )
+        rng = np.random.default_rng(2)
+        for i in range(6):
+            schema = probe_schema(f"dense{i}")
+            deployment.create_table(schema, num_partitions=2)
+            deployment.load(
+                schema.name,
+                [{"bucket": int(rng.integers(64)), "value": 1.0}
+                 for __ in range(100 + 60 * i)],
+            )
+        sm = deployment.sm_servers["region0"]
+        added = deployment.add_hosts("region0", 4)
+        sm.collect_metrics()
+        for __ in range(4):
+            sm.run_load_balance()
+            sm.collect_metrics()
+        moved_to_new = any(
+            record.to_host in added for record in sm.migrations.log
+        )
+        assert moved_to_new
+
+    def test_fanout_unchanged_by_scale_out(self, deployment):
+        """The core partial-sharding property: adding nodes never grows
+        any table's fan-out."""
+        before = deployment.table_fanout("resize")
+        deployment.add_hosts("region0", 6)
+        sm = deployment.sm_servers["region0"]
+        sm.collect_metrics()
+        sm.run_load_balance()
+        assert deployment.table_fanout("resize") <= before + 0  # never grows
+        deployment.simulator.run_until(deployment.simulator.now + 60.0)
+        result = deployment.query(simple_probe_query(probe_schema("resize")))
+        assert result.scalar() == 500.0
+
+    def test_new_hosts_get_replicated_tables(self, deployment):
+        dim = TableSchema.build(
+            "dim_r", [Dimension("k", 10), Dimension("a", 3)], []
+        )
+        deployment.create_table(dim, replicated=True)
+        deployment.load("dim_r", [{"k": 1, "a": 0}])
+        added = deployment.add_hosts("region0", 2)
+        for host_id in added:
+            assert "dim_r" in deployment.nodes[host_id].replicated_tables()
+
+    def test_invalid_count_rejected(self, deployment):
+        with pytest.raises(ConfigurationError):
+            deployment.add_hosts("region0", 0)
+
+    def test_repeated_expansion_names_unique(self, deployment):
+        first = deployment.add_hosts("region0", 2)
+        second = deployment.add_hosts("region0", 2)
+        assert len(set(first + second)) == 4
+
+
+class TestScaleIn:
+    def test_decommission_drains_then_removes(self, deployment):
+        sm = deployment.sm_servers["region0"]
+        # Make room first so the drain has collision-free targets.
+        deployment.add_hosts("region0", 4)
+        sm.collect_metrics()
+        victim = next(
+            h for h in sm.registered_hosts() if sm.shards_on_host(h)
+        )
+        assert deployment.decommission_host(victim)
+        assert sm.shards_on_host(victim) == set()
+        deployment.simulator.run_until(deployment.simulator.now + 60.0)
+        from repro.cluster.host import HostState
+
+        assert deployment.cluster.host(victim).state is HostState.DECOMMISSIONED
+        result = deployment.query(simple_probe_query(probe_schema("resize")))
+        assert result.scalar() == 500.0
+
+    def test_decommission_refused_when_unsafe(self, deployment):
+        # Removing most of the fleet trips the capacity safety check.
+        hosts = deployment.cluster.host_ids()
+        removed = 0
+        refused = False
+        for host_id in hosts:
+            if deployment.decommission_host(host_id):
+                removed += 1
+            else:
+                refused = True
+                break
+        assert refused
+        assert removed < len(hosts)

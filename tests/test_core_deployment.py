@@ -1,0 +1,248 @@
+"""Tests for the CubrickDeployment facade."""
+
+import pytest
+
+from repro.core.deployment import CubrickDeployment, DeploymentConfig
+from repro.core.fanout import ShardingMode
+from repro.cubrick.partitioning import PartitioningPolicy
+from repro.cubrick.query import AggFunc, Aggregation, Filter, Query
+from repro.cubrick.schema import Dimension, Metric, TableSchema
+from repro.errors import TableNotFoundError
+from tests.conftest import make_rows
+
+
+def count_query(table="events"):
+    return Query.build(table, [Aggregation(AggFunc.COUNT, "clicks")])
+
+
+class TestTableLifecycle:
+    def test_create_materializes_in_all_regions(self, tiny_deployment):
+        shards = tiny_deployment.directory.shards_for_table("events")
+        for region, sm in tiny_deployment.sm_servers.items():
+            for shard in shards:
+                owner = sm.discovery.resolve_authoritative(shard)
+                node = sm.app_server(owner)
+                assert "events" in node.tables_stored()
+
+    def test_partition_count_respects_policy(self, tiny_deployment):
+        # 6 hosts per region, partial mode -> min(8, 6) = 6 partitions
+        assert tiny_deployment.catalog.get("events").num_partitions == 6
+
+    def test_full_sharding_spans_region(self, events_schema):
+        deployment = CubrickDeployment(
+            DeploymentConfig(
+                seed=1, regions=1, racks_per_region=2, hosts_per_rack=3,
+                mode=ShardingMode.FULL,
+            )
+        )
+        deployment.create_table(events_schema)
+        assert deployment.catalog.get("events").num_partitions == 6
+        deployment.load("events", make_rows(events_schema, 300, seed=2))
+        assert deployment.table_fanout("events") == 6
+
+    def test_drop_table_releases_shards(self, tiny_deployment):
+        shards = set(tiny_deployment.directory.shards_for_table("events"))
+        tiny_deployment.drop_table("events")
+        assert "events" not in tiny_deployment.catalog
+        for sm in tiny_deployment.sm_servers.values():
+            for shard in shards:
+                assert not sm.has_shard(shard)
+
+    def test_load_replicates_to_every_region(self, tiny_deployment):
+        for region, coordinator in tiny_deployment.coordinators.items():
+            result = coordinator.execute(count_query())
+            assert result.scalar() == 500.0
+
+    def test_unknown_table_fanout_raises(self, tiny_deployment):
+        with pytest.raises(TableNotFoundError):
+            tiny_deployment.table_fanout("missing")
+
+    def test_create_failure_rolls_back(self, events_schema):
+        deployment = CubrickDeployment(
+            DeploymentConfig(seed=1, regions=1, racks_per_region=1,
+                             hosts_per_rack=2)
+        )
+        # More partitions than the SM key space can take will fail:
+        # simulate by requesting an absurd partition count per host
+        # capacity. Easier: monkeypatch _materialize_table to raise.
+        original = deployment._materialize_table
+
+        def boom(table, shards):
+            raise RuntimeError("injected")
+
+        deployment._materialize_table = boom
+        with pytest.raises(RuntimeError):
+            deployment.create_table(events_schema)
+        deployment._materialize_table = original
+        # Name is reusable: nothing was left behind.
+        deployment.create_table(events_schema)
+
+
+class TestQueries:
+    def test_filtered_query_end_to_end(self, tiny_deployment, events_schema):
+        rows = make_rows(events_schema, 500, seed=7)
+        expected = sum(r["clicks"] for r in rows if 0 <= r["day"] <= 6)
+        result = tiny_deployment.query(
+            Query.build(
+                "events",
+                [Aggregation(AggFunc.SUM, "clicks")],
+                filters=[Filter.between("day", 0, 6)],
+            )
+        )
+        assert result.scalar() == pytest.approx(expected)
+
+    def test_multiple_tables_coexist(self, tiny_deployment):
+        other = TableSchema.build(
+            "metrics", [Dimension("host", 50)], [Metric("cpu")]
+        )
+        tiny_deployment.create_table(other)
+        tiny_deployment.load(
+            "metrics", [{"host": i % 50, "cpu": 1.0} for i in range(100)]
+        )
+        # Let the new shard mappings propagate through SMC.
+        tiny_deployment.simulator.run_until(tiny_deployment.simulator.now + 30.0)
+        result = tiny_deployment.query(
+            Query.build("metrics", [Aggregation(AggFunc.COUNT, "cpu")])
+        )
+        assert result.scalar() == 100.0
+        # The first table is unaffected.
+        assert tiny_deployment.query(count_query()).scalar() == 500.0
+
+
+class TestRepartitioning:
+    def _deployment(self):
+        return CubrickDeployment(
+            DeploymentConfig(
+                seed=5, regions=2, racks_per_region=2, hosts_per_rack=8,
+                partitioning=PartitioningPolicy(
+                    max_rows_per_partition=100, min_rows_per_partition=5
+                ),
+            )
+        )
+
+    def test_growth_preserves_data(self, events_schema):
+        deployment = self._deployment()
+        deployment.create_table(events_schema)
+        rows = make_rows(events_schema, 1500, seed=3)
+        deployment.load("events", rows)
+        before = deployment.catalog.get("events").num_partitions
+        assert deployment.maybe_repartition("events")
+        after = deployment.catalog.get("events").num_partitions
+        # Doubling target, capped by per-region host headroom (75% of 16).
+        assert before < after <= before * 2
+        assert after == 12
+        assert deployment.catalog.get("events").generation == 1
+        deployment.simulator.run_until(60.0)
+        result = deployment.query(count_query())
+        assert result.scalar() == 1500.0
+
+    def test_no_repartition_when_in_band(self, events_schema):
+        deployment = self._deployment()
+        deployment.create_table(events_schema)
+        deployment.load("events", make_rows(events_schema, 400, seed=3))
+        assert not deployment.maybe_repartition("events")
+
+    def test_failed_repartition_rolls_back(self, events_schema):
+        """A re-partition that cannot place its new layout must restore
+        the old layout with all data intact."""
+        deployment = self._deployment()
+        deployment.create_table(events_schema)
+        rows = make_rows(events_schema, 1500, seed=3)
+        deployment.load("events", rows)
+        before = deployment.catalog.get("events").num_partitions
+
+        original = deployment._materialize_table
+        calls = {"n": 0}
+
+        def flaky(table, shards):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                # Simulate placement failure mid-shuffle; the rollback's
+                # second call must succeed.
+                raise RuntimeError("injected placement failure")
+            return original(table, shards)
+
+        deployment._materialize_table = flaky
+        with pytest.raises(RuntimeError):
+            deployment.maybe_repartition("events")
+        deployment._materialize_table = original
+
+        info = deployment.catalog.get("events")
+        assert info.num_partitions == before
+        deployment.simulator.run_until(60.0)
+        result = deployment.query(count_query())
+        assert result.scalar() == 1500.0
+        # And a later, healthy re-partition still works.
+        assert deployment.maybe_repartition("events")
+        deployment.simulator.run_until(120.0)
+        assert deployment.query(count_query()).scalar() == 1500.0
+
+    def test_proxy_cache_handles_new_partition_count(self, events_schema):
+        deployment = self._deployment()
+        deployment.create_table(events_schema)
+        deployment.load("events", make_rows(events_schema, 1500, seed=3))
+        deployment.simulator.run_until(30.0)
+        deployment.query(count_query())  # seeds the locator cache
+        deployment.maybe_repartition("events")
+        deployment.simulator.run_until(60.0)
+        result = deployment.query(count_query())
+        assert result.scalar() == 1500.0
+        assert (
+            deployment.proxy.locator.cached_count("events")
+            == deployment.catalog.get("events").num_partitions
+        )
+
+
+class TestOperations:
+    def test_background_maintenance_runs(self, events_schema):
+        deployment = CubrickDeployment(
+            DeploymentConfig(seed=2, regions=1, racks_per_region=2,
+                             hosts_per_rack=3)
+        )
+        deployment.create_table(events_schema)
+        deployment.load("events", make_rows(events_schema, 300, seed=1))
+        deployment.start_background_maintenance(until=3600.0)
+        deployment.simulator.run_until(3600.0)
+        # SM collected metrics for every node hosting data.
+        sm = deployment.sm_servers["region0"]
+        loads = [
+            sm.metrics.host_load(h) for h in sm.registered_hosts()
+        ]
+        assert sum(loads) > 0
+
+    def test_drain_via_automation_moves_shards(self, events_schema):
+        from repro.cluster.automation import MaintenanceKind
+
+        # More hosts than partitions so collision-free targets exist.
+        deployment = CubrickDeployment(
+            DeploymentConfig(seed=4, regions=2, racks_per_region=2,
+                             hosts_per_rack=8)
+        )
+        deployment.create_table(events_schema)
+        deployment.load("events", make_rows(events_schema, 500, seed=7))
+        deployment.simulator.run_until(30.0)
+        sm = deployment.sm_servers["region0"]
+        victim = next(
+            h for h in sm.registered_hosts() if sm.shards_on_host(h)
+        )
+        request = deployment.automation.request_maintenance(
+            MaintenanceKind.RACK_MAINTENANCE, [victim], duration=600.0
+        )
+        assert request.approved
+        assert sm.shards_on_host(victim) == set()
+        # Queries still work from region0 after the drain.
+        deployment.simulator.run_until(deployment.simulator.now + 60.0)
+        result = deployment.coordinators["region0"].execute(count_query())
+        assert result.scalar() == 500.0
+
+    def test_drain_refused_when_all_targets_collide(self, tiny_deployment):
+        """With as many partitions as hosts, every target would create a
+        shard collision, so the drain must leave the shard in place."""
+        sm = tiny_deployment.sm_servers["region0"]
+        victim = next(
+            h for h in sm.registered_hosts() if sm.shards_on_host(h)
+        )
+        before = set(sm.shards_on_host(victim))
+        moved = sm.drain_host(victim)
+        assert moved == 0
+        assert sm.shards_on_host(victim) == before

@@ -1,0 +1,172 @@
+"""Tests for the scalability-wall model and the fan-out policy."""
+
+import numpy as np
+import pytest
+
+from repro.core.fanout import FanoutPolicy, ShardingMode, SlaPlanner
+from repro.core.wall import (
+    PAPER_FAILURE_PROBABILITY,
+    PAPER_SLA,
+    WallAnalysis,
+    monte_carlo_success_ratio,
+    query_success_ratio,
+    required_failure_probability,
+    scalability_wall,
+    success_curve,
+)
+from repro.cubrick.partitioning import PartitioningPolicy
+from repro.errors import ConfigurationError
+
+
+class TestSuccessRatio:
+    def test_closed_form(self):
+        assert query_success_ratio(0, 0.01) == 1.0
+        assert query_success_ratio(1, 0.01) == pytest.approx(0.99)
+        assert query_success_ratio(10, 0.01) == pytest.approx(0.99 ** 10)
+
+    def test_monotonically_decreasing_in_fanout(self):
+        values = [query_success_ratio(n, 1e-3) for n in range(0, 500, 25)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_monotonically_decreasing_in_probability(self):
+        probabilities = [1e-5, 1e-4, 1e-3, 1e-2]
+        values = [query_success_ratio(100, p) for p in probabilities]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_curve_matches_scalar(self):
+        fanouts = [1, 10, 100, 1000]
+        curve = success_curve(fanouts, 1e-4)
+        for fanout, value in zip(fanouts, curve):
+            assert value == pytest.approx(query_success_ratio(fanout, 1e-4))
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            query_success_ratio(-1, 0.01)
+        with pytest.raises(ConfigurationError):
+            query_success_ratio(10, 1.5)
+        with pytest.raises(ConfigurationError):
+            success_curve([-1], 0.01)
+
+
+class TestWall:
+    def test_paper_headline_wall_is_100(self):
+        """Figure 1: p=0.01%, SLA 99% -> wall at about 100 servers."""
+        assert scalability_wall(PAPER_FAILURE_PROBABILITY, PAPER_SLA) == 100
+
+    def test_wall_boundary_is_tight(self):
+        wall = scalability_wall(1e-4, 0.99)
+        assert query_success_ratio(wall, 1e-4) >= 0.99
+        assert query_success_ratio(wall + 1, 1e-4) < 0.99
+
+    def test_wall_shrinks_with_failure_probability(self):
+        """Figure 2's ordering: less reliable servers -> earlier wall."""
+        walls = [scalability_wall(p, 0.99) for p in (1e-5, 1e-4, 1e-3)]
+        assert walls[0] > walls[1] > walls[2]
+
+    def test_wall_shrinks_with_stricter_sla(self):
+        assert scalability_wall(1e-4, 0.999) < scalability_wall(1e-4, 0.99)
+
+    def test_no_failures_no_wall(self):
+        assert scalability_wall(0.0, 0.99) > 10 ** 15
+
+    def test_required_failure_probability_inverts_wall(self):
+        p = required_failure_probability(1000, 0.99)
+        assert query_success_ratio(1000, p) == pytest.approx(0.99)
+        assert scalability_wall(p, 0.99) >= 999
+
+    def test_analysis_summary(self):
+        analysis = WallAnalysis.compute(1e-4, 0.99)
+        assert analysis.wall_fanout == 100
+        assert analysis.success_at_wall >= 0.99
+        assert analysis.success_at_twice_wall < 0.99
+
+    def test_invalid_sla_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scalability_wall(1e-4, 1.0)
+
+
+class TestMonteCarlo:
+    def test_matches_closed_form(self):
+        rng = np.random.default_rng(0)
+        for fanout, p in [(10, 1e-2), (100, 1e-3)]:
+            empirical = monte_carlo_success_ratio(
+                fanout, p, trials=200_000, rng=rng
+            )
+            assert empirical == pytest.approx(
+                query_success_ratio(fanout, p), abs=0.005
+            )
+
+    def test_zero_fanout(self):
+        assert monte_carlo_success_ratio(0, 0.5, trials=10) == 1.0
+
+    def test_invalid_trials_rejected(self):
+        with pytest.raises(ConfigurationError):
+            monte_carlo_success_ratio(1, 0.1, trials=0)
+
+
+class TestFanoutPolicy:
+    def test_full_sharding_spans_cluster(self):
+        policy = FanoutPolicy(mode=ShardingMode.FULL)
+        assert policy.partitions_for_new_table(500) == 500
+
+    def test_partial_sharding_starts_at_eight(self):
+        policy = FanoutPolicy(mode=ShardingMode.PARTIAL)
+        assert policy.partitions_for_new_table(500) == 8
+
+    def test_partial_grows_with_expected_size(self):
+        policy = FanoutPolicy(
+            mode=ShardingMode.PARTIAL,
+            partitioning=PartitioningPolicy(
+                max_rows_per_partition=1000, min_rows_per_partition=10
+            ),
+        )
+        assert policy.partitions_for_new_table(500, expected_rows=500) == 8
+        assert policy.partitions_for_new_table(500, expected_rows=20_000) == 32
+
+    def test_partial_capped_by_max_partitions(self):
+        policy = FanoutPolicy(
+            mode=ShardingMode.PARTIAL,
+            partitioning=PartitioningPolicy(
+                max_rows_per_partition=10, min_rows_per_partition=1,
+                max_partitions=64,
+            ),
+        )
+        assert policy.partitions_for_new_table(500, expected_rows=10 ** 9) == 64
+
+    def test_partial_capped_by_cluster_size(self):
+        policy = FanoutPolicy(mode=ShardingMode.PARTIAL)
+        assert policy.partitions_for_new_table(4) == 4
+
+    def test_invalid_cluster_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FanoutPolicy().partitions_for_new_table(0)
+
+
+class TestSlaPlanner:
+    def test_max_safe_fanout_is_the_wall(self):
+        planner = SlaPlanner(failure_probability=1e-4, sla=0.99)
+        assert planner.max_safe_fanout == 100
+
+    def test_meets_sla(self):
+        planner = SlaPlanner(failure_probability=1e-4, sla=0.99)
+        assert planner.meets_sla(100)
+        assert not planner.meets_sla(101)
+
+    def test_headroom(self):
+        planner = SlaPlanner(failure_probability=1e-4, sla=0.99)
+        assert planner.headroom(8) == 92
+        assert planner.headroom(150) < 0
+
+    def test_partial_sharding_survives_scale_out(self):
+        """The paper's core claim, in policy terms: a partially-sharded
+        table's fan-out (8) meets the SLA regardless of cluster size,
+        while full sharding violates it past the wall."""
+        planner = SlaPlanner(failure_probability=1e-4, sla=0.99)
+        partial = FanoutPolicy(mode=ShardingMode.PARTIAL)
+        full = FanoutPolicy(mode=ShardingMode.FULL)
+        for cluster_size in (50, 100, 1000, 10_000):
+            assert planner.meets_sla(
+                partial.partitions_for_new_table(cluster_size)
+            )
+        assert planner.meets_sla(full.partitions_for_new_table(50))
+        assert not planner.meets_sla(full.partitions_for_new_table(1000))

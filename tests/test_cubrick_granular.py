@@ -1,0 +1,86 @@
+"""Tests for the Granular Partitioning index."""
+
+import pytest
+
+from repro.cubrick.granular import GranularIndex
+from repro.cubrick.schema import Dimension, Metric, TableSchema
+from repro.errors import QueryError, SchemaError
+
+
+@pytest.fixture
+def index(events_schema) -> GranularIndex:
+    # day: 30/7 -> 5 buckets; country: 100/25 -> 4 buckets
+    return GranularIndex(events_schema)
+
+
+class TestBrickIds:
+    def test_total_bricks(self, index):
+        assert index.total_bricks == 5 * 4
+
+    def test_row_major_composition(self, index):
+        # day bucket 0, country bucket 0 -> brick 0
+        assert index.brick_of({"day": 0, "country": 0}) == 0
+        # country varies fastest (last dimension)
+        assert index.brick_of({"day": 0, "country": 25}) == 1
+        assert index.brick_of({"day": 7, "country": 0}) == 4
+
+    def test_coordinates_roundtrip(self, index):
+        for brick_id in range(index.total_bricks):
+            coords = index.brick_coordinates(brick_id)
+            # Reconstruct a representative row from bucket coordinates.
+            row = {"day": coords[0] * 7, "country": coords[1] * 25}
+            assert index.brick_of(row) == brick_id
+
+    def test_missing_dimension_rejected(self, index):
+        with pytest.raises(SchemaError):
+            index.brick_of({"day": 1})
+
+    def test_out_of_range_brick_id_rejected(self, index):
+        with pytest.raises(QueryError):
+            index.brick_coordinates(index.total_bricks)
+
+
+class TestPruning:
+    def test_candidate_buckets_for_values(self, index):
+        assert index.candidate_buckets("day", [0, 6], None) == {0}
+        assert index.candidate_buckets("day", [0, 7], None) == {0, 1}
+
+    def test_candidate_buckets_for_range(self, index):
+        assert index.candidate_buckets("day", None, (0, 13)) == {0, 1}
+        assert index.candidate_buckets("day", None, (14, 29)) == {2, 3, 4}
+
+    def test_range_clamped_to_domain(self, index):
+        assert index.candidate_buckets("day", None, (-5, 500)) == {0, 1, 2, 3, 4}
+
+    def test_empty_range(self, index):
+        assert index.candidate_buckets("day", None, (20, 10)) == set()
+
+    def test_unconstrained_returns_all(self, index):
+        assert index.candidate_buckets("day", None, None) == {0, 1, 2, 3, 4}
+
+    def test_prune_filters_existing_bricks(self, index):
+        existing = list(range(index.total_bricks))
+        allowed = {"day": {0}}  # only day bucket 0 -> bricks 0..3
+        pruned = list(index.prune(allowed, existing))
+        assert pruned == [0, 1, 2, 3]
+
+    def test_prune_multi_dimension(self, index):
+        existing = list(range(index.total_bricks))
+        allowed = {"day": {1}, "country": {2}}
+        assert list(index.prune(allowed, existing)) == [1 * 4 + 2]
+
+    def test_prune_unknown_dimension_rejected(self, index):
+        with pytest.raises(QueryError):
+            list(index.prune({"nope": {0}}, [0]))
+
+    def test_prune_only_considers_existing(self, index):
+        allowed = {"day": {0}}
+        assert list(index.prune(allowed, [2, 17])) == [2]
+
+    def test_single_dimension_schema(self):
+        schema = TableSchema.build(
+            "t", [Dimension("x", 10, range_size=2)], [Metric("m")]
+        )
+        index = GranularIndex(schema)
+        assert index.total_bricks == 5
+        assert index.brick_of({"x": 9}) == 4

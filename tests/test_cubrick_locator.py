@@ -1,0 +1,106 @@
+"""Tests for the four coordinator-locating strategies (paper §IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.cubrick.locator import (
+    AlwaysPartitionZero,
+    CachedRandom,
+    ForwardFromZero,
+    LookupThenRandom,
+)
+
+
+class TestAlwaysZero:
+    def test_always_picks_zero(self, rng):
+        locator = AlwaysPartitionZero()
+        for __ in range(20):
+            choice = locator.choose("t", 16, rng)
+            assert choice.partition_index == 0
+            assert choice.extra_hops == 0
+            assert choice.extra_roundtrips == 0
+
+    def test_creates_imbalance(self, rng):
+        """The documented flaw: one partition coordinates everything."""
+        locator = AlwaysPartitionZero()
+        picks = [locator.choose("t", 16, rng).partition_index for __ in range(100)]
+        assert set(picks) == {0}
+
+
+class TestForwardFromZero:
+    def test_balances_partitions(self, rng):
+        locator = ForwardFromZero()
+        picks = [locator.choose("t", 8, rng).partition_index for __ in range(4000)]
+        counts = np.bincount(picks, minlength=8)
+        assert counts.min() > 400  # roughly uniform
+
+    def test_pays_extra_hop_unless_zero(self, rng):
+        locator = ForwardFromZero()
+        for __ in range(100):
+            choice = locator.choose("t", 8, rng)
+            expected = 0 if choice.partition_index == 0 else 1
+            assert choice.extra_hops == expected
+
+
+class TestLookupThenRandom:
+    def test_balances_and_pays_roundtrip(self, rng):
+        locator = LookupThenRandom()
+        picks = []
+        for __ in range(4000):
+            choice = locator.choose("t", 8, rng)
+            picks.append(choice.partition_index)
+            assert choice.extra_roundtrips == 1
+            assert choice.extra_hops == 0
+        assert len(set(picks)) == 8
+
+
+class TestCachedRandom:
+    def test_first_call_is_a_miss(self, rng):
+        locator = CachedRandom()
+        choice = locator.choose("t", 8, rng)
+        assert not choice.used_cache
+        assert choice.extra_roundtrips == 1
+
+    def test_subsequent_calls_hit_cache(self, rng):
+        locator = CachedRandom()
+        locator.choose("t", 8, rng)
+        choice = locator.choose("t", 8, rng)
+        assert choice.used_cache
+        assert choice.extra_roundtrips == 0
+        assert choice.extra_hops == 0
+
+    def test_result_metadata_refreshes_cache(self, rng):
+        locator = CachedRandom()
+        locator.choose("t", 8, rng)
+        locator.observe_result("t", 16)
+        assert locator.cached_count("t") == 16
+
+    def test_stale_cache_still_valid_modulo_actual(self, rng):
+        """A stale (too large) cache cannot pick a missing partition."""
+        locator = CachedRandom()
+        locator.choose("t", 16, rng)
+        # Table shrank to 4 partitions; cache still says 16.
+        for __ in range(50):
+            choice = locator.choose("t", 4, rng)
+            assert 0 <= choice.partition_index < 4
+
+    def test_balances_with_fresh_cache(self, rng):
+        locator = CachedRandom()
+        locator.observe_result("t", 8)
+        picks = [locator.choose("t", 8, rng).partition_index for __ in range(4000)]
+        counts = np.bincount(picks, minlength=8)
+        assert counts.min() > 400
+
+    def test_invalidate(self, rng):
+        locator = CachedRandom()
+        locator.choose("t", 8, rng)
+        locator.invalidate("t")
+        assert locator.cached_count("t") is None
+        assert not locator.choose("t", 8, rng).used_cache
+
+    def test_separate_tables_cached_separately(self, rng):
+        locator = CachedRandom()
+        locator.observe_result("a", 8)
+        locator.observe_result("b", 32)
+        assert locator.cached_count("a") == 8
+        assert locator.cached_count("b") == 32

@@ -1,0 +1,180 @@
+"""Tests for shard mappers, the shard directory and collision analysis."""
+
+import pytest
+
+from repro.cubrick.sharding import (
+    MonotonicHashMapper,
+    NaiveHashMapper,
+    ReplicaMapper,
+    ShardDirectory,
+    analyze_collisions,
+    stable_hash,
+)
+from repro.errors import ConfigurationError
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("dim_users#0") == stable_hash("dim_users#0")
+
+    def test_distinct_keys_differ(self):
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_64_bit(self):
+        assert 0 <= stable_hash("anything") < 2 ** 64
+
+
+class TestNaiveMapper:
+    def test_within_keyspace(self):
+        mapper = NaiveHashMapper(max_shards=100)
+        for i in range(20):
+            assert 0 <= mapper.shard_of("t", i) < 100
+
+    def test_same_table_collisions_possible(self):
+        """The paper's test_table problem: naive hashing self-collides."""
+        mapper = NaiveHashMapper(max_shards=50)
+        collided = False
+        for t in range(200):
+            shards = mapper.shards_of(f"table_{t}", 8)
+            if len(set(shards)) != len(shards):
+                collided = True
+                break
+        assert collided
+
+    def test_invalid_max_shards(self):
+        with pytest.raises(ConfigurationError):
+            NaiveHashMapper(max_shards=0)
+
+
+class TestMonotonicMapper:
+    def test_consecutive_shards(self):
+        """The paper's fix: hash partition 0, increment the rest."""
+        mapper = MonotonicHashMapper(max_shards=100_000)
+        shards = mapper.shards_of("test_table", 4)
+        base = shards[0]
+        assert shards == [base, base + 1, base + 2, base + 3]
+
+    def test_never_self_collides(self):
+        mapper = MonotonicHashMapper(max_shards=1000)
+        for t in range(500):
+            shards = mapper.shards_of(f"table_{t}", 60)
+            assert len(set(shards)) == 60
+
+    def test_wraps_around_keyspace(self):
+        mapper = MonotonicHashMapper(max_shards=10)
+        shards = mapper.shards_of("t", 10)
+        assert sorted(shards) == list(range(10))
+
+    def test_shard_of_consistent_with_shards_of(self):
+        mapper = MonotonicHashMapper(max_shards=997)
+        assert [mapper.shard_of("x", i) for i in range(5)] == mapper.shards_of("x", 5)
+
+
+class TestReplicaMapper:
+    def test_single_shard_per_table(self):
+        mapper = ReplicaMapper(max_shards=100, replicas=8)
+        shards = mapper.shards_of("t", 8)
+        assert len(set(shards)) == 1
+
+    def test_fixed_partition_count_enforced(self):
+        """The paper's limitation: all tables need exactly N partitions."""
+        mapper = ReplicaMapper(max_shards=100, replicas=8)
+        with pytest.raises(ConfigurationError):
+            mapper.shards_of("t", 16)
+        with pytest.raises(ConfigurationError):
+            mapper.shard_of("t", 8)
+
+
+class TestShardDirectory:
+    def test_register_and_lookup(self):
+        directory = ShardDirectory(MonotonicHashMapper(max_shards=1000))
+        shards = directory.register_table("t", 4)
+        assert directory.shards_for_table("t") == shards
+        assert directory.shard_for_partition("t", 2) == shards[2]
+        for index, shard in enumerate(shards):
+            assert ("t", index) in directory.contents(shard)
+
+    def test_duplicate_register_rejected(self):
+        directory = ShardDirectory(MonotonicHashMapper(max_shards=1000))
+        directory.register_table("t", 4)
+        with pytest.raises(ConfigurationError):
+            directory.register_table("t", 4)
+
+    def test_unregister_cleans_up(self):
+        directory = ShardDirectory(MonotonicHashMapper(max_shards=1000))
+        shards = directory.register_table("t", 4)
+        directory.unregister_table("t")
+        assert directory.tables() == []
+        for shard in shards:
+            assert directory.contents(shard) == []
+
+    def test_partition_collision_shares_shard(self):
+        """Two tables on one shard travel together (paper §IV-A1)."""
+        mapper = MonotonicHashMapper(max_shards=4)
+        directory = ShardDirectory(mapper)
+        directory.register_table("a", 2)
+        directory.register_table("b", 2)
+        occupied = directory.occupied_shards()
+        total_entries = sum(len(directory.contents(s)) for s in occupied)
+        assert total_entries == 4
+        assert len(occupied) <= 4
+
+    def test_out_of_range_partition_rejected(self):
+        directory = ShardDirectory(MonotonicHashMapper(max_shards=1000))
+        directory.register_table("t", 4)
+        with pytest.raises(ConfigurationError):
+            directory.shard_for_partition("t", 4)
+
+    def test_unknown_table_rejected(self):
+        directory = ShardDirectory(MonotonicHashMapper(max_shards=1000))
+        with pytest.raises(ConfigurationError):
+            directory.shards_for_table("missing")
+        with pytest.raises(ConfigurationError):
+            directory.unregister_table("missing")
+
+
+class TestCollisionAnalysis:
+    def test_monotonic_has_no_same_table_collisions(self):
+        """The Figure 4a 'none by design' bar."""
+        mapper = MonotonicHashMapper(max_shards=10_000)
+        tables = {f"t{i}": 8 for i in range(500)}
+        report = analyze_collisions(tables, mapper)
+        assert report.same_table_partition_collisions == 0
+
+    def test_naive_has_same_table_collisions(self):
+        mapper = NaiveHashMapper(max_shards=500)
+        tables = {f"t{i}": 8 for i in range(500)}
+        report = analyze_collisions(tables, mapper)
+        assert report.same_table_partition_collisions > 0
+
+    def test_cross_table_collisions_counted_per_table(self):
+        mapper = MonotonicHashMapper(max_shards=20)
+        tables = {f"t{i}": 8 for i in range(10)}  # 80 partitions on 20 shards
+        report = analyze_collisions(tables, mapper)
+        assert report.cross_table_partition_collisions > 0
+        assert report.cross_table_fraction <= 1.0
+
+    def test_shard_collisions_require_host_map(self):
+        mapper = MonotonicHashMapper(max_shards=1000)
+        tables = {"t": 8}
+        shards = mapper.shards_of("t", 8)
+        # Co-locate two of the table's shards on one host.
+        shard_to_host = {s: f"h{i}" for i, s in enumerate(shards)}
+        shard_to_host[shards[1]] = "h0"
+        report = analyze_collisions(tables, mapper, shard_to_host)
+        assert report.shard_collisions == 1
+        assert report.shard_collision_fraction == 1.0
+
+    def test_no_shard_collisions_on_distinct_hosts(self):
+        mapper = MonotonicHashMapper(max_shards=1000)
+        tables = {"t": 8}
+        shard_to_host = {
+            s: f"h{i}" for i, s in enumerate(mapper.shards_of("t", 8))
+        }
+        report = analyze_collisions(tables, mapper, shard_to_host)
+        assert report.shard_collisions == 0
+
+    def test_empty_population(self):
+        report = analyze_collisions({}, MonotonicHashMapper(max_shards=10))
+        assert report.tables == 0
+        assert report.same_table_fraction == 0.0

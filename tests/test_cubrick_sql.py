@@ -1,0 +1,178 @@
+"""Tests for the SQL dialect parser."""
+
+import pytest
+
+from repro.cubrick.query import AggFunc, FilterOp
+from repro.cubrick.sql import parse_query
+from repro.errors import QueryError
+
+
+class TestBasicSelect:
+    def test_minimal_query(self):
+        query = parse_query("SELECT sum(clicks) FROM events")
+        assert query.table == "events"
+        assert len(query.aggregations) == 1
+        assert query.aggregations[0].func is AggFunc.SUM
+        assert query.aggregations[0].metric == "clicks"
+
+    def test_multiple_aggregates(self):
+        query = parse_query(
+            "SELECT sum(clicks), count(clicks), avg(cost) FROM events"
+        )
+        funcs = [a.func for a in query.aggregations]
+        assert funcs == [AggFunc.SUM, AggFunc.COUNT, AggFunc.AVG]
+
+    def test_count_star(self):
+        query = parse_query("SELECT count(*) FROM events")
+        assert query.aggregations[0].metric == "*"
+
+    def test_count_distinct(self):
+        query = parse_query("SELECT count_distinct(country) FROM events")
+        assert query.aggregations[0].func is AggFunc.COUNT_DISTINCT
+
+    def test_keywords_case_insensitive(self):
+        query = parse_query("select SUM(clicks) from events")
+        assert query.aggregations[0].func is AggFunc.SUM
+
+    def test_star_only_for_count(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT sum(*) FROM events")
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT median(clicks) FROM events")
+
+
+class TestWhere:
+    def test_equality(self):
+        query = parse_query("SELECT count(*) FROM events WHERE day = 3")
+        flt = query.filters[0]
+        assert flt.op is FilterOp.EQ
+        assert flt.values == (3,)
+
+    def test_between(self):
+        query = parse_query(
+            "SELECT count(*) FROM events WHERE day BETWEEN 0 AND 6"
+        )
+        assert query.filters[0].op is FilterOp.BETWEEN
+        assert query.filters[0].values == (0, 6)
+
+    def test_in(self):
+        query = parse_query(
+            "SELECT count(*) FROM events WHERE country IN (1, 2, 3)"
+        )
+        assert query.filters[0].op is FilterOp.IN
+        assert query.filters[0].values == (1, 2, 3)
+
+    def test_conjunction(self):
+        query = parse_query(
+            "SELECT count(*) FROM events "
+            "WHERE day = 1 AND country IN (4, 5) AND cost BETWEEN 0 AND 9"
+        )
+        assert len(query.filters) == 3
+
+    def test_unsupported_operator_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT count(*) FROM events WHERE day < 3")
+
+
+class TestClauses:
+    def test_group_by(self):
+        query = parse_query(
+            "SELECT sum(clicks) FROM events GROUP BY day, country"
+        )
+        assert query.group_by == ("day", "country")
+
+    def test_order_by_aggregate_desc_default(self):
+        query = parse_query(
+            "SELECT sum(clicks) FROM events GROUP BY day ORDER BY sum(clicks)"
+        )
+        assert query.order_by == "sum(clicks)"
+        assert query.descending
+
+    def test_order_by_asc(self):
+        query = parse_query(
+            "SELECT sum(clicks) FROM events GROUP BY day "
+            "ORDER BY day ASC LIMIT 3"
+        )
+        assert query.order_by == "day"
+        assert not query.descending
+        assert query.limit == 3
+
+    def test_limit(self):
+        query = parse_query(
+            "SELECT sum(clicks) FROM events GROUP BY day LIMIT 7"
+        )
+        assert query.limit == 7
+
+    def test_join(self):
+        query = parse_query(
+            "SELECT sum(amount) FROM sales "
+            "JOIN dim_users ON sales.user_id = dim_users.user_id "
+            "GROUP BY dim_users.country"
+        )
+        join = query.joins[0]
+        assert join.table == "dim_users"
+        assert join.fact_key == "user_id"
+        assert join.dim_key == "user_id"
+        assert query.group_by == ("dim_users.country",)
+
+    def test_join_reversed_condition(self):
+        query = parse_query(
+            "SELECT sum(amount) FROM sales "
+            "JOIN dim_users ON dim_users.uid = sales.user_id"
+        )
+        join = query.joins[0]
+        assert join.fact_key == "user_id"
+        assert join.dim_key == "uid"
+
+    def test_join_requires_dotted_names(self):
+        with pytest.raises(QueryError):
+            parse_query(
+                "SELECT sum(a) FROM f JOIN d ON user_id = d.user_id"
+            )
+
+    def test_join_unknown_table_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query(
+                "SELECT sum(a) FROM f JOIN d ON x.k = d.k"
+            )
+
+
+class TestErrors:
+    def test_empty_input(self):
+        with pytest.raises(QueryError):
+            parse_query("   ")
+
+    def test_missing_from(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT sum(clicks)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT sum(x) FROM t LIMIT 5 LIMIT 6")
+
+    def test_garbage_characters(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT sum(x) FROM t WHERE a = 'text'")
+
+
+class TestEndToEnd:
+    def test_sql_through_deployment(self, tiny_deployment, events_schema):
+        from tests.conftest import make_rows
+
+        rows = make_rows(events_schema, 500, seed=7)
+        expected = sum(r["clicks"] for r in rows if 0 <= r["day"] <= 6)
+        result = tiny_deployment.sql(
+            "SELECT sum(clicks) FROM events WHERE day BETWEEN 0 AND 6"
+        )
+        assert result.scalar() == pytest.approx(expected)
+
+    def test_sql_topk(self, tiny_deployment):
+        result = tiny_deployment.sql(
+            "SELECT sum(clicks) FROM events GROUP BY day "
+            "ORDER BY sum(clicks) DESC LIMIT 3"
+        )
+        assert len(result.rows) == 3
+        values = [r[1] for r in result.rows]
+        assert values == sorted(values, reverse=True)

@@ -1,0 +1,104 @@
+"""Heterogeneous servers and dynamic capacities (paper §III-A3).
+
+SM supports fleets mixing hardware generations: application servers
+export per-host capacities, placement and balancing operate on relative
+utilization, and capacities may be re-exported over time.
+"""
+
+import pytest
+
+from repro.cluster.topology import Cluster
+from repro.shardmanager.app_server import InMemoryApplicationServer
+from repro.shardmanager.server import SMServer
+from repro.shardmanager.spec import ServiceSpec
+from repro.sim.engine import Simulator
+
+
+def make_mixed_fleet(big_capacity=1000.0, small_capacity=250.0):
+    """Half the hosts are 4x larger than the other half."""
+    simulator = Simulator()
+    cluster = Cluster.build(regions=1, racks_per_region=2, hosts_per_rack=4)
+    server = SMServer(
+        ServiceSpec(name="hetero", max_shards=10_000,
+                    load_imbalance_tolerance=0.10),
+        simulator, cluster, region="region0",
+    )
+    apps = {}
+    for i, host in enumerate(cluster.hosts()):
+        capacity = big_capacity if i % 2 == 0 else small_capacity
+        app = InMemoryApplicationServer(host.host_id, capacity=capacity)
+        apps[host.host_id] = app
+        server.register_host(app)
+    return simulator, cluster, server, apps
+
+
+class TestHeterogeneousPlacement:
+    def test_big_hosts_receive_proportionally_more(self):
+        __, __c, server, apps = make_mixed_fleet()
+        for shard in range(64):
+            server.create_shard(shard, size_hint=10.0)
+        big = sum(
+            len(app.hosted_shards())
+            for app in apps.values()
+            if app.exported_capacity() == 1000.0
+        )
+        small = sum(
+            len(app.hosted_shards())
+            for app in apps.values()
+            if app.exported_capacity() == 250.0
+        )
+        # Capacity ratio is 4:1; placement should reflect it roughly.
+        assert big > 2 * small
+
+    def test_utilization_evens_out_not_shard_counts(self):
+        __, __c, server, apps = make_mixed_fleet()
+        for shard in range(64):
+            server.create_shard(shard, size_hint=10.0)
+        server.collect_metrics()
+        utils = [
+            server.metrics.utilization(host_id)
+            for host_id in server.registered_hosts()
+        ]
+        assert max(utils) / max(min(utils), 1e-9) < 2.5
+
+    def test_balancer_levels_relative_utilization(self):
+        __, __c, server, apps = make_mixed_fleet()
+        for shard in range(32):
+            server.create_shard(shard, size_hint=10.0)
+        # Inflate a small host's shards so it runs proportionally hot.
+        small_host, small_app = next(
+            (h, a) for h, a in apps.items()
+            if a.exported_capacity() == 250.0 and a.hosted_shards()
+        )
+        for shard in small_app.hosted_shards():
+            small_app.set_shard_size(shard, 120.0)
+        server.collect_metrics()
+        before = server.metrics.utilization(small_host)
+        for __ in range(3):
+            server.run_load_balance()
+            server.collect_metrics()
+        after = server.metrics.utilization(small_host)
+        assert after <= before
+
+
+class TestDynamicCapacity:
+    def test_capacity_re_export_changes_placement(self):
+        simulator, __, server, apps = make_mixed_fleet(
+            big_capacity=500.0, small_capacity=500.0
+        )
+        # One host shrinks its capacity drastically (e.g. co-located
+        # workload claimed the memory).
+        shrunk = next(iter(apps.values()))
+        shrunk.set_capacity(10.0)
+        server.collect_metrics()
+        assert server.metrics.capacity(shrunk.host_id) == 10.0
+        for shard in range(14):
+            server.create_shard(shard, size_hint=30.0)
+        # Shards with a 30-unit footprint no longer fit on the shrunken
+        # host at all.
+        assert len(shrunk.hosted_shards()) == 0
+
+    def test_invalid_capacity_rejected(self):
+        app = InMemoryApplicationServer("x", capacity=10.0)
+        with pytest.raises(ValueError):
+            app.set_capacity(0.0)

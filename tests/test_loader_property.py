@@ -1,0 +1,71 @@
+"""Property test: the streaming loader never loses or duplicates rows.
+
+Under arbitrary interleavings of appends, flushes and mid-stream
+re-partitions, the total row count visible to queries must equal the
+number of rows accepted — the exactly-once ingestion invariant.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.deployment import CubrickDeployment, DeploymentConfig
+from repro.cubrick.partitioning import PartitioningPolicy
+from repro.cubrick.query import AggFunc, Aggregation, Query
+from repro.workloads.fanout_experiment import probe_schema
+
+# Each action is (kind, amount): append N rows, flush, or try repartition.
+action_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("append"), st.integers(1, 120)),
+        st.tuples(st.just("flush"), st.just(0)),
+        st.tuples(st.just("repartition"), st.just(0)),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(actions=action_strategy, seed=st.integers(0, 10_000))
+def test_loader_exactly_once(actions, seed):
+    deployment = CubrickDeployment(
+        DeploymentConfig(
+            seed=7, regions=1, racks_per_region=4, hosts_per_rack=4,
+            partitioning=PartitioningPolicy(
+                max_rows_per_partition=80, min_rows_per_partition=2
+            ),
+        )
+    )
+    schema = probe_schema("prop_stream")
+    deployment.create_table(schema)
+    deployment.simulator.run_until(30.0)
+    loader = deployment.loader("prop_stream", batch_rows=50)
+    rng = np.random.default_rng(seed)
+
+    accepted = 0
+    for kind, amount in actions:
+        if kind == "append":
+            loader.append_many([
+                {"bucket": int(rng.integers(64)),
+                 "value": float(rng.integers(1, 5))}
+                for __ in range(amount)
+            ])
+            accepted += amount
+        elif kind == "flush":
+            loader.flush()
+        else:
+            deployment.maybe_repartition("prop_stream")
+            deployment.simulator.run_until(deployment.simulator.now + 30.0)
+    loader.flush()
+    deployment.simulator.run_until(deployment.simulator.now + 30.0)
+
+    assert loader.stats.rows_accepted == accepted
+    assert loader.stats.rows_flushed == accepted
+    assert loader.buffered_rows == 0
+    result = deployment.query(
+        Query.build("prop_stream", [Aggregation(AggFunc.COUNT, "value")])
+    )
+    count = result.scalar() if result.rows else 0.0
+    assert count == accepted

@@ -1,0 +1,176 @@
+"""Tests for the Scuba-style partial-results mode and consistent hashing."""
+
+import numpy as np
+import pytest
+
+from repro.core.deployment import CubrickDeployment, DeploymentConfig
+from repro.cubrick.sharding import (
+    ConsistentHashMapper,
+    MonotonicHashMapper,
+    jump_consistent_hash,
+)
+from repro.errors import ConfigurationError, QueryFailedError
+from repro.sim.latency import HiccupModel, LogNormalTailLatency
+from repro.workloads.fanout_experiment import probe_schema
+from repro.workloads.queries import simple_probe_query
+
+
+@pytest.fixture
+def loaded(events_schema):
+    deployment = CubrickDeployment(
+        DeploymentConfig(seed=77, regions=2, racks_per_region=2,
+                         hosts_per_rack=4)
+    )
+    schema = probe_schema("scuba")
+    deployment.create_table(schema)
+    rng = np.random.default_rng(1)
+    deployment.load(
+        "scuba",
+        [{"bucket": int(rng.integers(64)), "value": 1.0} for __ in range(800)],
+    )
+    deployment.simulator.run_until(30.0)
+    return deployment, simple_probe_query(schema)
+
+
+class TestPartialResults:
+    def test_full_coverage_when_healthy(self, loaded):
+        deployment, probe = loaded
+        result = deployment.query(probe)
+        assert result.metadata["partial"] is False
+        assert result.metadata["coverage"] == 1.0
+
+    def test_dead_host_is_skipped_not_fatal(self, loaded):
+        deployment, probe = loaded
+        coordinator = deployment.coordinators["region0"]
+        hosts = coordinator.partition_hosts("scuba")
+        victim = sorted(hosts)[0]
+        lost_partitions = len(hosts[victim])
+        deployment.cluster.host(victim).fail(permanent=False)
+        # Strict mode in region0 fails outright...
+        with pytest.raises(QueryFailedError):
+            coordinator.execute(probe)
+        # ... Scuba mode answers with reduced coverage and fewer rows.
+        result = coordinator.execute(probe, allow_partial=True)
+        assert result.metadata["partial"] is True
+        expected_coverage = 1.0 - lost_partitions / 8
+        assert result.metadata["coverage"] == pytest.approx(expected_coverage)
+        assert victim in result.metadata["skipped_hosts"]
+        assert result.scalar() < 800.0
+        deployment.cluster.host(victim).recover()
+
+    def test_straggler_timeout_bounds_latency(self):
+        deployment = CubrickDeployment(
+            DeploymentConfig(seed=78, regions=1, racks_per_region=2,
+                             hosts_per_rack=4),
+            latency_model=LogNormalTailLatency(
+                base=0.001, median=0.01, sigma=0.3,
+                hiccups=HiccupModel(probability=0.2, min_delay=0.5,
+                                    max_delay=2.0),
+            ),
+        )
+        schema = probe_schema("slow")
+        deployment.create_table(schema)
+        rng = np.random.default_rng(2)
+        deployment.load(
+            "slow",
+            [{"bucket": int(rng.integers(64)), "value": 1.0}
+             for __ in range(400)],
+        )
+        deployment.simulator.run_until(30.0)
+        probe = simple_probe_query(schema)
+        timeout = 0.1
+        dropped_any = False
+        for __ in range(50):
+            result = deployment.query(
+                probe, allow_partial=True, straggler_timeout=timeout
+            )
+            assert result.metadata["latency"] <= timeout + 0.01
+            if result.metadata["partial"]:
+                dropped_any = True
+                assert result.metadata["coverage"] < 1.0
+        # With 20% hiccup probability and fan-out 8, stragglers are
+        # certain to appear across 50 queries.
+        assert dropped_any
+
+    def test_proxy_passes_partial_mode_through(self, loaded):
+        deployment, probe = loaded
+        coordinator = deployment.coordinators["region0"]
+        victim = sorted(coordinator.partition_hosts("scuba"))[0]
+        deployment.cluster.host(victim).fail(permanent=False)
+        result = deployment.proxy.submit(probe, allow_partial=True)
+        # No cross-region retry needed: region0 answered partially.
+        assert result.metadata["region"] == "region0"
+        assert result.metadata["partial"] is True
+        deployment.cluster.host(victim).recover()
+
+
+class TestJumpConsistentHash:
+    def test_range(self):
+        for key in (0, 1, 2 ** 63, 2 ** 64 - 1):
+            assert 0 <= jump_consistent_hash(key, 10) < 10
+
+    def test_deterministic(self):
+        assert jump_consistent_hash(12345, 100) == jump_consistent_hash(12345, 100)
+
+    def test_single_bucket(self):
+        assert jump_consistent_hash(999, 1) == 0
+
+    def test_uniformity(self):
+        counts = np.zeros(10, dtype=int)
+        for key in range(20_000):
+            counts[jump_consistent_hash(key * 2654435761, 10)] += 1
+        assert counts.min() > 0.8 * counts.mean()
+
+    def test_minimal_remapping(self):
+        """Growing buckets n -> n+1 moves ~1/(n+1) of the keys."""
+        n = 50
+        moved = 0
+        keys = [k * 0x9E3779B97F4A7C15 for k in range(10_000)]
+        for key in keys:
+            if jump_consistent_hash(key, n) != jump_consistent_hash(key, n + 1):
+                moved += 1
+        assert moved / len(keys) == pytest.approx(1 / (n + 1), rel=0.3)
+
+    def test_invalid_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            jump_consistent_hash(1, 0)
+
+
+class TestConsistentHashMapper:
+    def test_monotonic_consecutive(self):
+        mapper = ConsistentHashMapper(max_shards=10_000)
+        shards = mapper.shards_of("t", 8)
+        base = shards[0]
+        assert shards == [(base + i) % 10_000 for i in range(8)]
+
+    def test_no_same_table_collisions(self):
+        mapper = ConsistentHashMapper(max_shards=1000)
+        for t in range(200):
+            shards = mapper.shards_of(f"t{t}", 32)
+            assert len(set(shards)) == 32
+
+    def test_growing_shard_space_moves_few_tables(self):
+        """The paper's motivation for consistent hashing (§IV-A):
+        changing maxShards should not reshuffle every table."""
+        tables = [f"table_{i}" for i in range(2000)]
+        small = ConsistentHashMapper(max_shards=100_000)
+        grown = ConsistentHashMapper(max_shards=110_000)
+        moved = sum(
+            1 for t in tables if small.shard_of(t, 0) != grown.shard_of(t, 0)
+        )
+        # Jump hash moves ~10k/110k ≈ 9% of tables; the modulo-based
+        # mapper would move essentially all of them.
+        assert moved / len(tables) < 0.2
+
+        naive_small = MonotonicHashMapper(max_shards=100_000)
+        naive_grown = MonotonicHashMapper(max_shards=110_000)
+        naive_moved = sum(
+            1 for t in tables
+            if naive_small.shard_of(t, 0) != naive_grown.shard_of(t, 0)
+        )
+        assert naive_moved / len(tables) > 0.9
+        assert moved < naive_moved
+
+    def test_invalid_max_shards(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashMapper(max_shards=0)

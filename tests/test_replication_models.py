@@ -1,0 +1,135 @@
+"""Integration tests for SM replication models and spread domains.
+
+The paper (§III-A1) describes SM's three replication models and the
+spread configuration (host/rack/region failure domains). These tests
+exercise the fault-tolerance behaviour they exist for: losing a whole
+failure domain must never lose every replica of a shard.
+"""
+
+import pytest
+
+from repro.cluster.topology import Cluster
+from repro.shardmanager.app_server import InMemoryApplicationServer
+from repro.shardmanager.server import ReplicaRole, SMServer
+from repro.shardmanager.spec import ReplicationModel, ServiceSpec, SpreadDomain
+from repro.sim.engine import Simulator
+
+
+def make_service(spec, *, racks=4, hosts_per_rack=3):
+    simulator = Simulator()
+    cluster = Cluster.build(
+        regions=1, racks_per_region=racks, hosts_per_rack=hosts_per_rack
+    )
+    server = SMServer(spec, simulator, cluster, region="region0")
+    apps = {}
+    for host in cluster.hosts():
+        app = InMemoryApplicationServer(host.host_id, capacity=1000.0)
+        apps[host.host_id] = app
+        server.register_host(app)
+    return simulator, cluster, server, apps
+
+
+class TestRackSpread:
+    SPEC = ServiceSpec(
+        name="rackspread",
+        max_shards=1000,
+        replication_model=ReplicationModel.SECONDARY_ONLY,
+        replication_factor=1,
+        spread=SpreadDomain.RACK,
+    )
+
+    def test_replicas_land_in_distinct_racks(self):
+        __, cluster, server, __a = make_service(self.SPEC)
+        for shard in range(10):
+            entry = server.create_shard(shard, size_hint=1.0)
+            racks = {
+                cluster.host(r.host_id).failure_domain("rack")
+                for r in entry.replicas
+            }
+            assert len(racks) == 2
+
+    def test_rack_loss_leaves_a_live_replica(self):
+        simulator, cluster, server, __a = make_service(self.SPEC)
+        for shard in range(10):
+            server.create_shard(shard, size_hint=1.0)
+        # Take a whole rack down.
+        doomed = [h.host_id for h in cluster.hosts_in_rack("region0", "rack000")]
+        for host_id in doomed:
+            cluster.host(host_id).fail(permanent=False)
+        simulator.run_until(120.0)  # sessions expire, failovers run
+        for shard in range(10):
+            entry = server.shard_entry(shard)
+            live = [
+                r for r in entry.replicas
+                if cluster.host(r.host_id).is_available
+            ]
+            assert live, f"shard {shard} lost every replica to one rack"
+
+    def test_failover_restores_spread(self):
+        simulator, cluster, server, __a = make_service(self.SPEC)
+        entry = server.create_shard(1, size_hint=1.0)
+        victim = entry.replicas[0].host_id
+        cluster.host(victim).fail(permanent=False)
+        simulator.run_until(120.0)
+        refreshed = server.shard_entry(1)
+        racks = {
+            cluster.host(r.host_id).failure_domain("rack")
+            for r in refreshed.replicas
+        }
+        assert len(racks) == 2
+        assert all(
+            cluster.host(r.host_id).is_available for r in refreshed.replicas
+        )
+
+
+class TestPrimarySecondaryTraffic:
+    SPEC = ServiceSpec(
+        name="ps",
+        max_shards=1000,
+        replication_model=ReplicationModel.PRIMARY_SECONDARY,
+        replication_factor=2,
+    )
+
+    def test_discovery_always_points_at_primary(self):
+        simulator, __, server, __a = make_service(self.SPEC)
+        entry = server.create_shard(1, size_hint=1.0)
+        primary = entry.primary()
+        assert primary is not None
+        assert server.discovery.resolve_authoritative(1) == primary.host_id
+
+    def test_chain_of_primary_failures(self):
+        """Kill primaries twice in a row: promotion keeps one primary
+        alive and discovery always follows it."""
+        simulator, cluster, server, __a = make_service(self.SPEC)
+        server.create_shard(1, size_hint=1.0)
+        for __round in range(2):
+            entry = server.shard_entry(1)
+            primary = entry.primary()
+            cluster.host(primary.host_id).fail(permanent=False)
+            simulator.run_until(simulator.now + 120.0)
+            refreshed = server.shard_entry(1)
+            new_primary = refreshed.primary()
+            assert new_primary is not None
+            assert new_primary.host_id != primary.host_id
+            assert cluster.host(new_primary.host_id).is_available
+            assert (
+                server.discovery.resolve_authoritative(1)
+                == new_primary.host_id
+            )
+            # Replica count is restored to 3 after each failover.
+            assert len(refreshed.replicas) == 3
+            roles = sorted(r.role.value for r in refreshed.replicas)
+            assert roles == ["primary", "secondary", "secondary"]
+
+    def test_secondary_failure_does_not_move_primary(self):
+        simulator, cluster, server, __a = make_service(self.SPEC)
+        entry = server.create_shard(1, size_hint=1.0)
+        primary_host = entry.primary().host_id
+        secondary = next(
+            r for r in entry.replicas if r.role is ReplicaRole.SECONDARY
+        )
+        cluster.host(secondary.host_id).fail(permanent=False)
+        simulator.run_until(120.0)
+        assert server.discovery.resolve_authoritative(1) == primary_host
+        refreshed = server.shard_entry(1)
+        assert refreshed.primary().host_id == primary_host

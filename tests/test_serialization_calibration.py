@@ -1,0 +1,93 @@
+"""Tests for schema serialization and latency-model calibration."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cubrick.schema import Dimension, Metric, TableSchema
+from repro.errors import SchemaError
+from repro.sim.latency import (
+    HiccupModel,
+    LogNormalTailLatency,
+    fit_lognormal_tail,
+)
+
+
+class TestSchemaSerialization:
+    def test_roundtrip(self, events_schema):
+        payload = events_schema.to_dict()
+        restored = TableSchema.from_dict(payload)
+        assert restored == events_schema
+
+    def test_json_safe(self, events_schema):
+        text = json.dumps(events_schema.to_dict())
+        assert TableSchema.from_dict(json.loads(text)) == events_schema
+
+    def test_metricless_dimension_table(self):
+        schema = TableSchema.build(
+            "dim", [Dimension("k", 10), Dimension("a", 3)], []
+        )
+        assert TableSchema.from_dict(schema.to_dict()) == schema
+
+    def test_range_size_preserved(self):
+        schema = TableSchema.build(
+            "t", [Dimension("x", 100, range_size=25)], [Metric("m")]
+        )
+        restored = TableSchema.from_dict(schema.to_dict())
+        assert restored.dimension("x").range_size == 25
+        assert restored.dimension("x").bucket_count == 4
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema.from_dict({"name": "t", "dimensions": [{}],
+                                   "metrics": []})
+        with pytest.raises(SchemaError):
+            TableSchema.from_dict({"name": "t"})
+
+
+class TestLatencyCalibration:
+    def test_fit_recovers_parameters(self, rng):
+        truth = LogNormalTailLatency(
+            base=0.0, median=0.02, sigma=0.6,
+            hiccups=HiccupModel(probability=0.0),
+        )
+        samples = truth.sample_many(rng, 100_000)
+        fitted = fit_lognormal_tail(samples)
+        assert np.exp(fitted.mu) == pytest.approx(0.02, rel=0.05)
+        assert fitted.sigma == pytest.approx(0.6, rel=0.05)
+
+    def test_fitted_model_reproduces_quantiles(self, rng):
+        truth = LogNormalTailLatency(
+            base=0.005, median=0.01, sigma=0.4,
+            hiccups=HiccupModel(probability=0.0),
+        )
+        samples = truth.sample_many(rng, 50_000)
+        fitted = fit_lognormal_tail(samples, base=0.005)
+        refit_samples = fitted.sample_many(rng, 50_000)
+        for q in (50, 90, 99):
+            assert np.percentile(refit_samples, q) == pytest.approx(
+                np.percentile(samples, q), rel=0.1
+            )
+
+    def test_base_subtracted(self, rng):
+        samples = np.full(100, 0.010)
+        fitted = fit_lognormal_tail(samples, base=0.002)
+        assert np.exp(fitted.mu) == pytest.approx(0.008)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_lognormal_tail(np.array([0.01]))
+
+    def test_non_positive_samples_dropped(self, rng):
+        samples = np.concatenate([
+            np.full(50, -1.0),
+            rng.lognormal(np.log(0.01), 0.3, size=500),
+        ])
+        fitted = fit_lognormal_tail(samples)
+        assert np.exp(fitted.mu) == pytest.approx(0.01, rel=0.1)
+
+    def test_constant_samples_get_tiny_sigma(self):
+        fitted = fit_lognormal_tail(np.full(10, 0.02))
+        assert fitted.sigma <= 1e-6
+        assert np.exp(fitted.mu) == pytest.approx(0.02)

@@ -1,0 +1,157 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import DAY, HOUR, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self, simulator):
+        order = []
+        simulator.schedule(3.0, lambda: order.append("c"))
+        simulator.schedule(1.0, lambda: order.append("a"))
+        simulator.schedule(2.0, lambda: order.append("b"))
+        simulator.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_run_in_schedule_order(self, simulator):
+        order = []
+        for label in "abcde":
+            simulator.schedule(5.0, lambda lab=label: order.append(lab))
+        simulator.run()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_time(self, simulator):
+        seen = []
+        simulator.schedule(7.5, lambda: seen.append(simulator.now))
+        simulator.run()
+        assert seen == [7.5]
+
+    def test_call_later_is_relative(self, simulator):
+        simulator.schedule(10.0, lambda: None)
+        simulator.run()
+        seen = []
+        simulator.call_later(2.5, lambda: seen.append(simulator.now))
+        simulator.run()
+        assert seen == [12.5]
+
+    def test_scheduling_in_the_past_raises(self, simulator):
+        simulator.schedule(5.0, lambda: None)
+        simulator.run()
+        with pytest.raises(SimulationError):
+            simulator.schedule(1.0, lambda: None)
+
+    def test_negative_delay_raises(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.call_later(-1.0, lambda: None)
+
+    def test_events_can_schedule_more_events(self, simulator):
+        seen = []
+
+        def first():
+            simulator.call_later(1.0, lambda: seen.append(simulator.now))
+
+        simulator.schedule(1.0, first)
+        simulator.run()
+        assert seen == [2.0]
+
+    def test_cancelled_event_does_not_run(self, simulator):
+        seen = []
+        event = simulator.schedule(1.0, lambda: seen.append("ran"))
+        event.cancel()
+        simulator.run()
+        assert seen == []
+
+    def test_events_processed_counter(self, simulator):
+        for t in range(5):
+            simulator.schedule(float(t), lambda: None)
+        simulator.run()
+        assert simulator.events_processed == 5
+
+
+class TestRunUntil:
+    def test_run_until_executes_only_due_events(self, simulator):
+        seen = []
+        simulator.schedule(1.0, lambda: seen.append(1))
+        simulator.schedule(5.0, lambda: seen.append(5))
+        simulator.run_until(3.0)
+        assert seen == [1]
+        assert simulator.now == 3.0
+
+    def test_run_until_boundary_is_inclusive(self, simulator):
+        seen = []
+        simulator.schedule(3.0, lambda: seen.append(3))
+        simulator.run_until(3.0)
+        assert seen == [3]
+
+    def test_run_until_advances_clock_even_without_events(self, simulator):
+        simulator.run_until(100.0)
+        assert simulator.now == 100.0
+
+    def test_run_until_backwards_raises(self, simulator):
+        simulator.run_until(10.0)
+        with pytest.raises(SimulationError):
+            simulator.run_until(5.0)
+
+    def test_run_with_max_events(self, simulator):
+        seen = []
+        for t in range(10):
+            simulator.schedule(float(t), lambda t=t: seen.append(t))
+        simulator.run(max_events=3)
+        assert seen == [0, 1, 2]
+
+
+class TestPeriodic:
+    def test_periodic_fires_at_interval(self, simulator):
+        ticks = []
+        simulator.schedule_periodic(10.0, lambda: ticks.append(simulator.now))
+        simulator.run_until(35.0)
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_periodic_start_delay(self, simulator):
+        ticks = []
+        simulator.schedule_periodic(
+            10.0, lambda: ticks.append(simulator.now), start_delay=0.0
+        )
+        simulator.run_until(25.0)
+        assert ticks == [0.0, 10.0, 20.0]
+
+    def test_periodic_until_bound(self, simulator):
+        ticks = []
+        simulator.schedule_periodic(
+            10.0, lambda: ticks.append(simulator.now), until=30.0
+        )
+        simulator.run_until(100.0)
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_periodic_cancel(self, simulator):
+        ticks = []
+        cancel = simulator.schedule_periodic(
+            10.0, lambda: ticks.append(simulator.now)
+        )
+        simulator.run_until(25.0)
+        cancel()
+        simulator.run_until(100.0)
+        assert ticks == [10.0, 20.0]
+
+    def test_non_positive_interval_raises(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.schedule_periodic(0.0, lambda: None)
+
+    def test_time_constants(self):
+        assert HOUR == 3600.0
+        assert DAY == 24 * HOUR
+
+
+class TestDeterminism:
+    def test_two_runs_are_identical(self):
+        def run_once():
+            sim = Simulator()
+            log = []
+            sim.schedule_periodic(7.0, lambda: log.append(("tick", sim.now)))
+            sim.schedule(15.0, lambda: log.append(("once", sim.now)))
+            sim.run_until(50.0)
+            return log
+
+        assert run_once() == run_once()

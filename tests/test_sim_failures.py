@@ -1,0 +1,138 @@
+"""Tests for the failure models and the failure injector."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import DAY, Simulator
+from repro.sim.failures import (
+    BernoulliFailureModel,
+    FailureInjector,
+    MtbfFailureModel,
+)
+
+
+class TestBernoulliModel:
+    def test_success_ratio_formula(self):
+        model = BernoulliFailureModel(probability=0.01)
+        assert model.query_success_ratio(1) == pytest.approx(0.99)
+        assert model.query_success_ratio(2) == pytest.approx(0.99 ** 2)
+
+    def test_zero_fanout_always_succeeds(self):
+        model = BernoulliFailureModel(probability=0.5)
+        assert model.query_success_ratio(0) == 1.0
+
+    def test_paper_headline_numbers(self):
+        """p=0.01%: ~99% success at 100 servers (Figure 1's wall)."""
+        model = BernoulliFailureModel(probability=1e-4)
+        assert model.query_success_ratio(100) == pytest.approx(0.99, abs=0.001)
+
+    def test_sampling_matches_expectation(self, rng):
+        model = BernoulliFailureModel(probability=0.05)
+        failures = [model.sample_visit_failures(rng, 100) for __ in range(2000)]
+        assert np.mean(failures) == pytest.approx(5.0, rel=0.1)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            BernoulliFailureModel(probability=-0.1)
+
+    def test_negative_fanout_rejected(self):
+        with pytest.raises(ValueError):
+            BernoulliFailureModel().query_success_ratio(-1)
+
+
+class TestMtbfModel:
+    def test_time_to_failure_has_configured_mean(self, rng):
+        model = MtbfFailureModel(mtbf=100.0)
+        samples = [model.sample_time_to_failure(rng) for __ in range(5000)]
+        assert np.mean(samples) == pytest.approx(100.0, rel=0.1)
+
+    def test_permanent_fraction(self, rng):
+        model = MtbfFailureModel(permanent_fraction=0.25)
+        outcomes = [model.sample_is_permanent(rng) for __ in range(5000)]
+        assert np.mean(outcomes) == pytest.approx(0.25, abs=0.03)
+
+    def test_downtime_depends_on_permanence(self, rng):
+        model = MtbfFailureModel(mttr=60.0, repair_time=6000.0)
+        transient = np.mean([model.sample_downtime(rng, False) for __ in range(3000)])
+        permanent = np.mean([model.sample_downtime(rng, True) for __ in range(3000)])
+        assert permanent > 10 * transient
+
+    def test_instantaneous_unavailability(self):
+        model = MtbfFailureModel(
+            mtbf=1000.0, mttr=10.0, permanent_fraction=0.0, repair_time=100.0
+        )
+        assert model.instantaneous_unavailability() == pytest.approx(
+            10.0 / 1010.0
+        )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MtbfFailureModel(mtbf=0.0)
+        with pytest.raises(ValueError):
+            MtbfFailureModel(permanent_fraction=2.0)
+
+
+class TestFailureInjector:
+    def _make(self, mtbf=2 * DAY, horizon=None):
+        simulator = Simulator()
+        events = {"fail": [], "recover": []}
+        model = MtbfFailureModel(
+            mtbf=mtbf, mttr=600.0, permanent_fraction=0.2, repair_time=DAY
+        )
+        injector = FailureInjector(
+            simulator,
+            model,
+            np.random.default_rng(42),
+            on_fail=lambda h, p: events["fail"].append((h, p)),
+            on_recover=lambda h: events["recover"].append(h),
+        )
+        return simulator, injector, events
+
+    def test_failures_occur_and_recover(self):
+        simulator, injector, events = self._make()
+        for i in range(20):
+            injector.track(f"host{i}", until=30 * DAY)
+        simulator.run_until(30 * DAY)
+        assert len(events["fail"]) > 0
+        # every recorded event eventually recovered (or is still down at end)
+        assert len(events["recover"]) <= len(events["fail"])
+        assert len(events["recover"]) >= len(events["fail"]) - 20
+
+    def test_untracked_host_stops_failing(self):
+        simulator, injector, events = self._make(mtbf=DAY / 4)
+        injector.track("h1", until=10 * DAY)
+        simulator.run_until(2 * DAY)
+        count = len(events["fail"])
+        injector.untrack("h1")
+        simulator.run_until(10 * DAY)
+        assert len(events["fail"]) == count
+
+    def test_track_is_idempotent(self):
+        simulator, injector, __ = self._make()
+        injector.track("h1", until=DAY)
+        injector.track("h1", until=DAY)
+        # only one failure chain scheduled; just ensure no crash on run
+        simulator.run_until(DAY)
+
+    def test_permanent_failures_per_day(self):
+        simulator, injector, __ = self._make(mtbf=DAY)
+        for i in range(50):
+            injector.track(f"host{i}", until=20 * DAY)
+        simulator.run_until(20 * DAY)
+        rate = injector.permanent_failures_per_day(20)
+        permanent = sum(1 for e in injector.events if e.permanent)
+        assert rate == pytest.approx(permanent / 20)
+        assert rate > 0
+
+    def test_events_are_recorded_with_times(self):
+        simulator, injector, __ = self._make(mtbf=DAY)
+        injector.track("h1", until=30 * DAY)
+        simulator.run_until(30 * DAY)
+        times = [e.time for e in injector.events]
+        assert times == sorted(times)
+        assert all(e.host_id == "h1" for e in injector.events)
+
+    def test_horizon_validation(self):
+        __, injector, __events = self._make()
+        with pytest.raises(ValueError):
+            injector.permanent_failures_per_day(0)

@@ -1,0 +1,113 @@
+"""Tests for the tail-latency models."""
+
+import numpy as np
+import pytest
+
+from repro.sim.latency import (
+    HiccupModel,
+    LogNormalTailLatency,
+    fanout_latency,
+)
+
+
+class TestHiccupModel:
+    def test_zero_probability_never_fires(self, rng):
+        model = HiccupModel(probability=0.0)
+        assert all(model.sample(rng) == 0.0 for __ in range(100))
+
+    def test_certain_probability_always_fires(self, rng):
+        model = HiccupModel(probability=1.0, min_delay=0.1, max_delay=0.2)
+        samples = [model.sample(rng) for __ in range(50)]
+        assert all(0.1 <= s <= 0.2 for s in samples)
+
+    def test_sample_many_matches_rate(self, rng):
+        model = HiccupModel(probability=0.1, min_delay=1.0, max_delay=1.0)
+        delays = model.sample_many(rng, 50_000)
+        rate = (delays > 0).mean()
+        assert 0.08 < rate < 0.12
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            HiccupModel(probability=1.5)
+
+    def test_invalid_delay_range_rejected(self):
+        with pytest.raises(ValueError):
+            HiccupModel(min_delay=2.0, max_delay=1.0)
+
+
+class TestLogNormalTailLatency:
+    def test_sample_components_sum(self, rng):
+        model = LogNormalTailLatency(base=0.002, median=0.01, sigma=0.5)
+        sample = model.sample(rng)
+        assert sample.total == pytest.approx(
+            sample.base + sample.tail + sample.hiccup
+        )
+
+    def test_median_is_approximately_configured(self, rng):
+        model = LogNormalTailLatency(
+            base=0.0, median=0.01, sigma=0.5, hiccups=HiccupModel(probability=0.0)
+        )
+        samples = model.sample_many(rng, 100_000)
+        assert np.median(samples) == pytest.approx(0.01, rel=0.05)
+
+    def test_tail_is_heavy(self, rng):
+        model = LogNormalTailLatency(
+            base=0.0, median=0.01, sigma=1.0, hiccups=HiccupModel(probability=0.0)
+        )
+        samples = model.sample_many(rng, 100_000)
+        p50 = np.percentile(samples, 50)
+        p999 = np.percentile(samples, 99.9)
+        assert p999 > 10 * p50
+
+    def test_base_is_floor(self, rng):
+        model = LogNormalTailLatency(base=0.005, median=0.001, sigma=0.1)
+        samples = model.sample_many(rng, 1000)
+        assert samples.min() > 0.005
+
+    def test_analytic_quantile_matches_simulation(self, rng):
+        model = LogNormalTailLatency(
+            base=0.001, median=0.02, sigma=0.8,
+            hiccups=HiccupModel(probability=0.0),
+        )
+        samples = model.sample_many(rng, 200_000)
+        for q in (0.5, 0.9, 0.99):
+            empirical = np.quantile(samples, q)
+            analytic = model.quantile_no_hiccup(q)
+            assert empirical == pytest.approx(analytic, rel=0.05)
+
+    def test_quantile_domain_validated(self):
+        model = LogNormalTailLatency()
+        with pytest.raises(ValueError):
+            model.quantile_no_hiccup(0.0)
+        with pytest.raises(ValueError):
+            model.quantile_no_hiccup(1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LogNormalTailLatency(median=0.0)
+        with pytest.raises(ValueError):
+            LogNormalTailLatency(sigma=-1.0)
+        with pytest.raises(ValueError):
+            LogNormalTailLatency(base=-0.1)
+
+
+class TestFanoutLatency:
+    def test_max_of_hosts(self):
+        assert fanout_latency(np.array([0.1, 0.5, 0.3])) == 0.5
+
+    def test_single_host(self):
+        assert fanout_latency(np.array([0.2])) == pytest.approx(0.2)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            fanout_latency(np.array([]))
+
+    def test_fanout_amplifies_tail(self, rng):
+        """The core Figure 5 mechanic: p99 grows with fan-out."""
+        model = LogNormalTailLatency(base=0.0, median=0.01, sigma=1.0,
+                                     hiccups=HiccupModel(probability=0.0))
+        n = 20_000
+        lone = model.sample_many(rng, n)
+        wide = model.sample_many(rng, n * 32).reshape(n, 32).max(axis=1)
+        assert np.percentile(wide, 50) > np.percentile(lone, 50)
+        assert np.percentile(wide, 99) > 3 * np.percentile(lone, 99) / 2

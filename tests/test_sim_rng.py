@@ -1,0 +1,47 @@
+"""Tests for named RNG streams."""
+
+from repro.sim.rng import RngRegistry, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "failures") == derive_seed(42, "failures")
+
+    def test_different_names_differ(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_different_roots_differ(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= derive_seed(123456789, "stream") < 2 ** 64
+
+
+class TestRegistry:
+    def test_same_name_returns_same_stream(self):
+        registry = RngRegistry(seed=1)
+        assert registry.stream("x") is registry.stream("x")
+
+    def test_streams_are_reproducible_across_registries(self):
+        a = RngRegistry(seed=5).stream("latency").random(10)
+        b = RngRegistry(seed=5).stream("latency").random(10)
+        assert (a == b).all()
+
+    def test_streams_are_independent(self):
+        registry = RngRegistry(seed=5)
+        # Draining one stream must not affect another.
+        before = RngRegistry(seed=5).stream("b").random(5)
+        registry.stream("a").random(1000)
+        after = registry.stream("b").random(5)
+        assert (before == after).all()
+
+    def test_fork_gives_independent_registry(self):
+        parent = RngRegistry(seed=9)
+        child = parent.fork("worker-1")
+        assert child.seed != parent.seed
+        assert parent.fork("worker-1").seed == child.seed
+
+    def test_repr_lists_streams(self):
+        registry = RngRegistry(seed=3)
+        registry.stream("alpha")
+        assert "alpha" in repr(registry)

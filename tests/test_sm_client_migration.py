@@ -1,0 +1,158 @@
+"""Tests for the SM client routing and the migration engine."""
+
+import pytest
+
+from repro.cluster.topology import Cluster
+from repro.errors import (
+    HostUnavailableError,
+    MigrationError,
+    ShardMappingUnknownError,
+)
+from repro.shardmanager.app_server import InMemoryApplicationServer
+from repro.shardmanager.client import SMClient
+from repro.shardmanager.migration import MigrationEngine
+from repro.shardmanager.server import SMServer
+from repro.shardmanager.spec import ServiceSpec
+from repro.sim.engine import DAY, Simulator
+from repro.smc.registry import ServiceDiscovery
+
+
+def make_service():
+    simulator = Simulator()
+    cluster = Cluster.build(regions=1, racks_per_region=2, hosts_per_rack=5)
+    server = SMServer(
+        ServiceSpec(name="t", max_shards=1000), simulator, cluster,
+        region="region0",
+    )
+    apps = {}
+    for host in cluster.hosts():
+        app = InMemoryApplicationServer(host.host_id, capacity=1000.0)
+        apps[host.host_id] = app
+        server.register_host(app)
+    return simulator, cluster, server, apps
+
+
+class TestSMClient:
+    def test_resolve_after_propagation(self):
+        simulator, __, server, __a = make_service()
+        entry = server.create_shard(1, size_hint=1.0)
+        simulator.run_until(60.0)
+        client = SMClient(server)
+        assert client.resolve(1) == entry.replicas[0].host_id
+
+    def test_resolve_before_propagation_raises(self):
+        simulator, __, server, __a = make_service()
+        server.create_shard(1, size_hint=1.0)
+        client = SMClient(server)
+        with pytest.raises(ShardMappingUnknownError):
+            client.resolve(1)
+
+    def test_request_reaches_owner(self):
+        simulator, __, server, __a = make_service()
+        entry = server.create_shard(1, size_hint=1.0)
+        simulator.run_until(60.0)
+        client = SMClient(server)
+        result, routed = client.request(1, lambda host: host)
+        assert result == entry.replicas[0].host_id
+        assert not routed.was_stale
+        assert not routed.forwarded
+
+    def test_stale_mapping_forwards_during_migration(self):
+        simulator, __, server, apps = make_service()
+        entry = server.create_shard(1, size_hint=1.0)
+        simulator.run_until(60.0)
+        source = entry.replicas[0].host_id
+        target = next(h for h in apps if h != source)
+        from repro.shardmanager.balancer import MigrationProposal
+
+        server._execute_move(
+            MigrationProposal(
+                shard_id=1, from_host=source, to_host=target, shard_load=1.0
+            )
+        )
+        client = SMClient(server)
+        # Immediately after the move the cache still points at source;
+        # source no longer "owns" the shard in SM, so we forward.
+        result, routed = client.request(1, lambda host: host)
+        assert routed.was_stale
+        assert routed.forwarded
+        assert result == target
+
+    def test_down_host_raises(self):
+        simulator, cluster, server, __a = make_service()
+        entry = server.create_shard(1, size_hint=1.0)
+        simulator.run_until(60.0)
+        victim = entry.replicas[0].host_id
+        cluster.host(victim).fail(permanent=False)
+        client = SMClient(server)
+        with pytest.raises(HostUnavailableError):
+            client.request(1, lambda host: host)
+
+
+class TestMigrationEngine:
+    def _engine(self):
+        simulator = Simulator()
+        discovery = ServiceDiscovery()
+        engine = MigrationEngine(simulator, discovery)
+        return simulator, discovery, engine
+
+    def test_live_migrate_runs_graceful_protocol(self):
+        simulator, discovery, engine = self._engine()
+        source = InMemoryApplicationServer("a")
+        target = InMemoryApplicationServer("b")
+        source.add_shard(1, None)
+        source.set_shard_size(1, 42.0)
+        record = engine.live_migrate(1, source, target)
+        assert record.graceful
+        assert target.shard_metrics()[1] == 42.0  # data copied
+        assert source.is_forwarding(1)
+        assert discovery.resolve_authoritative(1) == "b"
+        # Source still holds data until the grace period elapses.
+        assert 1 in source.hosted_shards()
+        simulator.run_until(engine.drop_grace_period + 1.0)
+        assert 1 not in source.hosted_shards()
+
+    def test_live_migrate_to_self_rejected(self):
+        __, __d, engine = self._engine()
+        app = InMemoryApplicationServer("a")
+        app.add_shard(1, None)
+        with pytest.raises(MigrationError):
+            engine.live_migrate(1, app, app)
+
+    def test_failover_is_single_add(self):
+        __, discovery, engine = self._engine()
+        target = InMemoryApplicationServer("b")
+        record = engine.failover(1, target, failed_host="a")
+        assert not record.graceful
+        assert record.reason == "failover"
+        assert 1 in target.hosted_shards()
+        assert discovery.resolve_authoritative(1) == "b"
+
+    def test_failover_with_recovery_source_copies_data(self):
+        __, __d, engine = self._engine()
+        healthy = InMemoryApplicationServer("c")
+        healthy.add_shard(1, None)
+        healthy.set_shard_size(1, 7.0)
+        target = InMemoryApplicationServer("b")
+        engine.failover(1, target, failed_host="a", recovery_source=healthy)
+        assert target.shard_metrics()[1] == 7.0
+
+    def test_migrations_per_day_buckets(self):
+        simulator, __, engine = self._engine()
+        target = InMemoryApplicationServer("b")
+        engine.failover(1, target, failed_host="a")
+        simulator.run_until(DAY + 10)
+        target2 = InMemoryApplicationServer("c")
+        engine.failover(2, target2, failed_host="a")
+        assert engine.migrations_per_day(2) == [1, 1]
+
+    def test_count_by_reason(self):
+        __, __d, engine = self._engine()
+        engine.failover(1, InMemoryApplicationServer("b"), failed_host="a")
+        counts = engine.count_by_reason()
+        assert counts == {"failover": 1}
+
+    def test_invalid_horizon_rejected(self):
+        __, __d, engine = self._engine()
+        with pytest.raises(ValueError):
+            engine.migrations_per_day(0)

@@ -1,0 +1,118 @@
+"""Tests for the Zookeeper-like datastore: sessions, heartbeats, watches."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.shardmanager.datastore import Datastore
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def store():
+    simulator = Simulator()
+    return simulator, Datastore(
+        simulator, session_timeout=30.0, check_interval=5.0
+    )
+
+
+class TestKeyValue:
+    def test_set_get_delete(self, store):
+        __, datastore = store
+        datastore.set("a/b", 42)
+        assert datastore.get("a/b") == 42
+        datastore.delete("a/b")
+        assert datastore.get("a/b") is None
+
+    def test_get_default(self, store):
+        __, datastore = store
+        assert datastore.get("missing", "dflt") == "dflt"
+
+    def test_prefix_listing(self, store):
+        __, datastore = store
+        datastore.set("shards/2", "x")
+        datastore.set("shards/1", "y")
+        datastore.set("hosts/1", "z")
+        assert datastore.keys_with_prefix("shards/") == ["shards/1", "shards/2"]
+
+
+class TestSessions:
+    def test_heartbeats_keep_session_alive(self, store):
+        simulator, datastore = store
+        session = datastore.create_session("hostA")
+        simulator.schedule_periodic(10.0, lambda: datastore.heartbeat(session))
+        simulator.run_until(120.0)
+        assert not session.expired
+        assert len(datastore.live_sessions()) == 1
+
+    def test_missing_heartbeats_expire_session(self, store):
+        simulator, datastore = store
+        expired = []
+        datastore.watch_sessions(expired.append)
+        datastore.create_session("hostA")
+        simulator.run_until(60.0)
+        assert expired == ["hostA"]
+        assert datastore.live_sessions() == []
+
+    def test_expiry_happens_after_timeout(self, store):
+        simulator, datastore = store
+        expired = []
+        datastore.watch_sessions(lambda owner: expired.append(simulator.now))
+        datastore.create_session("hostA")
+        simulator.run_until(200.0)
+        assert len(expired) == 1
+        assert 30.0 < expired[0] <= 40.0  # timeout + sweep granularity
+
+    def test_heartbeat_on_expired_session_raises(self, store):
+        simulator, datastore = store
+        session = datastore.create_session("hostA")
+        simulator.run_until(60.0)
+        with pytest.raises(SimulationError):
+            datastore.heartbeat(session)
+
+    def test_ephemeral_keys_vanish_on_expiry(self, store):
+        simulator, datastore = store
+        session = datastore.create_session("hostA")
+        datastore.create_ephemeral(session, "live/hostA", True)
+        assert datastore.get("live/hostA") is True
+        simulator.run_until(60.0)
+        assert datastore.get("live/hostA") is None
+
+    def test_close_session_removes_ephemerals_without_alarm(self, store):
+        simulator, datastore = store
+        expired = []
+        datastore.watch_sessions(expired.append)
+        session = datastore.create_session("hostA")
+        datastore.create_ephemeral(session, "live/hostA", True)
+        datastore.close_session(session)
+        simulator.run_until(120.0)
+        assert expired == []
+        assert datastore.get("live/hostA") is None
+
+    def test_ephemeral_on_expired_session_raises(self, store):
+        simulator, datastore = store
+        session = datastore.create_session("hostA")
+        simulator.run_until(60.0)
+        with pytest.raises(SimulationError):
+            datastore.create_ephemeral(session, "k", 1)
+
+    def test_multiple_watchers_all_notified(self, store):
+        simulator, datastore = store
+        a, b = [], []
+        datastore.watch_sessions(a.append)
+        datastore.watch_sessions(b.append)
+        datastore.create_session("hostA")
+        simulator.run_until(60.0)
+        assert a == ["hostA"] and b == ["hostA"]
+
+    def test_shutdown_stops_sweeps(self, store):
+        simulator, datastore = store
+        expired = []
+        datastore.watch_sessions(expired.append)
+        datastore.create_session("hostA")
+        datastore.shutdown()
+        simulator.run_until(200.0)
+        assert expired == []
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(SimulationError):
+            Datastore(Simulator(), session_timeout=0.0)

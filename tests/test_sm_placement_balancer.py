@@ -1,0 +1,195 @@
+"""Tests for shard placement and the load balancer."""
+
+import pytest
+
+from repro.cluster.topology import Cluster
+from repro.errors import CapacityExceededError
+from repro.shardmanager.balancer import LoadBalancer
+from repro.shardmanager.metrics import MetricsStore
+from repro.shardmanager.placement import PlacementPolicy
+from repro.shardmanager.spec import ReplicationModel, ServiceSpec, SpreadDomain
+
+
+def make_env(spec=None, *, racks=2, hosts_per_rack=5, capacity=100.0):
+    cluster = Cluster.build(
+        regions=1, racks_per_region=racks, hosts_per_rack=hosts_per_rack
+    )
+    spec = spec or ServiceSpec(name="t", max_shards=1000)
+    metrics = MetricsStore()
+    for host in cluster.hosts():
+        metrics.report_capacity(host.host_id, capacity)
+    return cluster, spec, metrics
+
+
+class TestPlacement:
+    def test_picks_least_utilized(self):
+        cluster, spec, metrics = make_env()
+        hosts = cluster.host_ids()
+        for i, host in enumerate(hosts):
+            metrics.report_shard(i, host, float(i * 10), now=0.0)
+        policy = PlacementPolicy(spec, cluster, metrics)
+        decision = policy.choose_host(99, size_hint=5.0)
+        assert decision.host_id == hosts[0]
+
+    def test_respects_capacity(self):
+        cluster, spec, metrics = make_env(capacity=10.0)
+        policy = PlacementPolicy(spec, cluster, metrics)
+        with pytest.raises(CapacityExceededError):
+            policy.choose_host(1, size_hint=50.0)
+
+    def test_respects_exclusions(self):
+        cluster, spec, metrics = make_env()
+        policy = PlacementPolicy(spec, cluster, metrics)
+        all_but_one = set(cluster.host_ids()[:-1])
+        decision = policy.choose_host(1, exclude_hosts=all_but_one)
+        assert decision.host_id == cluster.host_ids()[-1]
+
+    def test_skips_unavailable_hosts(self):
+        cluster, spec, metrics = make_env()
+        victim = cluster.host_ids()[0]
+        cluster.host(victim).fail(permanent=False)
+        policy = PlacementPolicy(spec, cluster, metrics)
+        for shard in range(20):
+            assert policy.choose_host(shard).host_id != victim
+
+    def test_skips_hosts_without_capacity_report(self):
+        cluster = Cluster.build(regions=1, racks_per_region=1, hosts_per_rack=3)
+        metrics = MetricsStore()
+        known = cluster.host_ids()[1]
+        metrics.report_capacity(known, 50.0)
+        policy = PlacementPolicy(ServiceSpec(name="t"), cluster, metrics)
+        assert policy.choose_host(1).host_id == known
+
+    def test_pending_load_is_counted(self):
+        cluster, spec, metrics = make_env()
+        policy = PlacementPolicy(spec, cluster, metrics)
+        first = cluster.host_ids()[0]
+        decision = policy.choose_host(
+            1, size_hint=5.0, pending_load={first: 50.0}
+        )
+        assert decision.host_id != first
+
+    def test_replica_set_spreads_across_racks(self):
+        spec = ServiceSpec(
+            name="t",
+            replication_model=ReplicationModel.SECONDARY_ONLY,
+            replication_factor=1,
+            spread=SpreadDomain.RACK,
+        )
+        cluster, __, metrics = make_env(spec)
+        policy = PlacementPolicy(spec, cluster, metrics)
+        decisions = policy.choose_replica_set(1, size_hint=1.0)
+        assert len(decisions) == 2
+        racks = {
+            cluster.host(d.host_id).failure_domain("rack") for d in decisions
+        }
+        assert len(racks) == 2
+
+    def test_replica_set_fails_when_domains_exhausted(self):
+        spec = ServiceSpec(
+            name="t",
+            replication_model=ReplicationModel.SECONDARY_ONLY,
+            replication_factor=2,  # 3 replicas, but only 2 racks exist
+            spread=SpreadDomain.RACK,
+        )
+        cluster, __, metrics = make_env(spec, racks=2)
+        policy = PlacementPolicy(spec, cluster, metrics)
+        with pytest.raises(CapacityExceededError):
+            policy.choose_replica_set(1, size_hint=1.0)
+
+    def test_region_filter(self):
+        cluster = Cluster.build(regions=2, racks_per_region=1, hosts_per_rack=3)
+        metrics = MetricsStore()
+        for host in cluster.hosts():
+            metrics.report_capacity(host.host_id, 100.0)
+        policy = PlacementPolicy(ServiceSpec(name="t"), cluster, metrics)
+        decision = policy.choose_host(1, region="region1")
+        assert cluster.host(decision.host_id).region == "region1"
+
+
+class TestBalancer:
+    def _balanced_env(self):
+        cluster, spec, metrics = make_env(
+            spec=ServiceSpec(name="t", load_imbalance_tolerance=0.1)
+        )
+        return cluster, spec, metrics
+
+    def test_no_moves_when_balanced(self):
+        cluster, spec, metrics = self._balanced_env()
+        hosted = {}
+        for i, host in enumerate(cluster.host_ids()):
+            metrics.report_shard(i, host, 10.0, now=0.0)
+            hosted[host] = {i}
+        balancer = LoadBalancer(spec, cluster, metrics)
+        assert balancer.propose(hosted) == []
+
+    def test_hotspot_is_levelled(self):
+        cluster, spec, metrics = self._balanced_env()
+        hosts = cluster.host_ids()
+        hot = hosts[0]
+        hosted = {hot: set()}
+        for shard in range(10):
+            metrics.report_shard(shard, hot, 10.0, now=0.0)
+            hosted[hot].add(shard)
+        balancer = LoadBalancer(spec, cluster, metrics)
+        proposals = balancer.propose(hosted)
+        assert proposals
+        assert all(p.from_host == hot for p in proposals)
+        assert all(p.to_host != hot for p in proposals)
+
+    def test_throttle_limits_moves(self):
+        spec = ServiceSpec(name="t", max_migrations_per_run=2,
+                           load_imbalance_tolerance=0.0)
+        cluster, __, metrics = make_env(spec)
+        hot = cluster.host_ids()[0]
+        hosted = {hot: set(range(20))}
+        for shard in range(20):
+            metrics.report_shard(shard, hot, 10.0, now=0.0)
+        balancer = LoadBalancer(spec, cluster, metrics)
+        assert len(balancer.propose(hosted)) == 2
+
+    def test_zero_throttle_disables_balancing(self):
+        spec = ServiceSpec(name="t", max_migrations_per_run=0)
+        cluster, __, metrics = make_env(spec)
+        hot = cluster.host_ids()[0]
+        metrics.report_shard(1, hot, 100.0, now=0.0)
+        balancer = LoadBalancer(spec, cluster, metrics)
+        assert balancer.propose({hot: {1}}) == []
+
+    def test_forbidden_targets_respected(self):
+        cluster, spec, metrics = self._balanced_env()
+        hosts = cluster.host_ids()
+        hot = hosts[0]
+        hosted = {hot: {1}}
+        metrics.report_shard(1, hot, 100.0, now=0.0)
+        forbidden = {1: set(hosts[1:-1])}
+        balancer = LoadBalancer(spec, cluster, metrics)
+        proposals = balancer.propose(hosted, forbidden_targets=forbidden)
+        assert all(p.to_host == hosts[-1] for p in proposals)
+
+    def test_moves_do_not_create_worse_hotspot(self):
+        cluster, spec, metrics = self._balanced_env()
+        hosts = cluster.host_ids()
+        # One giant shard: moving it anywhere just relocates the hotspot,
+        # so the balancer must decline.
+        metrics.report_shard(1, hosts[0], 90.0, now=0.0)
+        for i, host in enumerate(hosts[1:], start=2):
+            metrics.report_shard(i, host, 10.0, now=0.0)
+        hosted = {hosts[0]: {1}}
+        for i, host in enumerate(hosts[1:], start=2):
+            hosted[host] = {i}
+        balancer = LoadBalancer(spec, cluster, metrics)
+        proposals = balancer.propose(hosted)
+        assert proposals == []
+
+    def test_imbalance_metric(self):
+        cluster, spec, metrics = self._balanced_env()
+        hosts = cluster.host_ids()
+        metrics.report_shard(1, hosts[0], 100.0, now=0.0)
+        balancer = LoadBalancer(spec, cluster, metrics)
+        assert balancer.imbalance() == pytest.approx(len(hosts))
+
+    def test_imbalance_of_empty_fleet_is_one(self):
+        cluster, spec, metrics = make_env()
+        balancer = LoadBalancer(spec, cluster, metrics)
+        assert balancer.imbalance() == 1.0

@@ -1,0 +1,234 @@
+"""Tests for the SM server: lifecycle, migration, failover, drains."""
+
+import pytest
+
+from repro.cluster.topology import Cluster
+from repro.errors import (
+    ConfigurationError,
+    MigrationError,
+    ShardNotFoundError,
+)
+from repro.shardmanager.app_server import InMemoryApplicationServer
+from repro.shardmanager.balancer import MigrationProposal
+from repro.shardmanager.server import ReplicaRole, SMServer
+from repro.shardmanager.spec import ReplicationModel, ServiceSpec, SpreadDomain
+from repro.sim.engine import Simulator
+
+
+def make_service(spec=None, regions=1, racks=2, hosts_per_rack=5):
+    simulator = Simulator()
+    cluster = Cluster.build(
+        regions=regions, racks_per_region=racks, hosts_per_rack=hosts_per_rack
+    )
+    spec = spec or ServiceSpec(name="t", max_shards=10_000)
+    server = SMServer(spec, simulator, cluster, region="region0")
+    apps = {}
+    for host in cluster.hosts_in_region("region0"):
+        app = InMemoryApplicationServer(host.host_id, capacity=1000.0)
+        apps[host.host_id] = app
+        server.register_host(app)
+    return simulator, cluster, server, apps
+
+
+class TestRegistration:
+    def test_duplicate_registration_rejected(self):
+        __, cluster, server, apps = make_service()
+        first = next(iter(apps.values()))
+        with pytest.raises(ConfigurationError):
+            server.register_host(first)
+
+    def test_unknown_host_rejected(self):
+        simulator, cluster, server, __ = make_service()
+        with pytest.raises(ConfigurationError):
+            server.register_host(InMemoryApplicationServer("ghost"))
+
+    def test_out_of_region_host_rejected(self):
+        simulator = Simulator()
+        cluster = Cluster.build(regions=2, racks_per_region=1, hosts_per_rack=2)
+        server = SMServer(
+            ServiceSpec(name="t"), simulator, cluster, region="region0"
+        )
+        outsider = cluster.hosts_in_region("region1")[0]
+        with pytest.raises(ConfigurationError):
+            server.register_host(InMemoryApplicationServer(outsider.host_id))
+
+
+class TestShardLifecycle:
+    def test_create_assigns_and_publishes(self):
+        simulator, __, server, apps = make_service()
+        entry = server.create_shard(7, size_hint=5.0)
+        host = entry.replicas[0].host_id
+        assert 7 in apps[host].hosted_shards()
+        assert server.discovery.resolve_authoritative(7) == host
+        assert server.shards_on_host(host) == {7}
+
+    def test_create_spreads_shards(self):
+        __, __c, server, apps = make_service()
+        for shard in range(10):
+            server.create_shard(shard, size_hint=5.0)
+        counts = [len(app.hosted_shards()) for app in apps.values()]
+        assert max(counts) == 1  # 10 shards, 10 hosts, even sizes
+
+    def test_duplicate_create_rejected(self):
+        __, __c, server, __a = make_service()
+        server.create_shard(1)
+        with pytest.raises(MigrationError):
+            server.create_shard(1)
+
+    def test_out_of_keyspace_rejected(self):
+        __, __c, server, __a = make_service()
+        with pytest.raises(ShardNotFoundError):
+            server.create_shard(10_000)
+
+    def test_drop_removes_everywhere(self):
+        __, __c, server, apps = make_service()
+        entry = server.create_shard(3, size_hint=5.0)
+        host = entry.replicas[0].host_id
+        server.drop_shard(3)
+        assert 3 not in apps[host].hosted_shards()
+        assert not server.has_shard(3)
+        assert server.discovery.resolve_authoritative(3) is None
+
+    def test_replicated_create_uses_distinct_hosts(self):
+        spec = ServiceSpec(
+            name="t",
+            max_shards=1000,
+            replication_model=ReplicationModel.SECONDARY_ONLY,
+            replication_factor=2,
+            spread=SpreadDomain.HOST,
+        )
+        __, __c, server, __a = make_service(spec)
+        entry = server.create_shard(1, size_hint=1.0)
+        hosts = [r.host_id for r in entry.replicas]
+        assert len(set(hosts)) == 3
+        assert all(r.role is ReplicaRole.SECONDARY for r in entry.replicas)
+
+    def test_primary_secondary_roles(self):
+        spec = ServiceSpec(
+            name="t",
+            max_shards=1000,
+            replication_model=ReplicationModel.PRIMARY_SECONDARY,
+            replication_factor=1,
+        )
+        __, __c, server, __a = make_service(spec)
+        entry = server.create_shard(1, size_hint=1.0)
+        roles = sorted(r.role.value for r in entry.replicas)
+        assert roles == ["primary", "secondary"]
+        assert entry.primary() is not None
+
+
+class TestMetricsAndBalance:
+    def test_collect_metrics_pulls_from_apps(self):
+        __, __c, server, apps = make_service()
+        entry = server.create_shard(1, size_hint=0.0)
+        host = entry.replicas[0].host_id
+        apps[host].set_shard_size(1, 123.0)
+        server.collect_metrics()
+        assert server.metrics.shard_load(1, host) == 123.0
+
+    def test_load_balance_moves_heavy_shards(self):
+        __, __c, server, apps = make_service()
+        for shard in range(10):
+            server.create_shard(shard, size_hint=1.0)
+        # Blow up one host's shard so it dominates.
+        hot_host, hot_app = next(
+            (h, a) for h, a in apps.items() if a.hosted_shards()
+        )
+        extra = [s for s in range(10, 14)]
+        for s in extra:
+            server.create_shard(s, size_hint=1.0)
+        # Force several shards onto one host by inflating sizes there.
+        for s in list(hot_app.hosted_shards()):
+            hot_app.set_shard_size(s, 500.0)
+        server.collect_metrics()
+        executed = server.run_load_balance()
+        assert isinstance(executed, list)
+        # The move was reflected in SM's assignment table and the app.
+        for proposal in executed:
+            assert proposal.shard_id in apps[proposal.to_host].hosted_shards()
+            assert proposal.shard_id in server.shards_on_host(proposal.to_host)
+
+    def test_migration_is_graceful_with_delayed_drop(self):
+        simulator, __, server, apps = make_service()
+        entry = server.create_shard(1, size_hint=5.0)
+        source_host = entry.replicas[0].host_id
+        target_host = next(h for h in apps if h != source_host)
+        proposal = MigrationProposal(
+            shard_id=1, from_host=source_host, to_host=target_host,
+            shard_load=5.0,
+        )
+        assert server._execute_move(proposal)
+        # Both hosts hold the shard until the SMC grace period passes.
+        assert 1 in apps[target_host].hosted_shards()
+        assert 1 in apps[source_host].hosted_shards()
+        assert apps[source_host].is_forwarding(1)
+        simulator.run_until(simulator.now + 60.0)
+        assert 1 not in apps[source_host].hosted_shards()
+
+
+class TestFailover:
+    def test_dead_host_shards_fail_over(self):
+        simulator, cluster, server, apps = make_service()
+        entry = server.create_shard(1, size_hint=5.0)
+        victim = entry.replicas[0].host_id
+        cluster.host(victim).fail(permanent=False)
+        simulator.run_until(120.0)  # heartbeats stop, session expires
+        new_host = server.discovery.resolve_authoritative(1)
+        assert new_host != victim
+        assert 1 in apps[new_host].hosted_shards()
+        assert server.shards_on_host(victim) == set()
+        assert server.migrations.count_by_reason().get("failover") == 1
+
+    def test_primary_failover_promotes_secondary(self):
+        spec = ServiceSpec(
+            name="t",
+            max_shards=1000,
+            replication_model=ReplicationModel.PRIMARY_SECONDARY,
+            replication_factor=1,
+        )
+        simulator, cluster, server, apps = make_service(spec)
+        entry = server.create_shard(1, size_hint=5.0)
+        primary = entry.primary()
+        secondary = next(
+            r for r in entry.replicas if r.role is ReplicaRole.SECONDARY
+        )
+        secondary_host = secondary.host_id
+        cluster.host(primary.host_id).fail(permanent=False)
+        simulator.run_until(120.0)
+        # The old secondary was promoted and published.
+        assert server.discovery.resolve_authoritative(1) == secondary_host
+        promoted = server.shard_entry(1).primary()
+        assert promoted is not None and promoted.host_id == secondary_host
+        # A replacement replica was allocated somewhere new.
+        hosts = {r.host_id for r in server.shard_entry(1).replicas}
+        assert len(hosts) == 2
+
+    def test_drain_moves_all_shards(self):
+        simulator, cluster, server, apps = make_service()
+        for shard in range(6):
+            server.create_shard(shard, size_hint=5.0)
+        victim = next(h for h, a in apps.items() if a.hosted_shards())
+        victim_shards = set(server.shards_on_host(victim))
+        moved = server.drain_host(victim)
+        assert moved == len(victim_shards)
+        assert server.shards_on_host(victim) == set()
+        for shard in victim_shards:
+            new_host = server.discovery.resolve_authoritative(shard)
+            assert new_host != victim
+
+    def test_recovered_host_can_reconnect(self):
+        simulator, cluster, server, apps = make_service()
+        entry = server.create_shard(1, size_hint=5.0)
+        victim = entry.replicas[0].host_id
+        cluster.host(victim).fail(permanent=False)
+        simulator.run_until(120.0)
+        cluster.host(victim).recover()
+        fresh = InMemoryApplicationServer(victim, capacity=1000.0)
+        server.reconnect_host(fresh)
+        simulator.run_until(240.0)
+        assert victim in server.registered_hosts()
+        # The reconnected host can now receive placements again.
+        server.collect_metrics()
+        entry2 = server.create_shard(2, size_hint=5.0)
+        assert server.has_shard(2)
+        assert entry2.replicas[0].host_id in server.registered_hosts()

@@ -1,0 +1,141 @@
+"""Tests for ServiceSpec validation and the metrics store."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.shardmanager.metrics import MetricsStore, MovingAverage
+from repro.shardmanager.spec import ReplicationModel, ServiceSpec, SpreadDomain
+
+
+class TestServiceSpec:
+    def test_defaults_are_primary_only(self):
+        spec = ServiceSpec(name="s")
+        assert spec.replication_model is ReplicationModel.PRIMARY_ONLY
+        assert spec.replication_factor == 0
+        assert spec.replicas_per_shard == 1
+
+    def test_primary_only_with_replicas_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceSpec(name="s", replication_factor=1)
+
+    def test_primary_secondary_needs_replicas(self):
+        with pytest.raises(ConfigurationError):
+            ServiceSpec(
+                name="s",
+                replication_model=ReplicationModel.PRIMARY_SECONDARY,
+                replication_factor=0,
+            )
+
+    def test_replicas_per_shard_counts_primary(self):
+        spec = ServiceSpec(
+            name="s",
+            replication_model=ReplicationModel.PRIMARY_SECONDARY,
+            replication_factor=2,
+        )
+        assert spec.replicas_per_shard == 3
+
+    def test_secondary_only_spec(self):
+        spec = ServiceSpec(
+            name="s",
+            replication_model=ReplicationModel.SECONDARY_ONLY,
+            replication_factor=2,
+            spread=SpreadDomain.REGION,
+        )
+        assert spec.replicas_per_shard == 3
+
+    def test_invalid_max_shards_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceSpec(name="s", max_shards=0)
+
+    def test_invalid_headroom_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceSpec(name="s", capacity_headroom=0.0)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceSpec(name="s", load_imbalance_tolerance=-0.1)
+
+
+class TestMovingAverage:
+    def test_first_sample_is_value(self):
+        avg = MovingAverage(alpha=0.5)
+        assert avg.update(10.0) == 10.0
+
+    def test_smooths_spikes(self):
+        avg = MovingAverage(alpha=0.2)
+        avg.update(10.0)
+        smoothed = avg.update(100.0)
+        assert smoothed == pytest.approx(0.2 * 100 + 0.8 * 10)
+
+    def test_converges_to_constant_input(self):
+        avg = MovingAverage(alpha=0.3)
+        for __ in range(100):
+            avg.update(42.0)
+        assert avg.value == pytest.approx(42.0)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            MovingAverage(alpha=0.0)
+
+
+class TestMetricsStore:
+    def test_host_load_sums_shards(self):
+        store = MetricsStore()
+        store.report_shard(1, "h1", 10.0, now=0.0)
+        store.report_shard(2, "h1", 5.0, now=0.0)
+        store.report_shard(3, "h2", 7.0, now=0.0)
+        assert store.host_load("h1") == 15.0
+        assert store.host_load("h2") == 7.0
+
+    def test_re_report_overwrites(self):
+        store = MetricsStore()
+        store.report_shard(1, "h1", 10.0, now=0.0)
+        store.report_shard(1, "h1", 20.0, now=1.0)
+        assert store.host_load("h1") == 20.0
+
+    def test_shards_on_host_sorted_heaviest_first(self):
+        store = MetricsStore()
+        store.report_shard(1, "h1", 1.0, now=0.0)
+        store.report_shard(2, "h1", 9.0, now=0.0)
+        store.report_shard(3, "h1", 5.0, now=0.0)
+        assert store.shards_on_host("h1") == [(2, 9.0), (3, 5.0), (1, 1.0)]
+
+    def test_drop_shard_removes_metric(self):
+        store = MetricsStore()
+        store.report_shard(1, "h1", 10.0, now=0.0)
+        store.drop_shard(1, "h1")
+        assert store.host_load("h1") == 0.0
+        assert store.shard_load(1, "h1") == 0.0
+
+    def test_utilization(self):
+        store = MetricsStore()
+        store.report_capacity("h1", 100.0)
+        store.report_shard(1, "h1", 25.0, now=0.0)
+        assert store.utilization("h1") == 0.25
+
+    def test_utilization_without_capacity_is_infinite(self):
+        store = MetricsStore()
+        store.report_shard(1, "h1", 25.0, now=0.0)
+        assert store.utilization("h1") == float("inf")
+
+    def test_remove_host_clears_everything(self):
+        store = MetricsStore()
+        store.report_capacity("h1", 100.0)
+        store.report_shard(1, "h1", 10.0, now=0.0)
+        store.remove_host("h1")
+        assert store.capacity("h1") == 0.0
+        assert store.host_load("h1") == 0.0
+
+    def test_fleet_snapshot(self):
+        store = MetricsStore()
+        store.report_capacity("h1", 100.0)
+        store.report_shard(1, "h1", 50.0, now=0.0)
+        snapshot = store.fleet_snapshot()
+        assert snapshot["h1"]["utilization"] == 0.5
+
+    def test_negative_metric_rejected(self):
+        store = MetricsStore()
+        with pytest.raises(ValueError):
+            store.report_shard(1, "h1", -1.0, now=0.0)
+        with pytest.raises(ValueError):
+            store.report_capacity("h1", -5.0)

@@ -1,0 +1,179 @@
+"""Stateful property test: SM invariants under arbitrary operations.
+
+Drives a Shard Manager service through random interleavings of shard
+creation/drops, host failures/recoveries, drains, metric growth and
+balancing rounds, checking after every step that SM's bookkeeping,
+the application servers and service discovery never diverge:
+
+* every registered shard's replicas live on hosts SM believes hold them;
+* the authoritative discovery mapping points at a current replica;
+* an application server never hosts a shard SM doesn't know about
+  (except inside a graceful-drop grace window);
+* failovers never leave a shard assigned to a dead host once handled.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.cluster.topology import Cluster
+from repro.errors import CapacityExceededError, MigrationError
+from repro.shardmanager.app_server import InMemoryApplicationServer
+from repro.shardmanager.server import SMServer
+from repro.shardmanager.spec import ServiceSpec
+from repro.sim.engine import Simulator
+
+HOSTS = 8
+MAX_SHARDS = 64
+
+
+class ShardManagerMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.simulator = Simulator()
+        self.cluster = Cluster.build(
+            regions=1, racks_per_region=2, hosts_per_rack=HOSTS // 2
+        )
+        self.server = SMServer(
+            ServiceSpec(name="fuzz", max_shards=MAX_SHARDS,
+                        max_migrations_per_run=4),
+            self.simulator,
+            self.cluster,
+            region="region0",
+        )
+        self.apps: dict[str, InMemoryApplicationServer] = {}
+        for host in self.cluster.hosts():
+            app = InMemoryApplicationServer(host.host_id, capacity=10_000.0)
+            self.apps[host.host_id] = app
+            self.server.register_host(app)
+        self.rng = np.random.default_rng(0)
+        self.down: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+
+    @rule(shard=st.integers(0, MAX_SHARDS - 1),
+          size=st.floats(1.0, 100.0))
+    def create_shard(self, shard: int, size: float) -> None:
+        if self.server.has_shard(shard):
+            return
+        try:
+            self.server.create_shard(shard, size_hint=size)
+        except (CapacityExceededError, MigrationError):
+            pass
+
+    @rule(shard=st.integers(0, MAX_SHARDS - 1))
+    def drop_shard(self, shard: int) -> None:
+        if self.server.has_shard(shard):
+            self.server.drop_shard(shard)
+
+    @rule(index=st.integers(0, HOSTS - 1))
+    def fail_host(self, index: int) -> None:
+        host_id = self.cluster.host_ids()[index]
+        if host_id in self.down or len(self.down) >= HOSTS - 2:
+            return
+        self.cluster.host(host_id).fail(permanent=False)
+        self.down.add(host_id)
+        # Let heartbeats lapse and the failover run.
+        self.simulator.run_until(self.simulator.now + 60.0)
+
+    @rule(index=st.integers(0, HOSTS - 1))
+    def recover_host(self, index: int) -> None:
+        host_id = self.cluster.host_ids()[index]
+        if host_id not in self.down:
+            return
+        self.cluster.host(host_id).recover()
+        self.down.discard(host_id)
+        fresh = InMemoryApplicationServer(host_id, capacity=10_000.0)
+        self.apps[host_id] = fresh
+        self.server.reconnect_host(fresh)
+        self.simulator.run_until(self.simulator.now + 30.0)
+
+    @rule(index=st.integers(0, HOSTS - 1))
+    def drain_host(self, index: int) -> None:
+        host_id = self.cluster.host_ids()[index]
+        if host_id in self.down:
+            return
+        self.server.drain_host(host_id)
+
+    @rule()
+    def grow_and_balance(self) -> None:
+        for app in self.apps.values():
+            for shard in list(app.hosted_shards()):
+                current = app.shard_metrics().get(shard, 0.0)
+                app.set_shard_size(shard, current + float(self.rng.uniform(0, 30)))
+        self.server.collect_metrics()
+        self.server.run_load_balance()
+
+    @rule()
+    def advance_time(self) -> None:
+        self.simulator.run_until(self.simulator.now + 120.0)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def replicas_match_host_index(self) -> None:
+        for shard_id in self.server.shard_ids():
+            entry = self.server.shard_entry(shard_id)
+            for replica in entry.replicas:
+                if shard_id in self.server.unplaced_failovers:
+                    continue
+                assert shard_id in self.server.shards_on_host(
+                    replica.host_id
+                ), (
+                    f"shard {shard_id}: replica host {replica.host_id} "
+                    f"not in SM host index"
+                )
+
+    @invariant()
+    def discovery_points_at_a_replica(self) -> None:
+        for shard_id in self.server.shard_ids():
+            if shard_id in self.server.unplaced_failovers:
+                continue
+            owner = self.server.discovery.resolve_authoritative(shard_id)
+            hosts = self.server.shard_entry(shard_id).hosts()
+            assert owner in hosts, (
+                f"shard {shard_id}: discovery says {owner}, replicas on {hosts}"
+            )
+
+    @invariant()
+    def index_matches_live_apps(self) -> None:
+        for host_id, app in self.apps.items():
+            if host_id not in self.server.registered_hosts():
+                continue
+            indexed = self.server.shards_on_host(host_id)
+            held = app.hosted_shards()
+            # Everything SM thinks the host owns must be there (the app
+            # may hold extras mid-graceful-drop, which is allowed).
+            missing = indexed - held
+            assert not missing, f"{host_id} missing shards {missing}"
+
+    @invariant()
+    def no_shard_assigned_to_dead_host(self) -> None:
+        # The fail rule advances virtual time past the session timeout,
+        # so by the time an invariant runs every failover has executed;
+        # only explicitly-unplaced shards may still reference dead hosts.
+        unplaced = set(self.server.unplaced_failovers)
+        for shard_id in self.server.shard_ids():
+            if shard_id in unplaced:
+                continue
+            for replica in self.server.shard_entry(shard_id).replicas:
+                assert replica.host_id not in self.down, (
+                    f"shard {shard_id} still assigned to dead host "
+                    f"{replica.host_id}"
+                )
+
+
+TestShardManagerStateful = ShardManagerMachine.TestCase
+TestShardManagerStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

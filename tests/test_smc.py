@@ -1,0 +1,130 @@
+"""Tests for SMC service discovery: the propagation tree and registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShardMappingUnknownError
+from repro.smc.registry import ServiceDiscovery
+from repro.smc.tree import DEFAULT_LEVELS, PropagationTree, TreeLevelConfig
+
+
+class TestTreeLevel:
+    def test_hop_delay_bounded_by_poll_plus_jitter(self, rng):
+        level = TreeLevelConfig(name="x", poll_interval=2.0, jitter_mean=0.0)
+        delays = [level.sample_hop_delay(rng) for __ in range(1000)]
+        assert all(0.0 <= d <= 2.0 for d in delays)
+
+    def test_invalid_intervals_rejected(self):
+        with pytest.raises(ValueError):
+            TreeLevelConfig(name="x", poll_interval=-1.0)
+
+
+class TestPropagationTree:
+    def test_delay_is_sum_of_hops(self, rng):
+        tree = PropagationTree(
+            (
+                TreeLevelConfig(name="a", poll_interval=1.0, jitter_mean=0.0),
+                TreeLevelConfig(name="b", poll_interval=1.0, jitter_mean=0.0),
+            )
+        )
+        delays = tree.sample_delays(rng, 10_000)
+        assert delays.max() <= 2.0
+        assert delays.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_default_tree_lands_in_seconds_range(self, rng):
+        """Figure 4c: production propagation delays are a few seconds."""
+        tree = PropagationTree()
+        delays = tree.sample_delays(rng, 50_000)
+        assert 1.0 < delays.mean() < 5.0
+        assert np.percentile(delays, 99) < 15.0
+
+    def test_sample_delay_scalar_matches_vector_distribution(self, rng):
+        tree = PropagationTree()
+        scalars = np.array([tree.sample_delay(rng) for __ in range(5000)])
+        vector = tree.sample_delays(rng, 5000)
+        assert abs(scalars.mean() - vector.mean()) < 0.2
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ValueError):
+            PropagationTree(())
+
+    def test_max_expected_delay_exceeds_typical(self, rng):
+        tree = PropagationTree()
+        delays = tree.sample_delays(rng, 20_000)
+        assert tree.max_expected_delay() > np.percentile(delays, 99)
+
+    def test_default_levels_are_three(self):
+        assert len(DEFAULT_LEVELS) == 3
+
+    def test_negative_n_rejected(self, rng):
+        with pytest.raises(ValueError):
+            PropagationTree().sample_delays(rng, -1)
+
+
+class TestServiceDiscovery:
+    def test_unknown_shard_raises(self):
+        discovery = ServiceDiscovery()
+        with pytest.raises(ShardMappingUnknownError):
+            discovery.resolve(1, now=0.0)
+        with pytest.raises(ShardMappingUnknownError):
+            discovery.resolve_authoritative(1)
+
+    def test_publication_becomes_visible_after_delay(self):
+        discovery = ServiceDiscovery()
+        assignment = discovery.publish(5, "hostA", now=100.0)
+        assert assignment.visible_at > 100.0
+        assert discovery.resolve_authoritative(5) == "hostA"
+        with pytest.raises(ShardMappingUnknownError):
+            discovery.resolve(5, now=100.0)
+        assert discovery.resolve(5, now=assignment.visible_at + 0.01) == "hostA"
+
+    def test_stale_window_returns_old_mapping(self):
+        discovery = ServiceDiscovery()
+        first = discovery.publish(5, "hostA", now=0.0)
+        after_first = first.visible_at + 0.01
+        second = discovery.publish(5, "hostB", now=after_first)
+        # During the propagation window, clients still see hostA.
+        mid = (after_first + second.visible_at) / 2.0
+        if mid < second.visible_at:
+            assert discovery.resolve(5, now=mid) == "hostA"
+        assert discovery.resolve(5, now=second.visible_at + 0.01) == "hostB"
+        assert discovery.resolve_authoritative(5) == "hostB"
+
+    def test_is_stale_tracks_propagation(self):
+        discovery = ServiceDiscovery()
+        assignment = discovery.publish(7, "hostA", now=0.0)
+        assert discovery.is_stale(7, now=0.0)
+        assert not discovery.is_stale(7, now=assignment.visible_at + 0.01)
+
+    def test_unassignment_publishes_none(self):
+        discovery = ServiceDiscovery()
+        discovery.publish(3, "hostA", now=0.0)
+        drop = discovery.publish(3, None, now=100.0)
+        assert discovery.resolve_authoritative(3) is None
+        assert discovery.resolve(3, now=drop.visible_at + 0.01) is None
+
+    def test_versions_increase(self):
+        discovery = ServiceDiscovery()
+        a = discovery.publish(1, "x", now=0.0)
+        b = discovery.publish(2, "y", now=0.0)
+        assert b.version > a.version
+
+    def test_propagation_delays_are_recorded(self):
+        discovery = ServiceDiscovery()
+        for i in range(10):
+            discovery.publish(i, "h", now=float(i))
+        assert len(discovery.propagation_delays) == 10
+        assert all(d >= 0 for d in discovery.propagation_delays)
+
+    def test_known_shards(self):
+        discovery = ServiceDiscovery()
+        discovery.publish(9, "h", now=0.0)
+        discovery.publish(2, "h", now=0.0)
+        assert discovery.known_shards() == [2, 9]
+
+    def test_deterministic_with_seeded_rng(self):
+        a = ServiceDiscovery(rng=np.random.default_rng(1))
+        b = ServiceDiscovery(rng=np.random.default_rng(1))
+        da = a.publish(1, "h", now=0.0).visible_at
+        db = b.publish(1, "h", now=0.0).visible_at
+        assert da == db

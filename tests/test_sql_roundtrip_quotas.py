@@ -1,0 +1,167 @@
+"""SQL render/parse round-trip property and per-table admission quotas."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cubrick.query import (
+    AggFunc,
+    Aggregation,
+    CompareOp,
+    Filter,
+    Having,
+    Join,
+    Query,
+)
+from repro.cubrick.sql import parse_query, render_query
+from repro.errors import AdmissionControlError
+
+name_strategy = st.from_regex(r"[a-z_][a-z0-9_]{0,10}", fullmatch=True).filter(
+    lambda s: s not in {"select", "from", "join", "on", "where", "and",
+                        "between", "in", "asc", "desc", "limit", "group",
+                        "order", "by", "sum", "count", "min", "max", "avg",
+                        "count_distinct"}
+)
+
+
+@st.composite
+def query_strategy(draw):
+    table = draw(name_strategy)
+    aggregations = draw(
+        st.lists(
+            st.builds(
+                Aggregation,
+                st.sampled_from(list(AggFunc)),
+                name_strategy,
+            ),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    filters = draw(
+        st.lists(
+            st.one_of(
+                st.builds(Filter.eq, name_strategy, st.integers(0, 100)),
+                st.builds(
+                    Filter.between, name_strategy,
+                    st.integers(0, 50), st.integers(50, 100),
+                ),
+                st.builds(
+                    Filter.isin, name_strategy,
+                    st.lists(st.integers(0, 100), min_size=1, max_size=4),
+                ),
+            ),
+            max_size=3,
+        )
+    )
+    group_by = draw(st.lists(name_strategy, max_size=2, unique=True))
+    dim_tables = draw(st.lists(name_strategy, max_size=2, unique=True))
+    joins = [
+        Join(table=t, fact_key=draw(name_strategy),
+             dim_key=draw(name_strategy))
+        for t in dim_tables
+        if t != table
+    ]
+    result_columns = list(group_by) + [a.label() for a in aggregations]
+    having = []
+    if draw(st.booleans()):
+        having = [
+            Having(
+                draw(st.sampled_from(result_columns)),
+                draw(st.sampled_from(list(CompareOp))),
+                float(draw(st.integers(0, 1000))),
+            )
+            for __ in range(draw(st.integers(1, 2)))
+        ]
+    order_by = None
+    if group_by and draw(st.booleans()):
+        order_by = draw(st.sampled_from(result_columns))
+    limit = draw(st.one_of(st.none(), st.integers(1, 100)))
+    # descending only matters (and only renders) with an ORDER BY.
+    descending = draw(st.booleans()) if order_by is not None else True
+    return Query.build(
+        table,
+        aggregations,
+        group_by=group_by,
+        filters=filters,
+        joins=joins,
+        having=having,
+        order_by=order_by,
+        descending=descending,
+        limit=limit,
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(query=query_strategy())
+    def test_parse_inverts_render(self, query):
+        rendered = render_query(query)
+        reparsed = parse_query(rendered)
+        assert reparsed == query
+
+    def test_render_readable(self):
+        query = Query.build(
+            "events",
+            [Aggregation(AggFunc.SUM, "clicks")],
+            group_by=["day"],
+            filters=[Filter.between("day", 0, 6)],
+            order_by="sum(clicks)",
+            limit=3,
+        )
+        assert render_query(query) == (
+            "SELECT sum(clicks) FROM events WHERE day BETWEEN 0 AND 6 "
+            "GROUP BY day ORDER BY sum(clicks) DESC LIMIT 3"
+        )
+
+
+class TestTableQuotas:
+    def test_per_table_quota_is_enforced(self, tiny_deployment):
+        proxy = tiny_deployment.proxy
+        proxy.admission.set_table_quota("events", 3.0)
+        query_sql = "SELECT count(clicks) FROM events"
+        served = 0
+        rejected = 0
+        for __ in range(10):
+            try:
+                tiny_deployment.sql(query_sql)
+                served += 1
+            except AdmissionControlError:
+                rejected += 1
+        assert served == 3
+        assert rejected == 7
+
+    def test_other_tables_unaffected(self, tiny_deployment):
+        from repro.cubrick.schema import Dimension, Metric, TableSchema
+
+        other = TableSchema.build(
+            "other", [Dimension("x", 5)], [Metric("m")]
+        )
+        tiny_deployment.create_table(other)
+        tiny_deployment.load("other", [{"x": 1, "m": 1.0}] * 5)
+        tiny_deployment.simulator.run_until(
+            tiny_deployment.simulator.now + 30.0
+        )
+        proxy = tiny_deployment.proxy
+        proxy.admission.set_table_quota("events", 1.0)
+        tiny_deployment.sql("SELECT count(clicks) FROM events")
+        with pytest.raises(AdmissionControlError):
+            tiny_deployment.sql("SELECT count(clicks) FROM events")
+        # The quota on "events" does not throttle "other".
+        for __ in range(5):
+            tiny_deployment.sql("SELECT count(m) FROM other")
+
+    def test_quota_window_slides(self, tiny_deployment):
+        proxy = tiny_deployment.proxy
+        proxy.admission.set_table_quota("events", 1.0)
+        tiny_deployment.sql("SELECT count(clicks) FROM events")
+        with pytest.raises(AdmissionControlError):
+            tiny_deployment.sql("SELECT count(clicks) FROM events")
+        tiny_deployment.simulator.run_until(
+            tiny_deployment.simulator.now + 2.0
+        )
+        tiny_deployment.sql("SELECT count(clicks) FROM events")
+
+    def test_invalid_quota_rejected(self, tiny_deployment):
+        with pytest.raises(ValueError):
+            tiny_deployment.proxy.admission.set_table_quota("events", 0.0)

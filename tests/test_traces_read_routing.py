@@ -1,0 +1,134 @@
+"""Tests for trace record/replay and secondary read routing."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import Cluster
+from repro.core.deployment import CubrickDeployment, DeploymentConfig
+from repro.errors import ReproError
+from repro.shardmanager.app_server import InMemoryApplicationServer
+from repro.shardmanager.server import ReplicaRole, SMServer
+from repro.shardmanager.spec import ReplicationModel, ServiceSpec
+from repro.sim.engine import Simulator
+from repro.workloads.fanout_experiment import probe_schema
+from repro.workloads.traces import (
+    QueryTrace,
+    TraceEntry,
+    TraceRecorder,
+    replay,
+)
+
+
+@pytest.fixture
+def deployment():
+    deployment = CubrickDeployment(
+        DeploymentConfig(seed=171, regions=2, racks_per_region=2,
+                         hosts_per_rack=3)
+    )
+    schema = probe_schema("traced")
+    deployment.create_table(schema)
+    rng = np.random.default_rng(4)
+    deployment.load(
+        "traced",
+        [{"bucket": int(rng.integers(64)), "value": 1.0}
+         for __ in range(300)],
+    )
+    deployment.simulator.run_until(30.0)
+    return deployment
+
+
+class TestTraceRecording:
+    def test_recorder_captures_queries(self, deployment):
+        recorder = TraceRecorder(deployment)
+        recorder.sql("SELECT count(value) FROM traced")
+        deployment.simulator.run_until(deployment.simulator.now + 5.0)
+        recorder.sql("SELECT sum(value) FROM traced WHERE bucket = 3")
+        assert len(recorder.trace) == 2
+        assert recorder.trace.entries[0].offset == 0.0
+        assert recorder.trace.entries[1].offset == pytest.approx(5.0)
+
+    def test_trace_serialisation_roundtrip(self):
+        trace = QueryTrace(entries=[
+            TraceEntry(0.0, "SELECT count(v) FROM t"),
+            TraceEntry(2.5, "SELECT sum(v) FROM t WHERE a = 1"),
+        ])
+        assert QueryTrace.loads(trace.dumps()) == trace
+
+    def test_replay_reproduces_results(self, deployment):
+        recorder = TraceRecorder(deployment)
+        for __ in range(5):
+            deployment.simulator.run_until(deployment.simulator.now + 1.0)
+            recorder.sql("SELECT count(value) FROM traced")
+        report = replay(deployment, recorder.trace)
+        assert report.total == 5
+        assert report.success_ratio == 1.0
+        assert len(report.latencies) == 5
+        assert report.percentile(50) > 0
+
+    def test_replay_time_scale(self, deployment):
+        trace = QueryTrace(entries=[
+            TraceEntry(0.0, "SELECT count(value) FROM traced"),
+            TraceEntry(10.0, "SELECT count(value) FROM traced"),
+        ])
+        start = deployment.simulator.now
+        replay(deployment, trace, time_scale=0.5)
+        assert deployment.simulator.now == pytest.approx(start + 5.0)
+
+    def test_invalid_time_scale(self, deployment):
+        with pytest.raises(ReproError):
+            replay(deployment, QueryTrace(), time_scale=0.0)
+
+    def test_empty_report_percentile_raises(self):
+        from repro.workloads.traces import ReplayReport
+
+        report = ReplayReport(total=0, succeeded=0, failed=0, latencies=[])
+        with pytest.raises(ReproError):
+            report.percentile(50)
+
+
+class TestSecondaryReadRouting:
+    def _service(self, serve_reads: bool):
+        simulator = Simulator()
+        cluster = Cluster.build(regions=1, racks_per_region=2, hosts_per_rack=4)
+        spec = ServiceSpec(
+            name="reads",
+            max_shards=1000,
+            replication_model=ReplicationModel.PRIMARY_SECONDARY,
+            replication_factor=2,
+            serve_reads_from_secondaries=serve_reads,
+        )
+        server = SMServer(spec, simulator, cluster, region="region0")
+        for host in cluster.hosts():
+            server.register_host(
+                InMemoryApplicationServer(host.host_id, capacity=1000.0)
+            )
+        return simulator, cluster, server
+
+    def test_reads_spread_across_secondaries(self):
+        __, __c, server = self._service(serve_reads=True)
+        entry = server.create_shard(1, size_hint=1.0)
+        primary = entry.primary().host_id
+        rng = np.random.default_rng(0)
+        read_hosts = {server.read_replica(1, rng) for __ in range(100)}
+        assert primary not in read_hosts
+        assert len(read_hosts) == 2  # both secondaries used
+
+    def test_reads_go_to_primary_when_disabled(self):
+        __, __c, server = self._service(serve_reads=False)
+        entry = server.create_shard(1, size_hint=1.0)
+        assert server.read_replica(1) == entry.primary().host_id
+
+    def test_reads_fall_back_to_primary_when_secondaries_dead(self):
+        simulator, cluster, server = self._service(serve_reads=True)
+        entry = server.create_shard(1, size_hint=1.0)
+        primary = entry.primary().host_id
+        for replica in entry.replicas:
+            if replica.role is ReplicaRole.SECONDARY:
+                cluster.host(replica.host_id).fail(permanent=False)
+        # Before failover runs, reads must already avoid the dead hosts.
+        assert server.read_replica(1) == primary
+
+    def test_primary_only_service_always_primary(self, sm_service):
+        server, __ = sm_service
+        entry = server.create_shard(1, size_hint=1.0)
+        assert server.read_replica(1) == entry.replicas[0].host_id
