@@ -1,0 +1,158 @@
+"""Microbenchmarks for the grouped-aggregation scan kernels.
+
+Times the vectorised kernels of :mod:`repro.cubrick.kernels` against the
+seed's naive per-group scan (``np.unique(stacked, axis=0)`` followed by
+an ``inverse == group_idx`` boolean mask per group) on synthetic brick
+data, per aggregate function.
+
+Run directly for a table plus the machine-readable ledger::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py
+
+or through the benchmark suite (``pytest benchmarks/ --benchmark-only``),
+which invokes :func:`run_benchmarks` from
+``test_bench_engine_throughput.py``. Either path merges the numbers into
+``benchmarks/results/BENCH_engine.json`` under the ``"kernels"`` section
+as ``{case: {"before_rows_per_s", "after_rows_per_s", "speedup"}}``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+if __package__ in (None, ""):
+    # Running as a script: make src/ importable like the test suite does.
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cubrick.kernels import (  # noqa: E402
+    encode_group_keys,
+    group_counts,
+    grouped_states,
+)
+from repro.cubrick.query import AggFunc  # noqa: E402
+
+from conftest import report, report_json  # noqa: E402
+
+#: Rows per synthetic brick scan (a large brick's worth).
+ROWS = 50_000
+#: Repeat each measurement and keep the best (least-noise) run.
+REPEATS = 3
+
+
+def make_columns(rows: int, seed: int = 7) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return {
+        "day": rng.integers(64, size=rows),
+        "entity": rng.integers(1024, size=rows),
+        # Multiples of 1/8: exactly representable, so naive and kernel
+        # sums are bit-identical regardless of summation order.
+        "value": np.round(rng.exponential(10.0, size=rows) * 8.0) / 8.0,
+    }
+
+
+def naive_scan(key_columns: list[np.ndarray], values: np.ndarray,
+               func: AggFunc) -> dict[tuple, object]:
+    """The seed's per-group loop: one boolean mask per group."""
+    stacked = np.stack(key_columns, axis=1)
+    unique_keys, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    out: dict[tuple, object] = {}
+    for group_idx in range(len(unique_keys)):
+        group_mask = inverse == group_idx
+        key = tuple(int(v) for v in unique_keys[group_idx])
+        if func is AggFunc.COUNT:
+            out[key] = float(group_mask.sum())
+            continue
+        group_values = values[group_mask]
+        if func is AggFunc.SUM:
+            out[key] = float(group_values.sum())
+        elif func is AggFunc.MIN:
+            out[key] = float(group_values.min())
+        elif func is AggFunc.MAX:
+            out[key] = float(group_values.max())
+        elif func is AggFunc.AVG:
+            out[key] = (float(group_values.sum()), float(len(group_values)))
+        else:  # COUNT_DISTINCT
+            out[key] = frozenset(np.unique(group_values).tolist())
+    return out
+
+
+def vectorised_scan(key_columns: list[np.ndarray], values: np.ndarray,
+                    func: AggFunc) -> dict[tuple, object]:
+    """The kernel path: key encoding + one bincount/reduceat pass."""
+    group_idx, unique_keys = encode_group_keys(key_columns)
+    n_groups = len(unique_keys)
+    counts = (
+        group_counts(group_idx, n_groups)
+        if func in (AggFunc.COUNT, AggFunc.AVG)
+        else None
+    )
+    states = grouped_states(func, group_idx, values, n_groups, counts)
+    keys = [tuple(row) for row in unique_keys.tolist()]
+    return dict(zip(keys, states))
+
+
+def _time(fn) -> float:
+    best = float("inf")
+    for __ in range(REPEATS):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_benchmarks(rows: int = ROWS) -> dict[str, dict[str, float]]:
+    """Time naive vs kernel scans; returns {case: before/after/speedup}."""
+    columns = make_columns(rows)
+    values = columns["value"]
+    cases = [
+        (f"group_day.{func.value}", [columns["day"]], func)
+        for func in AggFunc
+    ] + [
+        (
+            f"group_day_entity.{func.value}",
+            [columns["day"], columns["entity"]],
+            func,
+        )
+        for func in (AggFunc.SUM, AggFunc.COUNT_DISTINCT)
+    ]
+    results: dict[str, dict[str, float]] = {}
+    for name, key_columns, func in cases:
+        expected = naive_scan(key_columns, values, func)
+        actual = vectorised_scan(key_columns, values, func)
+        assert actual == expected, f"kernel mismatch in {name}"
+        before = _time(lambda: naive_scan(key_columns, values, func))
+        after = _time(lambda: vectorised_scan(key_columns, values, func))
+        results[name] = {
+            "rows": rows,
+            "groups": len(expected),
+            "before_rows_per_s": round(rows / before),
+            "after_rows_per_s": round(rows / after),
+            "speedup": round(before / after, 2),
+        }
+    return results
+
+
+def render(results: dict[str, dict[str, float]]) -> list[str]:
+    lines = []
+    for name, r in results.items():
+        lines.append(
+            f"{name:<32} {r['before_rows_per_s']:>13,} -> "
+            f"{r['after_rows_per_s']:>13,} rows/s  ({r['speedup']:.1f}x, "
+            f"{r['groups']} groups)"
+        )
+    return lines
+
+
+def main() -> None:
+    results = run_benchmarks()
+    report("engine_kernels", render(results))
+    report_json("kernels", results)
+
+
+if __name__ == "__main__":
+    main()

@@ -8,9 +8,14 @@ rows/series the paper reports (run with ``pytest benchmarks/
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Machine-readable engine-performance ledger: every engine/kernel bench
+#: merges its numbers here so the perf trajectory is diffable PR to PR.
+BENCH_ENGINE_JSON = RESULTS_DIR / "BENCH_engine.json"
 
 
 def report(name: str, lines: list[str]) -> None:
@@ -20,6 +25,44 @@ def report(name: str, lines: list[str]) -> None:
     print("\n" + body)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(body, encoding="utf-8")
+
+
+def _load_bench_json() -> dict:
+    if BENCH_ENGINE_JSON.exists():
+        try:
+            return json.loads(BENCH_ENGINE_JSON.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            pass
+    return {}
+
+
+def _save_bench_json(data: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    BENCH_ENGINE_JSON.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def report_json(section: str, payload: dict) -> None:
+    """Merge one section of benchmark numbers into BENCH_engine.json.
+
+    Read-modify-write so independent benches (engine throughput, kernel
+    microbenchmarks) can each contribute their section in any order.
+    """
+    data = _load_bench_json()
+    data[section] = payload
+    _save_bench_json(data)
+
+
+def report_json_entry(section: str, key: str, payload: dict) -> None:
+    """Merge one keyed entry inside a BENCH_engine.json section."""
+    data = _load_bench_json()
+    section_data = data.get(section)
+    if not isinstance(section_data, dict):
+        section_data = {}
+    section_data[key] = payload
+    data[section] = section_data
+    _save_bench_json(data)
 
 
 def fmt_row(*cells, width: int = 14) -> str:

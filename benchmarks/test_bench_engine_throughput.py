@@ -8,13 +8,19 @@ of Granular Partitioning's brick pruning on filtered queries.
 import numpy as np
 import pytest
 
+import bench_kernels
 from repro.cubrick.query import AggFunc, Aggregation, Filter, Query
 from repro.cubrick.schema import Dimension, Metric, TableSchema
 from repro.cubrick.storage import PartitionStorage
 
-from conftest import report
+from conftest import report, report_json, report_json_entry
 
 ROWS = 100_000
+
+#: Seed-era group-by throughput (benchmarks/results/engine_group_by.txt
+#: before the vectorised kernels landed) — the baseline the kernel
+#: rewrite is measured against.
+SEED_GROUP_BY_ROWS_PER_S = 1_942_262
 
 SCHEMA = TableSchema.build(
     "bench",
@@ -46,6 +52,7 @@ def test_bench_full_scan_sum(benchmark, storage):
     result = benchmark(lambda: storage.execute(query).finalize())
     rate = ROWS / benchmark.stats["mean"]
     report("engine_full_scan", [f"full-scan SUM: {rate:,.0f} rows/s"])
+    report_json_entry("engine", "full_scan_sum", {"rows_per_s": round(rate)})
     assert result.scalar() > 0
 
 
@@ -56,6 +63,15 @@ def test_bench_group_by(benchmark, storage):
     result = benchmark(lambda: storage.execute(query).finalize())
     rate = ROWS / benchmark.stats["mean"]
     report("engine_group_by", [f"GROUP BY day SUM: {rate:,.0f} rows/s"])
+    report_json_entry(
+        "engine",
+        "group_by_day_sum",
+        {
+            "rows_per_s": round(rate),
+            "seed_rows_per_s": SEED_GROUP_BY_ROWS_PER_S,
+            "speedup_vs_seed": round(rate / SEED_GROUP_BY_ROWS_PER_S, 2),
+        },
+    )
     assert len(result.rows) == 64
 
 
@@ -119,3 +135,17 @@ def test_bench_pruned_filter(benchmark, storage):
         ],
     )
     assert fraction < 0.2
+
+
+def test_bench_kernel_before_after(benchmark):
+    """Before/after for each grouped-aggregation kernel vs the seed's
+    per-group masking loop; persists the ``"kernels"`` section of
+    BENCH_engine.json. run_benchmarks does its own best-of timing, so a
+    single pedantic round suffices."""
+    results = benchmark.pedantic(
+        bench_kernels.run_benchmarks, iterations=1, rounds=1
+    )
+    report("engine_kernels", bench_kernels.render(results))
+    report_json("kernels", results)
+    assert results["group_day.sum"]["speedup"] >= 5.0
+    assert all(r["speedup"] > 1.0 for r in results.values())

@@ -530,9 +530,12 @@ class CubrickDeployment:
                 None,
             )
             if donor is not None:
-                rows = donor.store_replicated(table).all_rows()
-                if rows:
-                    node.insert_into_replicated(table, rows)
+                replica = donor.store_replicated(table)
+                if replica.rows:
+                    # Columnar copy through the vectorised bulk-load path.
+                    node.store_replicated(table).insert_columns(
+                        replica.all_columns()
+                    )
 
     def start_background_maintenance(
         self,

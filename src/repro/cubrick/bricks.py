@@ -9,6 +9,15 @@ classification [16]). The adaptive-compression memory monitor uses the
 counters to compress coldest-first under memory pressure and decompress
 hottest-first when memory frees up.
 
+Storage is zero-copy on the bulk path: column data lives as a list of
+sealed numpy *chunks* per column. ``append_columns`` appends the caller's
+arrays directly (no ``.tolist()`` round-trip), ``columns()`` concatenates
+the chunks once and caches the result (collapsing the chunk list so
+repeated reads never re-concatenate), and decompression materialises
+arrays straight from the zlib blobs without rebuilding Python list
+builders. Row-at-a-time appends buffer into small pending lists that are
+sealed into a chunk on the next read.
+
 Compression here is *real*: column arrays are serialised and
 zlib-compressed, so compressed footprints and the compression ratio come
 from actual data, not a constant.
@@ -42,10 +51,11 @@ class BrickStats:
 
 
 class Brick:
-    """One data block: columnar arrays for a bucket of rows.
+    """One data block: columnar chunk storage for a bucket of rows.
 
-    Rows are appended into builder lists and sealed into numpy arrays on
-    first read; compression pickles the arrays through zlib. A compressed
+    Bulk appends store sealed numpy chunks; row appends buffer into
+    pending lists sealed on first read; ``columns()`` concatenates once
+    and caches. Compression pickles the arrays through zlib. A compressed
     brick transparently decompresses on access (and the access bumps its
     hotness, so the memory monitor will tend to keep it decompressed).
     """
@@ -55,8 +65,14 @@ class Brick:
         self.brick_id = brick_id
         self.dimension_names = dimension_names
         self.metric_names = metric_names
-        self._builders: dict[str, list] = {
-            name: [] for name in dimension_names + metric_names
+        self._column_names = dimension_names + metric_names
+        #: Sealed numpy chunks per column (the bulk-load fast path).
+        self._chunks: dict[str, list[np.ndarray]] = {
+            name: [] for name in self._column_names
+        }
+        #: Row-at-a-time append buffer, sealed into a chunk on read.
+        self._pending: dict[str, list] = {
+            name: [] for name in self._column_names
         }
         self._arrays: dict[str, np.ndarray] | None = None
         self._compressed: dict[str, bytes] | None = None
@@ -69,6 +85,11 @@ class Brick:
         #: IOs paid loading this brick back from SSD (gen-3 LB input).
         self.io_reads = 0
 
+    def _dtype_of(self, name: str) -> np.dtype:
+        if name in self.dimension_names:
+            return np.dtype(DIMENSION_DTYPE)
+        return np.dtype(METRIC_DTYPE)
+
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
@@ -80,28 +101,48 @@ class Brick:
         if self._compressed is not None:
             self._decompress()
         for name in self.dimension_names:
-            self._builders[name].append(int(row[name]))
+            self._pending[name].append(int(row[name]))
         for name in self.metric_names:
-            self._builders[name].append(float(row[name]))
+            self._pending[name].append(float(row[name]))
         self._arrays = None
         self._rows += 1
 
     def append_columns(self, columns: dict[str, np.ndarray]) -> None:
-        """Bulk-append pre-validated column arrays (same length each)."""
+        """Bulk-append pre-validated column arrays (same length each).
+
+        The arrays are stored as sealed chunks directly — zero copy when
+        the caller already supplies the storage dtypes.
+        """
         lengths = {name: len(arr) for name, arr in columns.items()}
         if len(set(lengths.values())) != 1:
             raise CubrickError(f"ragged column lengths: {lengths}")
+        missing = [
+            name for name in self._column_names if name not in columns
+        ]
+        if missing:
+            raise CubrickError(
+                f"missing column {missing[0]!r} in bulk append"
+            )
         if self._ssd is not None:
             self._load_from_ssd()
         if self._compressed is not None:
             self._decompress()
         n = next(iter(lengths.values()))
-        for name in self.dimension_names + self.metric_names:
-            if name not in columns:
-                raise CubrickError(f"missing column {name!r} in bulk append")
-            self._builders[name].extend(columns[name].tolist())
+        for name in self._column_names:
+            self._chunks[name].append(
+                np.asarray(columns[name], dtype=self._dtype_of(name))
+            )
         self._arrays = None
         self._rows += n
+
+    def _seal_pending(self) -> None:
+        """Turn buffered row appends into one sealed chunk per column."""
+        for name, values in self._pending.items():
+            if values:
+                self._chunks[name].append(
+                    np.asarray(values, dtype=self._dtype_of(name))
+                )
+                self._pending[name] = []
 
     # ------------------------------------------------------------------
     # Reads
@@ -117,17 +158,29 @@ class Brick:
         self._touched_since_decay = True
 
     def columns(self) -> dict[str, np.ndarray]:
-        """The sealed columnar arrays (loading/decompressing if needed)."""
+        """The sealed columnar arrays (loading/decompressing if needed).
+
+        Chunks are concatenated at most once: the chunk list collapses to
+        the concatenated array, so repeated reads (and reads after a
+        collapse) are zero-copy until the next append.
+        """
         if self._ssd is not None:
             self._load_from_ssd()
         if self._compressed is not None:
             self._decompress()
         if self._arrays is None:
+            self._seal_pending()
             arrays: dict[str, np.ndarray] = {}
-            for name in self.dimension_names:
-                arrays[name] = np.asarray(self._builders[name], dtype=DIMENSION_DTYPE)
-            for name in self.metric_names:
-                arrays[name] = np.asarray(self._builders[name], dtype=METRIC_DTYPE)
+            for name in self._column_names:
+                chunks = self._chunks[name]
+                if not chunks:
+                    sealed = np.empty(0, dtype=self._dtype_of(name))
+                elif len(chunks) == 1:
+                    sealed = chunks[0]
+                else:
+                    sealed = np.concatenate(chunks)
+                    self._chunks[name] = [sealed]
+                arrays[name] = sealed
             self._arrays = arrays
         return self._arrays
 
@@ -160,7 +213,7 @@ class Brick:
         return self._compressed is not None
 
     def compress(self) -> None:
-        """zlib-compress the sealed arrays, dropping the builders."""
+        """zlib-compress the sealed arrays, dropping the chunk storage."""
         if self._compressed is not None:
             return
         arrays = self.columns()
@@ -169,22 +222,21 @@ class Brick:
             for name, arr in arrays.items()
         }
         self._arrays = None
-        self._builders = {name: [] for name in self._builders}
+        self._chunks = {name: [] for name in self._column_names}
+        self._pending = {name: [] for name in self._column_names}
 
     def _decompress(self) -> None:
         assert self._compressed is not None
         arrays: dict[str, np.ndarray] = {}
-        for name in self.dimension_names:
+        for name in self._column_names:
             raw = zlib.decompress(self._compressed[name])
-            arrays[name] = np.frombuffer(raw, dtype=DIMENSION_DTYPE).copy()
-        for name in self.metric_names:
-            raw = zlib.decompress(self._compressed[name])
-            arrays[name] = np.frombuffer(raw, dtype=METRIC_DTYPE).copy()
+            # frombuffer views the decompressed bytes — no second copy,
+            # and no Python-list rebuild (the old path doubled memory).
+            arrays[name] = np.frombuffer(raw, dtype=self._dtype_of(name))
         self._compressed = None
         self._arrays = arrays
-        self._builders = {
-            name: arr.tolist() for name, arr in arrays.items()
-        }
+        self._chunks = {name: [arr] for name, arr in arrays.items()}
+        self._pending = {name: [] for name in self._column_names}
 
     def decompress(self) -> None:
         """Public decompression hook for the memory monitor."""
@@ -214,7 +266,8 @@ class Brick:
         self._ssd = self._compressed
         self._compressed = None
         self._arrays = None
-        self._builders = {name: [] for name in self._builders}
+        self._chunks = {name: [] for name in self._column_names}
+        self._pending = {name: [] for name in self._column_names}
 
     def _load_from_ssd(self) -> None:
         assert self._ssd is not None

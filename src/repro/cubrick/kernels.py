@@ -1,0 +1,212 @@
+"""Vectorised grouped-aggregation kernels for the brick scan.
+
+The scan hot path (``PartitionStorage._scan_brick``) runs one of these
+kernels per aggregate instead of a per-group Python loop:
+
+* Composite group keys are encoded into a single int64 code per row
+  (mixed-radix over the per-column unique values), so grouping needs one
+  1-D ``np.unique`` instead of ``np.unique(stacked, axis=0)``.
+* SUM/COUNT/AVG are single ``np.bincount`` passes over the dense group
+  index (COUNT without weights, SUM with the metric as weights, AVG as
+  the (sum, count) state pair).
+* MIN/MAX sort rows by group index once and segment-reduce with
+  ``np.minimum.reduceat`` / ``np.maximum.reduceat``.
+* COUNT_DISTINCT lexsorts (group, value) pairs and sweeps consecutive
+  duplicates, yielding the per-group distinct-value sets that Cubrick
+  keeps as merge-friendly partial state.
+
+Grouped kernels accumulate in row order (``bincount`` adds weights
+sequentially), exactly like a row-at-a-time reference aggregator. The
+ungrouped path (:func:`scalar_state`) uses numpy's standard reductions,
+which are faster but may reassociate additions; on exactly-representable
+inputs every summation order yields identical bits, which is what
+``tests/test_kernels_differential.py`` pins against a pure-Python
+reference aggregator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cubrick.query import AggFunc
+from repro.errors import QueryError
+
+#: Largest mixed-radix code space before int64 encoding could overflow;
+#: beyond it the encoder falls back to row-wise unique (axis=0).
+_MAX_CODE_SPACE = float(2**62)
+
+
+def encode_group_keys(
+    key_columns: list[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Encode composite group keys into a dense group index per row.
+
+    Returns ``(group_idx, unique_keys)``: ``group_idx[i]`` is the dense
+    index (``0..n_groups-1``) of row ``i``'s group, and ``unique_keys``
+    is an ``(n_groups, n_cols)`` int64 array of the distinct key tuples
+    in lexicographic order — the same ordering
+    ``np.unique(stacked, axis=0)`` would produce, at a fraction of the
+    cost for multi-column keys.
+    """
+    if not key_columns:
+        raise QueryError("encode_group_keys needs at least one key column")
+    if len(key_columns) == 1:
+        uniques, group_idx = np.unique(
+            np.asarray(key_columns[0]), return_inverse=True
+        )
+        return group_idx, uniques.astype(np.int64).reshape(-1, 1)
+
+    per_column = [
+        np.unique(np.asarray(col), return_inverse=True) for col in key_columns
+    ]
+    code_space = 1.0
+    for uniques, __ in per_column:
+        code_space *= max(len(uniques), 1)
+    if code_space > _MAX_CODE_SPACE:
+        # Pathological cardinality product: encode by row instead.
+        stacked = np.stack(
+            [np.asarray(col) for col in key_columns], axis=1
+        )
+        unique_rows, group_idx = np.unique(
+            stacked, axis=0, return_inverse=True
+        )
+        return group_idx, unique_rows.astype(np.int64)
+
+    codes = np.zeros(len(per_column[0][1]), dtype=np.int64)
+    for uniques, inverse in per_column:
+        codes = codes * len(uniques) + inverse
+    unique_codes, group_idx = np.unique(codes, return_inverse=True)
+
+    # Decode the surviving codes back into key tuples (mixed radix).
+    unique_keys = np.empty(
+        (len(unique_codes), len(key_columns)), dtype=np.int64
+    )
+    remainder = unique_codes
+    for j in range(len(key_columns) - 1, -1, -1):
+        uniques = per_column[j][0]
+        unique_keys[:, j] = uniques[remainder % len(uniques)]
+        remainder = remainder // len(uniques)
+    return group_idx, unique_keys
+
+
+def group_counts(group_idx: np.ndarray, n_groups: int) -> np.ndarray:
+    """Row count per group (float64, matching the COUNT state type)."""
+    return np.bincount(group_idx, minlength=n_groups).astype(np.float64)
+
+
+def group_sums(
+    group_idx: np.ndarray, values: np.ndarray, n_groups: int
+) -> np.ndarray:
+    """Per-group sums; ``bincount`` adds in row order (sequential IEEE
+    addition), so sums match a row-at-a-time accumulator bit-for-bit."""
+    return np.bincount(group_idx, weights=values, minlength=n_groups)
+
+
+def _group_extreme(
+    group_idx: np.ndarray, values: np.ndarray, ufunc: np.ufunc
+) -> np.ndarray:
+    order = np.argsort(group_idx, kind="stable")
+    sorted_values = values[order]
+    sorted_idx = group_idx[order]
+    starts = np.flatnonzero(
+        np.r_[True, sorted_idx[1:] != sorted_idx[:-1]]
+    )
+    return ufunc.reduceat(sorted_values, starts)
+
+
+def group_mins(group_idx: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Per-group minimum via one stable sort + segmented reduce."""
+    return _group_extreme(group_idx, values, np.minimum)
+
+
+def group_maxs(group_idx: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Per-group maximum via one stable sort + segmented reduce."""
+    return _group_extreme(group_idx, values, np.maximum)
+
+
+def group_distinct_sets(
+    group_idx: np.ndarray, values: np.ndarray, n_groups: int
+) -> list[frozenset]:
+    """Per-group distinct-value sets via a sorted (group, value) sweep.
+
+    One lexsort orders rows by (group, value); consecutive duplicates
+    are dropped with a shifted comparison, and the survivors are split
+    at group boundaries. The frozensets are the COUNT_DISTINCT partial
+    state (they merge associatively across partitions).
+    """
+    order = np.lexsort((values, group_idx))
+    sorted_idx = group_idx[order]
+    sorted_values = values[order]
+    keep = np.r_[
+        True,
+        (sorted_idx[1:] != sorted_idx[:-1])
+        | (sorted_values[1:] != sorted_values[:-1]),
+    ]
+    deduped_idx = sorted_idx[keep]
+    deduped_values = sorted_values[keep]
+    starts = np.flatnonzero(
+        np.r_[True, deduped_idx[1:] != deduped_idx[:-1]]
+    )
+    ends = np.r_[starts[1:], len(deduped_idx)]
+    return [
+        frozenset(deduped_values[start:end].tolist())
+        for start, end in zip(starts, ends)
+    ]
+
+
+def grouped_states(
+    func: AggFunc,
+    group_idx: np.ndarray,
+    values: np.ndarray | None,
+    n_groups: int,
+    counts: np.ndarray | None = None,
+) -> list:
+    """Per-group merge-friendly states for one aggregate.
+
+    ``counts`` is the precomputed :func:`group_counts` output (shared by
+    COUNT and AVG — pass it when either appears in the query); ``values``
+    is the masked metric column (``None`` for COUNT). Returns one state
+    per group, in group-index order, using the plain-Python state types
+    of :mod:`repro.cubrick.query`.
+    """
+    if func is AggFunc.COUNT or func is AggFunc.AVG:
+        if counts is None:
+            counts = group_counts(group_idx, n_groups)
+        if func is AggFunc.COUNT:
+            return counts.tolist()
+    if values is None:
+        raise QueryError(f"aggregate {func} needs a value column")
+    if func is AggFunc.SUM:
+        return group_sums(group_idx, values, n_groups).tolist()
+    if func is AggFunc.MIN:
+        return group_mins(group_idx, values).tolist()
+    if func is AggFunc.MAX:
+        return group_maxs(group_idx, values).tolist()
+    if func is AggFunc.AVG:
+        sums = group_sums(group_idx, values, n_groups)
+        return list(zip(sums.tolist(), counts.tolist()))
+    if func is AggFunc.COUNT_DISTINCT:
+        return group_distinct_sets(group_idx, values, n_groups)
+    raise QueryError(f"unsupported aggregate: {func}")
+
+
+def scalar_state(func: AggFunc, values: np.ndarray, matched: int):
+    """Merge-friendly state for one ungrouped aggregate (``matched`` > 0).
+
+    Uses numpy's standard reductions: for the single-group case a
+    pairwise SIMD sum beats routing through :func:`group_sums`' one-bin
+    bincount by ~5x per brick.
+    """
+    if func is AggFunc.COUNT:
+        return float(matched)
+    if func is AggFunc.SUM:
+        return float(values.sum())
+    if func is AggFunc.MIN:
+        return float(values.min())
+    if func is AggFunc.MAX:
+        return float(values.max())
+    if func is AggFunc.AVG:
+        return (float(values.sum()), float(matched))
+    if func is AggFunc.COUNT_DISTINCT:
+        return frozenset(np.unique(values).tolist())
+    raise QueryError(f"unsupported aggregate: {func}")

@@ -16,6 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+import numpy as np
+
+from repro.cubrick.bricks import DIMENSION_DTYPE, METRIC_DTYPE
 from repro.cubrick.partitioning import partition_of
 from repro.errors import ConfigurationError, HostUnavailableError
 
@@ -114,6 +117,11 @@ class StreamingLoader:
             return 0
         shards = self.deployment.directory.shards_for_table(self.table)
         shard = shards[index]
+        # Pivot the batch to columns once; every region's owner then
+        # takes the vectorised bulk-load path (rows were validated at
+        # append time). Brick routing copies out of these arrays, so one
+        # column set is safely shared across all three regional writes.
+        columns = self._columns_from_rows(rows)
         written = 0
         for sm in self.deployment.sm_servers.values():
             owner = sm.discovery.resolve_authoritative(shard)
@@ -124,9 +132,24 @@ class StreamingLoader:
                     f"shard {shard} in region {sm.region}"
                 )
             node = sm.app_server(owner)
-            node.insert_into_partition(self.table, index, rows)
+            node.insert_columns_into_partition(self.table, index, columns)
             written = len(rows)
         self._buffers[index] = []
         self.stats.rows_flushed += written
         self.stats.batches_flushed += 1
         return written
+
+    def _columns_from_rows(
+        self, rows: list[dict[str, float]]
+    ) -> dict[str, np.ndarray]:
+        schema = self.deployment.catalog.get(self.table).schema
+        columns: dict[str, np.ndarray] = {}
+        for name in schema.dimension_names:
+            columns[name] = np.array(
+                [row[name] for row in rows], dtype=DIMENSION_DTYPE
+            )
+        for name in schema.metric_names:
+            columns[name] = np.array(
+                [row[name] for row in rows], dtype=METRIC_DTYPE
+            )
+        return columns

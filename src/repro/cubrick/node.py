@@ -120,8 +120,10 @@ class CubrickNode(ApplicationServer):
         if isinstance(source, CubrickNode):
             name = partition_name(table, index)
             donor = source._partitions.get(name)
-            if donor is not None:
-                storage.insert_many(donor.all_rows())
+            if donor is not None and donor.rows:
+                # Columnar copy: materialise the donor once and bulk-load
+                # through the vectorised path instead of row dicts.
+                storage.insert_columns(donor.all_columns())
         return storage
 
     def drop_shard(self, shard_id: int) -> None:
@@ -370,6 +372,13 @@ class CubrickNode(ApplicationServer):
                               rows: list[dict[str, float]]) -> int:
         """Load rows into one locally stored partition."""
         return self.partition(table, index).insert_many(rows)
+
+    def insert_columns_into_partition(
+        self, table: str, index: int, columns: dict[str, np.ndarray]
+    ) -> int:
+        """Bulk-load column arrays into one locally stored partition
+        (the loader's vectorised flush path)."""
+        return self.partition(table, index).insert_columns(columns)
 
     # ------------------------------------------------------------------
     # Background maintenance

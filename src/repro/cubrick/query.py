@@ -292,6 +292,13 @@ class PartialResult:
     def merge(self, other: "PartialResult") -> "PartialResult":
         if other.query.aggregations != self.query.aggregations:
             raise QueryError("cannot merge partials from different queries")
+        if other.query.group_by != self.query.group_by:
+            # Same aggregations but different grouping would merge states
+            # keyed by incompatible tuples into silently wrong results.
+            raise QueryError(
+                "cannot merge partials with different group-bys: "
+                f"{self.query.group_by} vs {other.query.group_by}"
+            )
         for key, states in other.groups.items():
             self.accumulate(key, states)
         self.rows_scanned += other.rows_scanned

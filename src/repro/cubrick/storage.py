@@ -2,10 +2,12 @@
 
 One :class:`PartitionStorage` holds the rows of a single table partition
 (``table#idx``) on one host, organised into bricks by the Granular
-Partitioning index. Query execution is vectorised with numpy: filters
-become boolean masks, group-bys use ``np.unique`` over composite keys,
-and every touched brick's hotness counter is bumped (feeding adaptive
-compression — paper §IV-F2).
+Partitioning index. Query execution is fully vectorised: filters become
+boolean masks, composite group keys are encoded into a single int64 code
+per row, and the per-group aggregates run through the bincount/reduceat
+kernels of :mod:`repro.cubrick.kernels` — no per-group Python loop over
+row data. Every touched brick's hotness counter is bumped (feeding
+adaptive compression — paper §IV-F2).
 """
 
 from __future__ import annotations
@@ -14,8 +16,14 @@ from typing import Iterable, Optional
 
 import numpy as np
 
-from repro.cubrick.bricks import Brick
+from repro.cubrick.bricks import DIMENSION_DTYPE, METRIC_DTYPE, Brick
 from repro.cubrick.granular import GranularIndex
+from repro.cubrick.kernels import (
+    encode_group_keys,
+    group_counts,
+    grouped_states,
+    scalar_state,
+)
 from repro.cubrick.query import (
     AggFunc,
     Filter,
@@ -24,7 +32,7 @@ from repro.cubrick.query import (
     Query,
 )
 from repro.cubrick.schema import TableSchema
-from repro.errors import CubrickError, QueryError
+from repro.errors import CubrickError, QueryError, SchemaError
 
 
 class PartitionStorage:
@@ -86,7 +94,7 @@ class PartitionStorage:
         if n == 0:
             return 0
         dim_arrays = {
-            d.name: np.asarray(columns[d.name], dtype=np.int64)
+            d.name: self._validated_dimension_column(d, columns[d.name])
             for d in self.schema.dimensions
         }
         metric_arrays = {
@@ -120,6 +128,41 @@ class PartitionStorage:
         self._rows += n
         return n
 
+    @staticmethod
+    def _validated_dimension_column(dim, raw) -> np.ndarray:
+        """Vectorised domain validation for one bulk-load dimension column.
+
+        Values must be integral and inside ``[0, cardinality)`` *before*
+        the int64 cast — a float like ``3.7`` or an out-of-range value
+        would otherwise be truncated/wrapped and silently routed to an
+        aliased brick. Raises :class:`CubrickError` (via its
+        :class:`SchemaError` subclass) naming the offending column.
+        """
+        values = np.asarray(raw)
+        if values.size == 0:
+            return values.astype(DIMENSION_DTYPE)
+        if not np.issubdtype(values.dtype, np.integer):
+            if not np.issubdtype(values.dtype, np.floating):
+                raise SchemaError(
+                    f"dimension {dim.name!r}: non-numeric bulk-load column "
+                    f"(dtype {values.dtype})"
+                )
+            fractional = values != np.floor(values)
+            if fractional.any():
+                first = int(np.flatnonzero(fractional)[0])
+                raise SchemaError(
+                    f"dimension {dim.name!r}: non-integer value "
+                    f"{float(values[first])!r} at row {first}"
+                )
+        out_of_domain = (values < 0) | (values >= dim.cardinality)
+        if out_of_domain.any():
+            first = int(np.flatnonzero(out_of_domain)[0])
+            raise SchemaError(
+                f"dimension {dim.name!r}: value {values[first]} at row "
+                f"{first} outside [0, {dim.cardinality})"
+            )
+        return values.astype(DIMENSION_DTYPE)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -147,13 +190,42 @@ class PartitionStorage:
         return sum(b.decompressed_bytes() for b in self._bricks.values())
 
     def all_rows(self) -> list[dict[str, float]]:
-        """Materialise every row (used by re-partitioning/migration)."""
+        """Materialise every row (used by re-partitioning/migration).
+
+        Each column is converted to a Python list once (one C-level pass
+        per column) instead of calling ``.item()`` per cell.
+        """
         out: list[dict[str, float]] = []
         names = self.schema.column_names
         for brick in self.bricks():
             arrays = brick.columns()
-            for i in range(brick.rows):
-                out.append({name: arrays[name][i].item() for name in names})
+            column_lists = [arrays[name].tolist() for name in names]
+            out.extend(
+                dict(zip(names, values)) for values in zip(*column_lists)
+            )
+        return out
+
+    def all_columns(self) -> dict[str, np.ndarray]:
+        """Materialise every row as column arrays (the migration fast
+        path: feed straight into :meth:`insert_columns`)."""
+        names = self.schema.column_names
+        parts: dict[str, list[np.ndarray]] = {name: [] for name in names}
+        for brick in self.bricks():
+            arrays = brick.columns()
+            for name in names:
+                parts[name].append(arrays[name])
+        out: dict[str, np.ndarray] = {}
+        for name in names:
+            dtype = (
+                DIMENSION_DTYPE
+                if self.schema.has_dimension(name)
+                else METRIC_DTYPE
+            )
+            out[name] = (
+                np.concatenate(parts[name])
+                if parts[name]
+                else np.empty(0, dtype=dtype)
+            )
         return out
 
     # ------------------------------------------------------------------
@@ -266,9 +338,9 @@ class PartitionStorage:
 
     def _scan_brick(self, brick: Brick, query: Query, partial: PartialResult,
                     lookups: dict[str, tuple[str, np.ndarray]]) -> None:
-        arrays = brick.columns()
         if brick.rows == 0:
             return
+        arrays = brick.columns()
         mask = self._build_mask(arrays, query.filters, brick.rows, lookups)
         # Inner-join semantics: rows whose key misses the dimension table
         # are dropped whenever the query references a joined column.
@@ -279,32 +351,52 @@ class PartitionStorage:
         partial.rows_scanned += brick.rows
         if matched == 0:
             return
+        unmasked = matched == brick.rows
+
+        def column(name: str) -> np.ndarray:
+            values = self._resolve_column(name, arrays, lookups)
+            return values if unmasked else values[mask]
+
+        # Metric columns are masked at most once even when aggregated
+        # several ways.
+        masked_columns: dict[str, np.ndarray] = {}
+
+        def agg_values(agg) -> Optional[np.ndarray]:
+            if agg.func is AggFunc.COUNT:
+                return None
+            values = masked_columns.get(agg.metric)
+            if values is None:
+                values = column(agg.metric)
+                masked_columns[agg.metric] = values
+            return values
 
         if not query.group_by:
-            states = [
-                self._aggregate_column(agg, arrays, mask, matched)
+            partial.accumulate((), [
+                scalar_state(agg.func, agg_values(agg), matched)
                 for agg in query.aggregations
-            ]
-            partial.accumulate((), states)
+            ])
             return
 
-        key_columns = [
-            self._resolve_column(dim, arrays, lookups)[mask]
-            for dim in query.group_by
+        group_idx, unique_keys = encode_group_keys(
+            [column(dim) for dim in query.group_by]
+        )
+        keys = [tuple(row) for row in unique_keys.tolist()]
+        counts = (
+            group_counts(group_idx, len(keys))
+            if any(agg.func is AggFunc.COUNT or agg.func is AggFunc.AVG
+                   for agg in query.aggregations)
+            else None
+        )
+        states_per_agg = [
+            grouped_states(
+                agg.func, group_idx, agg_values(agg), len(keys), counts
+            )
+            for agg in query.aggregations
         ]
-        stacked = np.stack(key_columns, axis=1)
-        unique_keys, inverse = np.unique(stacked, axis=0, return_inverse=True)
-        for group_idx in range(len(unique_keys)):
-            group_mask = inverse == group_idx
-            states = []
-            for agg in query.aggregations:
-                if agg.func is AggFunc.COUNT:
-                    states.append(float(group_mask.sum()))
-                    continue
-                values = arrays[agg.metric][mask][group_mask]
-                states.append(self._reduce(agg.func, values))
-            key = tuple(int(v) for v in unique_keys[group_idx])
-            partial.accumulate(key, states)
+        for gi, key in enumerate(keys):
+            partial.accumulate(
+                key, [states[gi] for states in states_per_agg]
+            )
 
     @staticmethod
     def _resolve_column(
@@ -333,23 +425,3 @@ class PartitionStorage:
                 mask &= (column >= flt.values[0]) & (column <= flt.values[1])
         return mask
 
-    def _aggregate_column(self, agg, arrays: dict[str, np.ndarray],
-                          mask: np.ndarray, matched: int):
-        if agg.func is AggFunc.COUNT:
-            return float(matched)
-        values = arrays[agg.metric][mask]
-        return self._reduce(agg.func, values)
-
-    @staticmethod
-    def _reduce(func: AggFunc, values: np.ndarray):
-        if func is AggFunc.SUM:
-            return float(values.sum())
-        if func is AggFunc.MIN:
-            return float(values.min())
-        if func is AggFunc.MAX:
-            return float(values.max())
-        if func is AggFunc.AVG:
-            return (float(values.sum()), float(len(values)))
-        if func is AggFunc.COUNT_DISTINCT:
-            return frozenset(np.unique(values).tolist())
-        raise QueryError(f"unsupported aggregate: {func}")

@@ -83,6 +83,46 @@ class TestInsertColumns:
             )
         assert storage.rows == 0
 
+    def test_out_of_domain_error_names_column_and_row(self, events_schema):
+        storage = PartitionStorage(events_schema, 0)
+        with pytest.raises(SchemaError, match=r"'country'.*row 2"):
+            storage.insert_columns(
+                {
+                    "day": np.array([0, 1, 2, 3]),
+                    "country": np.array([0, 1, 100, -1]),  # domain [0, 100)
+                    "clicks": np.ones(4),
+                    "cost": np.ones(4),
+                }
+            )
+        assert storage.rows == 0
+
+    def test_fractional_dimension_rejected_before_cast(self, events_schema):
+        """A float like 3.7 must not be silently truncated into brick 3's
+        bucket — the int64 cast happens only after validation."""
+        storage = PartitionStorage(events_schema, 0)
+        with pytest.raises(SchemaError, match=r"'day'.*non-integer"):
+            storage.insert_columns(
+                {
+                    "day": np.array([1.0, 3.7]),
+                    "country": np.array([0, 0]),
+                    "clicks": np.ones(2),
+                    "cost": np.ones(2),
+                }
+            )
+        assert storage.rows == 0
+
+    def test_integral_float_dimensions_accepted(self, events_schema):
+        storage = PartitionStorage(events_schema, 0)
+        n = storage.insert_columns(
+            {
+                "day": np.array([1.0, 29.0]),  # integral floats are fine
+                "country": np.array([0, 99]),
+                "clicks": np.ones(2),
+                "cost": np.ones(2),
+            }
+        )
+        assert n == 2 and storage.rows == 2
+
     def test_incremental_bulk_loads_accumulate(self, events_schema):
         rows = make_rows(events_schema, 300, seed=33)
         storage = PartitionStorage(events_schema, 0)

@@ -251,6 +251,20 @@ class TestPartialMerge:
         with pytest.raises(QueryError):
             a.merge(b)
 
+    def test_merge_different_group_bys_rejected(self, events_schema):
+        """Same aggregations but different grouping: the group keys are
+        incompatible tuples, so merging must fail loudly instead of
+        producing silently wrong totals."""
+        aggs = [Aggregation(AggFunc.SUM, "x")]
+        a = PartialResult(query=Query.build("t", aggs, group_by=["day"]))
+        b = PartialResult(
+            query=Query.build("t", aggs, group_by=["day", "country"])
+        )
+        a.accumulate((1,), [2.0])
+        b.accumulate((1, 5), [3.0])
+        with pytest.raises(QueryError, match="group-by"):
+            a.merge(b)
+
     def test_scalar_on_non_scalar_rejected(self, loaded_storage):
         storage, __ = loaded_storage
         result = storage.execute(
