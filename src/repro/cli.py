@@ -67,24 +67,97 @@ def cmd_required_reliability(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_fanout_experiment(args: argparse.Namespace) -> int:
-    deployment = CubrickDeployment(
+def _fanout_deployment(args: argparse.Namespace) -> CubrickDeployment:
+    return CubrickDeployment(
         DeploymentConfig(
             seed=args.seed, regions=2, racks_per_region=2,
             hosts_per_rack=max(4, max(args.fanouts) // 4),
         )
     )
+
+
+def cmd_fanout_experiment(args: argparse.Namespace) -> int:
+    deployment = _fanout_deployment(args)
     result = run_fanout_experiment(
         deployment, args.fanouts, queries_per_table=args.queries
     )
-    print(f"{'fanout':>7} {'queries':>8} {'p50ms':>8} {'p99ms':>8} "
-          f"{'p999ms':>8}")
+    # Percentiles come from the telemetry histograms (retained samples,
+    # interpolated readout), not a side-channel latency list.
+    print(f"{'fanout':>7} {'queries':>8} {'p50ms':>8} {'p95ms':>8} "
+          f"{'p99ms':>8} {'maxms':>8}")
     for row in result.rows:
-        print(f"{row.fanout:>7} {row.queries:>8} {row.p50 * 1e3:>8.1f} "
-              f"{row.p99 * 1e3:>8.1f} {row.p999 * 1e3:>8.1f}")
+        histogram = deployment.obs.metrics.get(
+            "workloads.fanout.latency_seconds", fanout=row.fanout
+        )
+        readout = histogram.readout()
+        print(f"{row.fanout:>7} {readout['count']:>8} "
+              f"{readout['p50'] * 1e3:>8.1f} {readout['p95'] * 1e3:>8.1f} "
+              f"{readout['p99'] * 1e3:>8.1f} {readout['max'] * 1e3:>8.1f}")
     failures = sum(result.failed_queries.values())
     if failures:
         print(f"failed queries: {failures}")
+    if args.obs_json:
+        deployment.obs.dump(args.obs_json)
+        print(f"telemetry written to {args.obs_json}")
+    return 0
+
+
+def _print_span(span: dict, depth: int = 0) -> None:
+    indent = "  " * depth
+    labels = " ".join(
+        f"{k}={v}" for k, v in sorted(span.get("labels", {}).items())
+    )
+    duration_ms = span["duration"] * 1e3
+    print(f"{indent}{span['name']} {duration_ms:8.2f} ms"
+          + (f"  [{labels}]" if labels else ""))
+    for child in span.get("children", []):
+        _print_span(child, depth + 1)
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Run a seeded fanout workload and print its telemetry."""
+    deployment = _fanout_deployment(args)
+    result = run_fanout_experiment(
+        deployment, args.fanouts, queries_per_table=args.queries
+    )
+    obs = deployment.obs
+
+    print(f"== metrics ({len(obs.metrics)} instruments) ==")
+    for entry in obs.metrics.snapshot():
+        labels = " ".join(
+            f"{k}={v}" for k, v in sorted(entry["labels"].items())
+        )
+        key = f"{entry['name']}" + (f"{{{labels}}}" if labels else "")
+        if entry["type"] in ("counter", "gauge"):
+            print(f"  {key} = {entry['value']:g}")
+        elif entry["count"] == 0:
+            print(f"  {key} count=0")
+        else:
+            print(f"  {key} count={entry['count']} "
+                  f"p50={entry['p50']:.6f} p95={entry['p95']:.6f} "
+                  f"p99={entry['p99']:.6f}")
+
+    print(f"\n== slowest traces (top {args.top} per kind, "
+          f"{obs.tracer.finished_traces} finished) ==")
+    by_name: dict[str, list] = {}
+    for span in obs.tracer.slowest():
+        by_name.setdefault(span.name, []).append(span)
+    for name in sorted(by_name):
+        for span in by_name[name][:args.top]:
+            _print_span(span.to_dict())
+
+    events = obs.events
+    print(f"\n== events ({events.emitted} emitted, "
+          f"{events.dropped} dropped) ==")
+    for line in events.to_jsonl(args.events).splitlines():
+        print(f"  {line}")
+
+    failures = sum(result.failed_queries.values())
+    if failures:
+        print(f"\nfailed queries: {failures}")
+    if args.json:
+        obs.dump(args.json)
+        print(f"\ntelemetry written to {args.json}")
     return 0
 
 
@@ -155,6 +228,9 @@ def cmd_demo_sql(args: argparse.Namespace) -> int:
           f"latency {result.metadata['latency'] * 1e3:.1f} ms, "
           f"fan-out {result.metadata['fanout']}, "
           f"region {result.metadata['region']}")
+    if args.obs_json:
+        deployment.obs.dump(args.obs_json)
+        print(f"telemetry written to {args.obs_json}")
     return 0
 
 
@@ -205,7 +281,29 @@ def build_parser() -> argparse.ArgumentParser:
     fanout.add_argument("--fanouts", type=_parse_int_list, default=[1, 4, 8])
     fanout.add_argument("--queries", type=int, default=200)
     fanout.add_argument("--seed", type=int, default=0)
+    fanout.add_argument(
+        "--obs-json", metavar="PATH", default=None,
+        help="write the full telemetry export (JSON) to PATH",
+    )
     fanout.set_defaults(func=cmd_fanout_experiment)
+
+    obs = sub.add_parser(
+        "obs",
+        help="run a seeded workload and print its telemetry "
+             "(metrics, traces, events)",
+    )
+    obs.add_argument("--fanouts", type=_parse_int_list, default=[1, 4, 8])
+    obs.add_argument("--queries", type=int, default=200)
+    obs.add_argument("--seed", type=int, default=0)
+    obs.add_argument("--top", type=int, default=3,
+                     help="slowest traces to print per trace kind")
+    obs.add_argument("--events", type=int, default=20,
+                     help="recent structured events to print")
+    obs.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the full telemetry export (JSON) to PATH",
+    )
+    obs.set_defaults(func=cmd_obs)
 
     collisions = sub.add_parser(
         "collisions", help="collision census (Fig 4a)"
@@ -223,6 +321,10 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("sql", help="the SQL statement to execute")
     demo.add_argument("--rows", type=int, default=5000)
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--obs-json", metavar="PATH", default=None,
+        help="write the full telemetry export (JSON) to PATH",
+    )
     demo.set_defaults(func=cmd_demo_sql)
 
     smc = sub.add_parser("smc-delay", help="SMC propagation delays (Fig 4c)")

@@ -39,6 +39,7 @@ from repro.cubrick.query import Query, QueryResult
 from repro.cubrick.schema import Catalog, TableInfo, TableSchema
 from repro.cubrick.sharding import MonotonicHashMapper, ShardDirectory, ShardMapper
 from repro.errors import ConfigurationError, TableNotFoundError
+from repro.obs import Observability
 from repro.shardmanager.server import SMServer
 from repro.shardmanager.spec import ServiceSpec
 from repro.sim.engine import Simulator
@@ -84,6 +85,10 @@ class CubrickDeployment:
         self.config = config if config is not None else DeploymentConfig()
         cfg = self.config
         self.simulator = Simulator()
+        # One shared telemetry hub for the whole deployment, stamped with
+        # virtual time so exports are deterministic across seeded runs.
+        self.obs = Observability(clock=lambda: self.simulator.now)
+        self.simulator.attach_observability(self.obs)
         self.rngs = RngRegistry(cfg.seed)
         self.cluster = Cluster.build(
             regions=cfg.regions,
@@ -115,11 +120,11 @@ class CubrickDeployment:
         for region in self.cluster.region_names():
             spec = ServiceSpec(name=f"cubrick-{region}", max_shards=cfg.max_shards)
             discovery = ServiceDiscovery(
-                rng=self.rngs.stream(f"smc:{region}")
+                rng=self.rngs.stream(f"smc:{region}"), obs=self.obs
             )
             sm = SMServer(
                 spec, self.simulator, self.cluster,
-                region=region, discovery=discovery,
+                region=region, discovery=discovery, obs=self.obs,
             )
             self.sm_servers[region] = sm
             for host in self.cluster.hosts_in_region(region):
@@ -134,6 +139,7 @@ class CubrickDeployment:
                     allow_ssd_eviction=(
                         cfg.lb_generation is LoadBalanceGeneration.GEN3_SSD
                     ),
+                    obs=self.obs,
                 )
                 self.nodes[host.host_id] = node
                 sm.register_host(node)
@@ -145,6 +151,7 @@ class CubrickDeployment:
                 latency_model=self.latency_model,
                 failure_model=failure_model,
                 rng=self.rngs.stream(f"coordinator:{region}"),
+                obs=self.obs,
             )
         self.coordinators = coordinators
         # Failover data recovery crosses regions (paper §IV-D): when a
@@ -156,6 +163,7 @@ class CubrickDeployment:
             coordinators,
             locator=CachedRandom(),
             rng=self.rngs.stream("proxy"),
+            obs=self.obs,
         )
         self.automation = DatacenterAutomation(
             self.simulator,
@@ -219,6 +227,7 @@ class CubrickDeployment:
                                        replicated=True)
             for node in self.nodes.values():
                 node.store_replicated(schema.name)
+            self._record_table_created(info)
             return info
         if num_partitions is None:
             num_partitions = self.fanout_policy.partitions_for_new_table(
@@ -232,7 +241,17 @@ class CubrickDeployment:
             self.directory.unregister_table(schema.name)
             self.catalog.drop(schema.name)
             raise
+        self._record_table_created(info)
         return info
+
+    def _record_table_created(self, info: TableInfo) -> None:
+        self.obs.metrics.counter("cubrick.deployment.tables_created").inc()
+        self.obs.events.emit(
+            "cubrick.deployment.table_created",
+            table=info.schema.name,
+            partitions=info.num_partitions,
+            replicated=info.replicated,
+        )
 
     def _materialize_table(self, table: str, shards: list[int]) -> None:
         """Create the table's shards/partitions in every region's SM."""
@@ -271,6 +290,9 @@ class CubrickDeployment:
         """
         info = self.catalog.get(table)
         schema = info.schema
+        self.obs.metrics.counter(
+            "cubrick.deployment.rows_loaded", table=table
+        ).inc(len(rows))
         if info.replicated:
             for node in self.nodes.values():
                 node.insert_into_replicated(table, rows)
@@ -509,6 +531,7 @@ class CubrickDeployment:
             allow_ssd_eviction=(
                 self.config.lb_generation is LoadBalanceGeneration.GEN3_SSD
             ),
+            obs=self.obs,
         )
         self._replicate_dimension_tables(node)
         self.nodes[host_id] = node
@@ -614,6 +637,7 @@ class CubrickDeployment:
                 allow_ssd_eviction=(
                     self.config.lb_generation is LoadBalanceGeneration.GEN3_SSD
                 ),
+                obs=self.obs,
             )
             self._replicate_dimension_tables(node)
             self.nodes[host_id] = node

@@ -28,6 +28,7 @@ from repro.errors import (
     QueryFailedError,
     ShardMappingUnknownError,
 )
+from repro.obs import Observability
 from repro.shardmanager.server import SMServer
 from repro.sim.latency import LatencyModel, LogNormalTailLatency
 from repro.sim.failures import BernoulliFailureModel
@@ -64,6 +65,7 @@ class RegionCoordinator:
         latency_model: Optional[LatencyModel] = None,
         failure_model: Optional[BernoulliFailureModel] = None,
         rng: Optional[np.random.Generator] = None,
+        obs: Optional[Observability] = None,
     ):
         self.region = region
         self.sm = sm_server
@@ -75,6 +77,15 @@ class RegionCoordinator:
         self.failure_model = failure_model
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self.executions: list[QueryExecution] = []
+        self.obs = obs if obs is not None else Observability()
+        self._latency_histogram = self.obs.metrics.histogram(
+            "cubrick.coordinator.latency_seconds", region=region
+        )
+        self._fanout_histogram = self.obs.metrics.histogram(
+            "cubrick.coordinator.fanout_hosts",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+            region=region,
+        )
 
     # ------------------------------------------------------------------
     # Routing
@@ -137,6 +148,43 @@ class RegionCoordinator:
         (fraction of partitions that contributed), trading consistency
         and accuracy for availability and bounded latency.
         """
+        with self.obs.tracer.span(
+            "cubrick.coordinator.execute", region=self.region, table=query.table
+        ) as span:
+            try:
+                result = self._execute(
+                    query,
+                    span,
+                    coordinator_partition=coordinator_partition,
+                    extra_hops=extra_hops,
+                    extra_roundtrips=extra_roundtrips,
+                    allow_partial=allow_partial,
+                    straggler_timeout=straggler_timeout,
+                )
+            except QueryFailedError as exc:
+                span.annotate(outcome="failed", error=str(exc))
+                self.obs.metrics.counter(
+                    "cubrick.coordinator.queries",
+                    region=self.region,
+                    outcome="failed",
+                ).inc()
+                raise
+        self.obs.metrics.counter(
+            "cubrick.coordinator.queries", region=self.region, outcome="ok"
+        ).inc()
+        return result
+
+    def _execute(
+        self,
+        query: Query,
+        span,
+        *,
+        coordinator_partition: int,
+        extra_hops: int,
+        extra_roundtrips: int,
+        allow_partial: bool,
+        straggler_timeout: Optional[float],
+    ) -> QueryResult:
         info = self.catalog.get(query.table)
         execution = QueryExecution(query=query, region=self.region)
         self.executions.append(execution)
@@ -176,14 +224,29 @@ class RegionCoordinator:
                 skipped_hosts.append(host_id)
                 continue
             node = self.sm.app_server(host_id)
-            try:
-                partial = node.execute_local(query, indexes)
-            except PartitionNotFoundError as exc:
-                if allow_partial:
-                    skipped_hosts.append(host_id)
-                    continue
-                # Stale SMC mapping: the authoritative owner may differ.
-                partial = self._forwarded_execution(query, host_id, indexes, exc)
+            # The scan span's duration is the *sampled* service time: the
+            # simulated clock does not advance during execution, so the
+            # latency model's draw is the span's ground truth.
+            with self.obs.tracer.span(
+                "cubrick.node.scan", host=host_id, region=self.region
+            ) as scan_span:
+                try:
+                    partial = node.execute_local(query, indexes)
+                except PartitionNotFoundError as exc:
+                    if allow_partial:
+                        scan_span.annotate(skipped="partition_missing")
+                        skipped_hosts.append(host_id)
+                        continue
+                    # Stale SMC mapping: the authoritative owner may differ.
+                    partial = self._forwarded_execution(
+                        query, host_id, indexes, exc
+                    )
+                scan_span.set_duration(service_time)
+                scan_span.annotate(
+                    partitions=len(indexes),
+                    bricks_scanned=partial.bricks_scanned,
+                    rows_scanned=partial.rows_scanned,
+                )
             execution.per_host_latency[host_id] = service_time
             slowest = max(slowest, service_time)
             answered_partitions += len(indexes)
@@ -204,10 +267,19 @@ class RegionCoordinator:
             )
         execution.latency = latency
         execution.succeeded = True
+        self._latency_histogram.observe(latency)
+        self._fanout_histogram.observe(execution.fanout)
 
         result = merged.finalize()
         coverage = (
             answered_partitions / total_partitions if total_partitions else 1.0
+        )
+        span.set_duration(latency)
+        span.annotate(
+            fanout=execution.fanout,
+            coverage=coverage,
+            extra_hops=extra_hops,
+            extra_roundtrips=extra_roundtrips,
         )
         result.metadata.update(
             {

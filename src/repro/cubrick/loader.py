@@ -60,6 +60,26 @@ class StreamingLoader:
         self._generation = info.generation
         self._num_partitions = info.num_partitions
         self._buffers: dict[int, list[dict[str, float]]] = {}
+        # Loaders made against a bare test double may not carry telemetry.
+        obs = getattr(self.deployment, "obs", None)
+        if obs is not None:
+            self._batches_counter = obs.metrics.counter(
+                "cubrick.loader.batches_flushed", table=self.table
+            )
+            self._rows_flushed_counter = obs.metrics.counter(
+                "cubrick.loader.rows_flushed", table=self.table
+            )
+            self._reroute_counter = obs.metrics.counter(
+                "cubrick.loader.reroutes", table=self.table
+            )
+            self._failed_flush_counter = obs.metrics.counter(
+                "cubrick.loader.failed_flushes", table=self.table
+            )
+        else:
+            self._batches_counter = None
+            self._rows_flushed_counter = None
+            self._reroute_counter = None
+            self._failed_flush_counter = None
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -110,6 +130,8 @@ class StreamingLoader:
             index = partition_of(info.schema, row, self._num_partitions)
             self._buffers.setdefault(index, []).append(row)
         self.stats.reroutes += len(pending)
+        if self._reroute_counter is not None:
+            self._reroute_counter.inc(len(pending))
 
     def _flush_partition(self, index: int) -> int:
         rows = self._buffers.get(index)
@@ -127,6 +149,8 @@ class StreamingLoader:
             owner = sm.discovery.resolve_authoritative(shard)
             if owner is None or owner not in sm.registered_hosts():
                 self.stats.failed_flushes += 1
+                if self._failed_flush_counter is not None:
+                    self._failed_flush_counter.inc()
                 raise HostUnavailableError(
                     f"partition {self.table}#{index}: no live owner for "
                     f"shard {shard} in region {sm.region}"
@@ -137,6 +161,9 @@ class StreamingLoader:
         self._buffers[index] = []
         self.stats.rows_flushed += written
         self.stats.batches_flushed += 1
+        if self._batches_counter is not None:
+            self._batches_counter.inc()
+            self._rows_flushed_counter.inc(written)
         return written
 
     def _columns_from_rows(

@@ -31,6 +31,7 @@ from repro.errors import (
     ShardAlreadyAssignedError,
     ShardNotFoundError,
 )
+from repro.obs import Observability
 from repro.shardmanager.app_server import ApplicationServer
 from repro.cluster.host import GIB
 
@@ -50,10 +51,12 @@ class CubrickNode(ApplicationServer):
         memory_budget: Optional[MemoryBudget] = None,
         decay_rng: Optional[np.random.Generator] = None,
         allow_ssd_eviction: bool = False,
+        obs: Optional[Observability] = None,
     ):
         super().__init__(host_id)
         self.catalog = catalog
         self.directory = directory
+        self.obs = obs if obs is not None else Observability()
         self.memory_bytes = memory_bytes
         self.ssd_bytes = ssd_bytes
         self.exporter = exporter if exporter is not None else DecompressedSizeExporter()
@@ -116,7 +119,7 @@ class CubrickNode(ApplicationServer):
         self, table: str, index: int, source: Optional[ApplicationServer]
     ) -> PartitionStorage:
         schema = self.catalog.get(table).schema
-        storage = PartitionStorage(schema, index)
+        storage = PartitionStorage(schema, index, obs=self.obs)
         if isinstance(source, CubrickNode):
             name = partition_name(table, index)
             donor = source._partitions.get(name)
@@ -183,7 +186,7 @@ class CubrickNode(ApplicationServer):
         if name in self._partitions:
             return
         schema = self.catalog.get(table).schema
-        self._partitions[name] = PartitionStorage(schema, index)
+        self._partitions[name] = PartitionStorage(schema, index, obs=self.obs)
         self._partition_tables[name] = table
         self._shards[shard_id].append(name)
 
@@ -281,7 +284,7 @@ class CubrickNode(ApplicationServer):
         storage = self._replicated.get(table)
         if storage is None:
             schema = self.catalog.get(table).schema
-            storage = PartitionStorage(schema, partition_index=0)
+            storage = PartitionStorage(schema, partition_index=0, obs=self.obs)
             self._replicated[table] = storage
         return storage
 
@@ -386,7 +389,44 @@ class CubrickNode(ApplicationServer):
 
     def run_memory_monitor(self) -> MonitorReport:
         """One adaptive-compression pass over all local bricks."""
-        return self.memory_monitor.run(self.all_bricks())
+        with self.obs.tracer.span(
+            "cubrick.node.memory_monitor", host=self.host_id
+        ) as span:
+            report = self.memory_monitor.run(self.all_bricks())
+            span.annotate(
+                compressed=report.compressed,
+                decompressed=report.decompressed,
+                evicted=report.evicted,
+                loaded=report.loaded,
+                footprint_before=report.footprint_before,
+                footprint_after=report.footprint_after,
+            )
+        # Lazily registered so idle nodes don't flood snapshots with
+        # zero-valued per-host instruments.
+        metrics = self.obs.metrics
+        metrics.counter(
+            "cubrick.node.bricks_compressed", host=self.host_id
+        ).inc(report.compressed)
+        metrics.counter(
+            "cubrick.node.bricks_decompressed", host=self.host_id
+        ).inc(report.decompressed)
+        metrics.counter(
+            "cubrick.node.bricks_evicted", host=self.host_id
+        ).inc(report.evicted)
+        metrics.counter(
+            "cubrick.node.bricks_loaded", host=self.host_id
+        ).inc(report.loaded)
+        metrics.gauge(
+            "cubrick.node.footprint_bytes", host=self.host_id
+        ).set(report.footprint_after)
+        if report.evicted:
+            self.obs.events.emit(
+                "cubrick.node.bricks_evicted",
+                host=self.host_id,
+                evicted=report.evicted,
+                footprint_after=report.footprint_after,
+            )
+        return report
 
     def decay_hotness(self, probability: float = 0.5,
                       factor: float = 0.5) -> int:

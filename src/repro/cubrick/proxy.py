@@ -31,6 +31,7 @@ from repro.errors import (
     QueryFailedError,
     RegionUnavailableError,
 )
+from repro.obs import Observability
 
 
 @dataclass
@@ -98,6 +99,7 @@ class CubrickProxy:
         max_qps: float = float("inf"),
         blacklist_ttl: float = 300.0,
         rng: Optional[np.random.Generator] = None,
+        obs: Optional[Observability] = None,
     ):
         if not coordinators:
             raise ConfigurationError("proxy needs at least one region coordinator")
@@ -113,6 +115,14 @@ class CubrickProxy:
         self._blacklist: dict[str, float] = {}  # host -> expiry time
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self.query_log: list[QueryLogEntry] = []
+        self.obs = obs if obs is not None else Observability()
+        self._retry_counter = self.obs.metrics.counter("cubrick.proxy.retries")
+        self._latency_histogram = self.obs.metrics.histogram(
+            "cubrick.proxy.latency_seconds", track_samples=True
+        )
+
+    def _outcome_counter(self, outcome: str):
+        return self.obs.metrics.counter("cubrick.proxy.queries", outcome=outcome)
 
     # ------------------------------------------------------------------
     # Helpers
@@ -180,6 +190,48 @@ class CubrickProxy:
         """
         if deadline is not None and deadline <= 0:
             raise ConfigurationError(f"deadline must be positive: {deadline}")
+        # The root span of every query trace. Its duration is the
+        # user-visible latency (wasted attempts included); coordinator
+        # and per-host scan spans nest beneath it.
+        with self.obs.tracer.span("cubrick.proxy.query", table=query.table) as span:
+            try:
+                result = self._submit(
+                    query,
+                    allow_partial=allow_partial,
+                    straggler_timeout=straggler_timeout,
+                    deadline=deadline,
+                )
+            except AdmissionControlError:
+                span.annotate(outcome="admission_rejected")
+                self._outcome_counter("admission_rejected").inc()
+                raise
+            except RegionUnavailableError:
+                span.annotate(outcome="no_region")
+                self._outcome_counter("no_region").inc()
+                raise
+            except QueryFailedError as exc:
+                span.annotate(outcome="failed", error=str(exc))
+                self._outcome_counter("failed").inc()
+                raise
+            latency_total = result.metadata.get("latency_total", 0.0)
+            span.set_duration(latency_total)
+            span.annotate(
+                outcome="ok",
+                region=result.metadata.get("region"),
+                attempts=result.metadata.get("attempts"),
+            )
+        self._outcome_counter("ok").inc()
+        self._latency_histogram.observe(latency_total)
+        return result
+
+    def _submit(
+        self,
+        query: Query,
+        *,
+        allow_partial: bool,
+        straggler_timeout: Optional[float],
+        deadline: Optional[float],
+    ) -> QueryResult:
         now = self._now
         if not self.admission.admit(now, query.table):
             entry = QueryLogEntry(
@@ -187,6 +239,9 @@ class CubrickProxy:
                 error="admission_control",
             )
             self.query_log.append(entry)
+            self.obs.events.emit(
+                "cubrick.proxy.admission_rejected", table=query.table
+            )
             raise AdmissionControlError(
                 f"query on {query.table} rejected: QPS limit reached"
             )
@@ -224,8 +279,14 @@ class CubrickProxy:
                 last_error = exc
                 if exc.host is not None:
                     self.blacklist_host(exc.host)
+                    self.obs.events.emit(
+                        "cubrick.proxy.host_blacklisted",
+                        host=exc.host,
+                        region=str(exc.region),
+                    )
                 if not exc.retryable:
                     break
+                self._retry_counter.inc()
                 continue  # transparently retry in the next region
             latency = result.metadata.get("latency", 0.0)
             if deadline is not None and latency > deadline:
@@ -237,6 +298,14 @@ class CubrickProxy:
                     f"query on {query.table} exceeded {deadline}s deadline "
                     f"in {region}",
                     region=region,
+                )
+                self._retry_counter.inc()
+                self.obs.events.emit(
+                    "cubrick.proxy.deadline_exceeded",
+                    table=query.table,
+                    region=region,
+                    deadline=deadline,
+                    latency=latency,
                 )
                 continue
             self.locator.observe_result(
@@ -263,6 +332,12 @@ class CubrickProxy:
                 time=now, table=query.table, succeeded=False,
                 attempts=attempts, error=message,
             )
+        )
+        self.obs.events.emit(
+            "cubrick.proxy.query_failed",
+            table=query.table,
+            attempts=attempts,
+            error=message,
         )
         if last_error is not None:
             raise last_error

@@ -12,7 +12,7 @@ adaptive compression — paper §IV-F2).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 import numpy as np
 
@@ -34,16 +34,49 @@ from repro.cubrick.query import (
 from repro.cubrick.schema import TableSchema
 from repro.errors import CubrickError, QueryError, SchemaError
 
+if TYPE_CHECKING:
+    from repro.obs import Observability
+
 
 class PartitionStorage:
-    """In-memory columnar storage for one table partition."""
+    """In-memory columnar storage for one table partition.
 
-    def __init__(self, schema: TableSchema, partition_index: int):
+    ``obs`` is optional: partitions created in unit tests carry no
+    telemetry, while partitions created by a node share the deployment's
+    :class:`~repro.obs.Observability`. Instruments are labelled by table
+    (not partition) to keep cardinality bounded.
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        partition_index: int,
+        obs: "Optional[Observability]" = None,
+    ):
         self.schema = schema
         self.partition_index = partition_index
         self.index = GranularIndex(schema)
         self._bricks: dict[int, Brick] = {}
         self._rows = 0
+        if obs is not None:
+            metrics = obs.metrics
+            self._scanned_counter = metrics.counter(
+                "cubrick.storage.bricks_scanned", table=schema.name
+            )
+            self._pruned_counter = metrics.counter(
+                "cubrick.storage.bricks_pruned", table=schema.name
+            )
+            self._rows_scanned_counter = metrics.counter(
+                "cubrick.storage.rows_scanned", table=schema.name
+            )
+            self._rows_inserted_counter = metrics.counter(
+                "cubrick.storage.rows_inserted", table=schema.name
+            )
+        else:
+            self._scanned_counter = None
+            self._pruned_counter = None
+            self._rows_scanned_counter = None
+            self._rows_inserted_counter = None
 
     # ------------------------------------------------------------------
     # Loading
@@ -63,6 +96,8 @@ class PartitionStorage:
             self._bricks[brick_id] = brick
         brick.append(row)
         self._rows += 1
+        if self._rows_inserted_counter is not None:
+            self._rows_inserted_counter.inc()
         return brick_id
 
     def insert_many(self, rows: Iterable[dict[str, float]]) -> int:
@@ -126,6 +161,8 @@ class PartitionStorage:
             )
             brick.append_columns(chunk)
         self._rows += n
+        if self._rows_inserted_counter is not None:
+            self._rows_inserted_counter.inc(n)
         return n
 
     @staticmethod
@@ -276,6 +313,10 @@ class PartitionStorage:
             brick.touch()
             partial.bricks_scanned += 1
             self._scan_brick(brick, query, partial, effective_lookups)
+        if self._scanned_counter is not None:
+            self._scanned_counter.inc(partial.bricks_scanned)
+            self._pruned_counter.inc(len(self._bricks) - partial.bricks_scanned)
+            self._rows_scanned_counter.inc(partial.rows_scanned)
         return partial
 
     def _validate_query(

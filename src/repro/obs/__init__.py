@@ -1,0 +1,103 @@
+"""repro.obs — cluster-wide telemetry for the reproduction.
+
+Three coordinated pieces behind one :class:`Observability` facade:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
+  fixed-bucket histograms keyed by ``name + label tuple``;
+* :class:`~repro.obs.trace.Tracer` — per-query span trees from the
+  Cubrick proxy down to per-host brick scans;
+* :class:`~repro.obs.events.EventLog` — a structured JSON-lines event
+  ring buffer for post-mortem dumps.
+
+All three read time from one injectable clock. The deployment wires in
+the DES virtual clock, so every export is a pure function of the seed:
+two identically-seeded runs produce byte-identical JSON. Components can
+be constructed without an ``Observability`` (each then gets a private
+one on a zero clock), which keeps unit tests unentangled while letting
+:class:`~repro.core.deployment.CubrickDeployment` share a single
+process-wide instance across all layers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Optional
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    interpolated_percentile,
+    interpolated_percentiles,
+)
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "Tracer",
+    "interpolated_percentile",
+    "interpolated_percentiles",
+]
+
+
+class Observability:
+    """One clock, one registry, one tracer, one event log."""
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        *,
+        event_capacity: int = 4096,
+        keep_recent_traces: int = 128,
+        keep_slowest_traces: int = 8,
+    ):
+        self.clock: Callable[[], float] = clock if clock is not None else lambda: 0.0
+        self.metrics = MetricsRegistry(clock=self.clock)
+        self.tracer = Tracer(
+            self.clock,
+            keep_recent=keep_recent_traces,
+            keep_slowest=keep_slowest_traces,
+        )
+        self.events = EventLog(self.clock, capacity=event_capacity)
+
+    def export(self, *, slowest_traces: Optional[int] = None,
+               events: Optional[int] = None) -> dict:
+        """Machine-readable snapshot of everything (JSON-ready dict)."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "traces": {
+                "finished": self.tracer.finished_traces,
+                "slowest": self.tracer.to_dicts(slowest_traces),
+            },
+            "events": {
+                "emitted": self.events.emitted,
+                "dropped": self.events.dropped,
+                "tail": self.events.tail(events),
+            },
+        }
+
+    def export_json(self, *, indent: Optional[int] = 2,
+                    slowest_traces: Optional[int] = None,
+                    events: Optional[int] = None) -> str:
+        """Deterministic JSON export (sorted keys, virtual timestamps)."""
+        return json.dumps(
+            self.export(slowest_traces=slowest_traces, events=events),
+            sort_keys=True,
+            indent=indent,
+        )
+
+    def dump(self, path: str) -> None:
+        """Write :meth:`export_json` to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.export_json())
+            handle.write("\n")

@@ -1,0 +1,77 @@
+"""Structured event log with a bounded ring buffer.
+
+Every notable state change (host failover, shard refusal, SLA miss,
+session expiry...) is emitted as one structured event: a flat dict with
+a virtual-time timestamp, a monotone sequence number and a ``kind``
+following the ``subsystem.component.event`` naming convention. The ring
+buffer keeps the last N events so a failing experiment can dump recent
+history as JSON lines without unbounded memory growth; ``dropped``
+counts what scrolled off.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Callable, Optional
+
+
+class EventLog:
+    """Bounded, JSON-lines-serialisable structured event buffer."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = lambda: 0.0,
+        *,
+        capacity: int = 4096,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"event log capacity must be positive: {capacity}")
+        self.clock = clock
+        self.capacity = capacity
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self._seq = 0
+        self.emitted = 0
+
+    def emit(self, kind: str, **fields: object) -> dict:
+        """Record one event; reserved keys: ``time``, ``seq``, ``kind``."""
+        reserved = {"time", "seq", "kind"} & set(fields)
+        if reserved:
+            raise ValueError(f"event fields shadow reserved keys: {sorted(reserved)}")
+        self._seq += 1
+        event = {"time": self.clock(), "seq": self._seq, "kind": kind}
+        event.update(sorted(fields.items()))
+        self._events.append(event)
+        self.emitted += 1
+        return event
+
+    @property
+    def dropped(self) -> int:
+        """Events that scrolled off the ring buffer."""
+        return self.emitted - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def tail(self, n: Optional[int] = None) -> list[dict]:
+        """The most recent ``n`` events (all buffered ones by default)."""
+        events = list(self._events)
+        return events if n is None else events[-n:]
+
+    def of_kind(self, kind: str) -> list[dict]:
+        return [e for e in self._events if e["kind"] == kind]
+
+    def to_jsonl(self, n: Optional[int] = None) -> str:
+        """JSON-lines dump of the last ``n`` events (deterministic)."""
+        return "\n".join(
+            json.dumps(event, sort_keys=True) for event in self.tail(n)
+        )
+
+    def dump(self, path: str, n: Optional[int] = None) -> int:
+        """Write the last ``n`` events as JSON lines; returns the count."""
+        events = self.tail(n)
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event, sort_keys=True))
+                handle.write("\n")
+        return len(events)

@@ -1,0 +1,333 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The measurement substrate for the whole reproduction. Instruments are
+keyed by ``(name, label tuple)`` and follow the naming convention
+``subsystem.component.metric`` (e.g. ``cubrick.proxy.latency_seconds``,
+``shardmanager.placement.decisions``). All timestamps come from an
+injectable *clock* — the deployment wires the DES virtual clock in, so
+snapshots are a pure function of the seed and two identically-seeded
+runs export byte-identical metrics.
+
+Percentile math lives here too (:func:`interpolated_percentile`), shared
+by histogram readouts and the fan-out experiment's summary rows so the
+CLI and the experiment always agree on what "p99" means: linearly
+interpolated order statistics, never max-of-sample.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+#: Default histogram buckets: log-spaced upper bounds in seconds, tuned
+#: for query/propagation latencies (1 ms .. 30 s).
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+LabelValue = Union[str, int, float, bool]
+Labels = tuple[tuple[str, str], ...]
+
+
+def _canonical_labels(labels: dict[str, LabelValue]) -> Labels:
+    """Sorted, stringified label tuple — the instrument key half."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def interpolated_percentile(
+    samples: Union[Sequence[float], np.ndarray], q: float
+) -> float:
+    """Linearly interpolated percentile of raw samples.
+
+    ``q`` is in ``[0, 100]``. Matches the "linear" definition (rank =
+    ``(n - 1) * q / 100`` with interpolation between the straddling
+    order statistics), so small sample sets yield interpolated values
+    instead of collapsing high percentiles to the sample maximum.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile out of range [0, 100]: {q}")
+    data = np.sort(np.asarray(samples, dtype=np.float64))
+    if data.size == 0:
+        raise ValueError("no samples")
+    rank = (data.size - 1) * (q / 100.0)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(data[int(rank)])
+    fraction = rank - lo
+    return float(data[lo] * (1.0 - fraction) + data[hi] * fraction)
+
+
+def interpolated_percentiles(
+    samples: Union[Sequence[float], np.ndarray], qs: Iterable[float]
+) -> list[float]:
+    """Vector form of :func:`interpolated_percentile` (sorts once)."""
+    data = np.sort(np.asarray(samples, dtype=np.float64))
+    if data.size == 0:
+        raise ValueError("no samples")
+    out = []
+    for q in qs:
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of range [0, 100]: {q}")
+        rank = (data.size - 1) * (q / 100.0)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            out.append(float(data[int(rank)]))
+        else:
+            fraction = rank - lo
+            out.append(float(data[lo] * (1.0 - fraction) + data[hi] * fraction))
+    return out
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count (queries served, shards created...)."""
+
+    name: str
+    labels: Labels = ()
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> float:
+        if amount < 0 or not math.isfinite(amount):
+            raise ValueError(f"counter increment must be finite and >= 0: {amount}")
+        self.value += amount
+        return self.value
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "type": "counter",
+            "value": self.value,
+        }
+
+
+@dataclass
+class Gauge:
+    """Point-in-time value (registered hosts, footprint bytes...)."""
+
+    name: str
+    labels: Labels = ()
+    value: float = 0.0
+
+    def set(self, value: float) -> float:
+        if not math.isfinite(value):
+            raise ValueError(f"gauge value must be finite: {value}")
+        self.value = float(value)
+        return self.value
+
+    def inc(self, amount: float = 1.0) -> float:
+        return self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> float:
+        return self.set(self.value - amount)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "type": "gauge",
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """Fixed-bucket distribution with interpolated percentile readout.
+
+    Buckets are upper bounds; observations above the last bound land in
+    an overflow bucket. ``track_samples=True`` additionally retains the
+    raw observations so ``percentile`` is exact (used where experiment
+    summaries and the histogram must agree to the last digit); without
+    it, percentiles are linearly interpolated inside the bucket that
+    holds the target rank.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        labels: Labels = (),
+        buckets: Optional[Sequence[float]] = None,
+        track_samples: bool = False,
+    ):
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        if not bounds:
+            raise ValueError(f"histogram {name}: needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(
+                f"histogram {name}: bucket bounds must be strictly increasing"
+            )
+        self.name = name
+        self.labels = labels
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: Optional[list[float]] = [] if track_samples else None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"histogram {self.name}: non-finite sample {value}")
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if self._samples is not None:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Interpolated percentile — exact when samples are retained."""
+        if self.count == 0:
+            raise ValueError(f"histogram {self.name}: no observations")
+        if self._samples is not None:
+            return interpolated_percentile(self._samples, q)
+        return self._bucket_percentile(q)
+
+    def _bucket_percentile(self, q: float) -> float:
+        """Percentile estimated by interpolating within one bucket."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of range [0, 100]: {q}")
+        assert self.min is not None and self.max is not None
+        rank = (self.count - 1) * (q / 100.0)
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count > rank:
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = (
+                    self.bounds[index] if index < len(self.bounds) else self.max
+                )
+                lower = max(lower, self.min)
+                upper = min(upper, self.max)
+                if bucket_count == 1:
+                    return float(min(max(lower, self.min), upper))
+                within = (rank - cumulative) / (bucket_count - 1)
+                return float(lower + (upper - lower) * within)
+            cumulative += bucket_count
+        return float(self.max)
+
+    def readout(self) -> dict:
+        """Summary for snapshots: count/sum/min/max/mean/p50/p95/p99."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "type": "histogram",
+            "buckets": list(self.bounds),
+            "counts": list(self.counts),
+            **self.readout(),
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+@dataclass
+class MetricsRegistry:
+    """Get-or-create instrument store keyed by ``(name, label tuple)``.
+
+    One registry per deployment; injectable anywhere that measures.
+    Re-requesting an existing key returns the same instrument object;
+    requesting an existing key as a different instrument type raises.
+    """
+
+    clock: Callable[[], float] = field(default=lambda: 0.0)
+    _instruments: dict[tuple[str, Labels], Instrument] = field(
+        default_factory=dict
+    )
+
+    def counter(self, name: str, **labels: LabelValue) -> Counter:
+        return self._get_or_create(Counter, name, _canonical_labels(labels))
+
+    def gauge(self, name: str, **labels: LabelValue) -> Gauge:
+        return self._get_or_create(Gauge, name, _canonical_labels(labels))
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: Optional[Sequence[float]] = None,
+        track_samples: bool = False,
+        **labels: LabelValue,
+    ) -> Histogram:
+        key = (name, _canonical_labels(labels))
+        existing = self._instruments.get(key)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise ValueError(
+                    f"instrument {key} already registered as "
+                    f"{type(existing).__name__}, not Histogram"
+                )
+            return existing
+        histogram = Histogram(
+            name, key[1], buckets=buckets, track_samples=track_samples
+        )
+        self._instruments[key] = histogram
+        return histogram
+
+    def _get_or_create(self, cls, name: str, labels: Labels):
+        key = (name, labels)
+        existing = self._instruments.get(key)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"instrument {key} already registered as "
+                    f"{type(existing).__name__}, not {cls.__name__}"
+                )
+            return existing
+        instrument = cls(name=name, labels=labels)
+        self._instruments[key] = instrument
+        return instrument
+
+    def get(self, name: str, **labels: LabelValue) -> Optional[Instrument]:
+        """Look up an instrument without creating it."""
+        return self._instruments.get((name, _canonical_labels(labels)))
+
+    def find(self, prefix: str) -> list[Instrument]:
+        """All instruments whose name starts with ``prefix``, sorted."""
+        return [
+            instrument
+            for (name, __), instrument in sorted(self._instruments.items())
+            if name.startswith(prefix)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> list[dict]:
+        """Deterministic, JSON-ready dump of every instrument.
+
+        Sorted by ``(name, labels)`` so two identically-seeded runs
+        produce identical output regardless of creation order.
+        """
+        return [
+            instrument.to_dict()
+            for __, instrument in sorted(self._instruments.items())
+        ]

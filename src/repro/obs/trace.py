@@ -1,0 +1,191 @@
+"""Per-query tracing: span trees on the virtual clock.
+
+A *trace* is one tree of spans rooted at the Cubrick proxy: the root
+span covers the whole proxied query, with child spans for each regional
+coordinator attempt, per-host brick scans under those, and leaf spans
+for partition/kernel work. Subsystems that act outside any query (SM
+migrations, datastore watch deliveries) open root spans of their own.
+
+Because the simulation models latency *statistically* — sampled service
+times rather than advancing the DES clock during execution — spans
+carry an explicit :meth:`Span.set_duration` used to record the simulated
+time a stage took. Spans whose duration is never set close with the
+virtual-clock delta (zero for synchronous in-sim work), which keeps the
+span *structure* intact for annotation-only leaves.
+
+The tracer keeps a bounded deque of recent traces plus a top-K list of
+the slowest ones, so long experiments can still show their worst
+queries without unbounded memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+
+class Span:
+    """One named stage of a trace, with labels, annotations and children."""
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "start", "end",
+        "labels", "annotations", "children",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: int,
+        span_id: int,
+        start: float,
+        labels: dict[str, object],
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.start = start
+        self.end: Optional[float] = None
+        self.labels = labels
+        self.annotations: dict[str, object] = {}
+        self.children: list[Span] = []
+
+    @property
+    def duration(self) -> float:
+        """Seconds of (simulated) time this span covers; 0 while open."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def set_duration(self, duration: float) -> None:
+        """Record the simulated duration of this span explicitly."""
+        if duration < 0:
+            raise ValueError(f"span {self.name}: negative duration {duration}")
+        self.end = self.start + duration
+
+    def annotate(self, **fields: object) -> "Span":
+        """Attach key/value diagnostics (row counts, outcomes...)."""
+        self.annotations.update(fields)
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (deterministic field order)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "labels": {k: self.labels[k] for k in sorted(self.labels)},
+            "annotations": {
+                k: self.annotations[k] for k in sorted(self.annotations)
+            },
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, "
+            f"duration={self.duration:.6f}s, children={len(self.children)})"
+        )
+
+
+class Tracer:
+    """Opens and collects span trees; nesting follows the call stack.
+
+    The simulation executes queries synchronously, so a plain span stack
+    gives correct parent/child attribution without any context-variable
+    machinery.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = lambda: 0.0,
+        *,
+        keep_recent: int = 128,
+        keep_slowest: int = 8,
+    ):
+        if keep_recent <= 0 or keep_slowest <= 0:
+            raise ValueError("tracer capacities must be positive")
+        self.clock = clock
+        self._stack: list[Span] = []
+        self._trace_seq = 0
+        self._span_seq = 0
+        self.finished_traces = 0
+        self.recent: deque[Span] = deque(maxlen=keep_recent)
+        self._keep_slowest = keep_slowest
+        # Top-K slowest roots, kept *per root-span name* so second-scale
+        # background traces (SMC propagation) cannot evict millisecond
+        # query traces from the readout.
+        self._slowest: dict[str, list[Span]] = {}
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **labels: object) -> Iterator[Span]:
+        """Open a span as a child of the current one (or a new root)."""
+        self._span_seq += 1
+        if not self._stack:
+            self._trace_seq += 1
+            trace_id = self._trace_seq
+        else:
+            trace_id = self._stack[-1].trace_id
+        span = Span(
+            name,
+            trace_id=trace_id,
+            span_id=self._span_seq,
+            start=self.clock(),
+            labels=labels,
+        )
+        if self._stack:
+            self._stack[-1].children.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            popped = self._stack.pop()
+            assert popped is span, "span stack corrupted"
+            if span.end is None:
+                span.end = self.clock()
+            if not self._stack:
+                self._finish_root(span)
+
+    def _finish_root(self, root: Span) -> None:
+        self.finished_traces += 1
+        self.recent.append(root)
+        bucket = self._slowest.setdefault(root.name, [])
+        bucket.append(root)
+        # Deterministic ranking: duration desc, then earlier trace wins.
+        bucket.sort(key=lambda s: (-s.duration, s.trace_id))
+        del bucket[self._keep_slowest:]
+
+    def slowest(
+        self, n: Optional[int] = None, *, name: Optional[str] = None
+    ) -> list[Span]:
+        """The slowest completed root spans, slowest first.
+
+        ``name`` restricts to roots of one span name; otherwise the
+        per-name top lists are merged (grouped by name, names sorted)
+        so every kind of trace stays visible in exports.
+        """
+        if name is not None:
+            spans = list(self._slowest.get(name, []))
+        else:
+            spans = [
+                span
+                for root_name in sorted(self._slowest)
+                for span in self._slowest[root_name]
+            ]
+        return spans if n is None else spans[:n]
+
+    def to_dicts(self, n: Optional[int] = None, *,
+                 name: Optional[str] = None) -> list[dict]:
+        return [span.to_dict() for span in self.slowest(n, name=name)]

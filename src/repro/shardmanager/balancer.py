@@ -8,10 +8,12 @@ since migrations invariably cause overhead (paper §III-A3).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.cluster.topology import Cluster
+from repro.obs import Observability
 from repro.shardmanager.metrics import MetricsStore
 from repro.shardmanager.spec import ServiceSpec
 
@@ -30,10 +32,24 @@ class MigrationProposal:
 class LoadBalancer:
     """Greedy utilization-levelling balancer with a per-run throttle."""
 
-    def __init__(self, spec: ServiceSpec, cluster: Cluster, metrics: MetricsStore):
+    def __init__(
+        self,
+        spec: ServiceSpec,
+        cluster: Cluster,
+        metrics: MetricsStore,
+        obs: Optional[Observability] = None,
+    ):
         self._spec = spec
         self._cluster = cluster
         self._metrics = metrics
+        self.obs = obs if obs is not None else Observability()
+        self._runs_counter = self.obs.metrics.counter("shardmanager.balancer.runs")
+        self._proposal_counter = self.obs.metrics.counter(
+            "shardmanager.balancer.proposals"
+        )
+        self._imbalance_gauge = self.obs.metrics.gauge(
+            "shardmanager.balancer.imbalance"
+        )
 
     def propose(
         self,
@@ -50,6 +66,10 @@ class LoadBalancer:
         non-retryable errors).
         """
         forbidden = forbidden_targets if forbidden_targets is not None else {}
+        self._runs_counter.inc()
+        imbalance = self.imbalance(region)
+        if math.isfinite(imbalance):
+            self._imbalance_gauge.set(imbalance)
         budget = self._spec.max_migrations_per_run
         if budget == 0:
             return []
@@ -100,6 +120,7 @@ class LoadBalancer:
             donors.add(move.to_host)
             if not shards[move.from_host]:
                 donors.discard(move.from_host)
+        self._proposal_counter.inc(len(proposals))
         return proposals
 
     def _best_move(

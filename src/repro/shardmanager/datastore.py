@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import SimulationError
+from repro.obs import Observability
 from repro.sim.engine import Simulator
 
 
@@ -52,10 +53,27 @@ class Datastore:
         *,
         session_timeout: float = 30.0,
         check_interval: float = 5.0,
+        obs: Observability | None = None,
     ):
         if session_timeout <= 0 or check_interval <= 0:
             raise SimulationError("session_timeout and check_interval must be positive")
         self._simulator = simulator
+        self.obs = obs if obs is not None else Observability()
+        self._sessions_counter = self.obs.metrics.counter(
+            "shardmanager.datastore.sessions_created"
+        )
+        self._heartbeat_counter = self.obs.metrics.counter(
+            "shardmanager.datastore.heartbeats"
+        )
+        self._expired_counter = self.obs.metrics.counter(
+            "shardmanager.datastore.sessions_expired"
+        )
+        self._sweep_counter = self.obs.metrics.counter(
+            "shardmanager.datastore.sweeps"
+        )
+        self._watch_counter = self.obs.metrics.counter(
+            "shardmanager.datastore.watch_deliveries"
+        )
         self.session_timeout = session_timeout
         self._data: dict[str, Any] = {}
         self._sessions: dict[int, Session] = {}
@@ -93,6 +111,7 @@ class Datastore:
         )
         self._next_session_id += 1
         self._sessions[session.session_id] = session
+        self._sessions_counter.inc()
         return session
 
     def heartbeat(self, session: Session) -> None:
@@ -102,6 +121,7 @@ class Datastore:
                 f"session {session.session_id} ({session.owner}) already expired"
             )
         session.last_heartbeat = self._simulator.now
+        self._heartbeat_counter.inc()
 
     def close_session(self, session: Session) -> None:
         """Graceful shutdown: remove ephemeral keys without expiry alarms."""
@@ -127,6 +147,7 @@ class Datastore:
 
     def _sweep_sessions(self) -> None:
         now = self._simulator.now
+        self._sweep_counter.inc()
         expired = [
             s
             for s in self._sessions.values()
@@ -137,8 +158,23 @@ class Datastore:
             for key in session.ephemeral_keys:
                 self._data.pop(key, None)
             del self._sessions[session.session_id]
+            self._expired_counter.inc()
+            self.obs.events.emit(
+                "shardmanager.datastore.session_expired",
+                owner=session.owner,
+                session_id=session.session_id,
+                last_heartbeat=session.last_heartbeat,
+            )
             for watcher in self._expiry_watchers:
-                watcher(session.owner)
+                # Watch deliveries are the SM failure detector's trigger;
+                # each gets its own (root) span so failover work nests
+                # under the notification that caused it.
+                with self.obs.tracer.span(
+                    "shardmanager.datastore.watch_delivery",
+                    owner=session.owner,
+                ):
+                    self._watch_counter.inc()
+                    watcher(session.owner)
 
     def shutdown(self) -> None:
         """Stop the background sweep (end of experiment)."""

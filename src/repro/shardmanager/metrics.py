@@ -15,6 +15,7 @@ here:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -26,6 +27,12 @@ class MovingAverage:
     The paper notes that if the load-balancing metric has a spiky nature
     (such as CPU usage), it is the application's responsibility to smooth
     bursts out; this is the canonical tool for that.
+
+    Samples must be finite: a single NaN would poison every subsequent
+    value (NaN propagates through the blend), and an infinity can never
+    decay away, so both are rejected up front. :meth:`reset` returns the
+    average to its unprimed state, e.g. after a shard migrates and its
+    historical load no longer describes the new placement.
     """
 
     alpha: float = 0.3
@@ -34,13 +41,22 @@ class MovingAverage:
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha <= 1.0:
             raise ValueError(f"alpha must be in (0, 1]: {self.alpha}")
+        if self.value is not None and not math.isfinite(self.value):
+            raise ValueError(f"initial value must be finite: {self.value}")
 
     def update(self, sample: float) -> float:
+        sample = float(sample)
+        if not math.isfinite(sample):
+            raise ValueError(f"sample must be finite: {sample}")
         if self.value is None:
-            self.value = float(sample)
+            self.value = sample
         else:
-            self.value = self.alpha * float(sample) + (1.0 - self.alpha) * self.value
+            self.value = self.alpha * sample + (1.0 - self.alpha) * self.value
         return self.value
+
+    def reset(self) -> None:
+        """Forget all history; the next sample re-primes the average."""
+        self.value = None
 
 
 @dataclass

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import MigrationError
+from repro.obs import Observability
 from repro.shardmanager.app_server import ApplicationServer
 from repro.sim.engine import Simulator
 from repro.smc.registry import ServiceDiscovery
@@ -50,9 +51,11 @@ class MigrationEngine:
         discovery: ServiceDiscovery,
         *,
         drop_grace_period: Optional[float] = None,
+        obs: Optional[Observability] = None,
     ):
         self._simulator = simulator
         self._discovery = discovery
+        self.obs = obs if obs is not None else Observability()
         # Cubrick waits out SMC's usual propagation delay before deleting
         # data on the old server (paper §IV-E).
         if drop_grace_period is None:
@@ -87,10 +90,15 @@ class MigrationEngine:
             raise MigrationError(
                 f"shard {shard_id}: source and target are both {source.host_id}"
             )
-        target.prepare_add_shard(shard_id, source)
-        source.prepare_drop_shard(shard_id, target)
-        target.commit_add_shard(shard_id)
-        self._discovery.publish(shard_id, target.host_id, self._simulator.now)
+        with self.obs.tracer.span(
+            "shardmanager.migration.live_migrate",
+            shard=shard_id, reason=reason,
+        ) as span:
+            span.annotate(from_host=source.host_id, to_host=target.host_id)
+            target.prepare_add_shard(shard_id, source)
+            source.prepare_drop_shard(shard_id, target)
+            target.commit_add_shard(shard_id)
+            self._discovery.publish(shard_id, target.host_id, self._simulator.now)
 
         def finish_drop() -> None:
             source.drop_shard(shard_id)
@@ -105,6 +113,7 @@ class MigrationEngine:
             graceful=True,
         )
         self.log.append(record)
+        self._record_obs(record)
         return record
 
     def failover(
@@ -125,9 +134,21 @@ class MigrationEngine:
         replacement replica is a secondary and discovery must keep
         pointing at the (possibly just-promoted) primary.
         """
-        target.add_shard(shard_id, recovery_source)
-        if publish:
-            self._discovery.publish(shard_id, target.host_id, self._simulator.now)
+        with self.obs.tracer.span(
+            "shardmanager.migration.failover", shard=shard_id
+        ) as span:
+            span.annotate(
+                failed_host=str(failed_host),
+                to_host=target.host_id,
+                recovered_from=(
+                    recovery_source.host_id if recovery_source is not None else None
+                ),
+            )
+            target.add_shard(shard_id, recovery_source)
+            if publish:
+                self._discovery.publish(
+                    shard_id, target.host_id, self._simulator.now
+                )
         record = MigrationRecord(
             time=self._simulator.now,
             shard_id=shard_id,
@@ -137,7 +158,21 @@ class MigrationEngine:
             graceful=False,
         )
         self.log.append(record)
+        self._record_obs(record)
         return record
+
+    def _record_obs(self, record: MigrationRecord) -> None:
+        self.obs.metrics.counter(
+            "shardmanager.migration.completed", reason=record.reason
+        ).inc()
+        self.obs.events.emit(
+            "shardmanager.migration.completed",
+            shard=record.shard_id,
+            from_host=str(record.from_host),
+            to_host=record.to_host,
+            reason=record.reason,
+            graceful=record.graceful,
+        )
 
     # ------------------------------------------------------------------
     # Reporting (Figure 4d)

@@ -17,6 +17,7 @@ from typing import Iterable, Optional
 
 from repro.cluster.topology import Cluster
 from repro.errors import CapacityExceededError
+from repro.obs import Observability
 from repro.shardmanager.metrics import MetricsStore
 from repro.shardmanager.spec import ServiceSpec
 
@@ -34,10 +35,23 @@ class PlacementDecision:
 class PlacementPolicy:
     """Greedy capacity-aware, spread-aware replica placement."""
 
-    def __init__(self, spec: ServiceSpec, cluster: Cluster, metrics: MetricsStore):
+    def __init__(
+        self,
+        spec: ServiceSpec,
+        cluster: Cluster,
+        metrics: MetricsStore,
+        obs: Optional[Observability] = None,
+    ):
         self._spec = spec
         self._cluster = cluster
         self._metrics = metrics
+        self.obs = obs if obs is not None else Observability()
+        self._decision_counter = self.obs.metrics.counter(
+            "shardmanager.placement.decisions"
+        )
+        self._exhausted_counter = self.obs.metrics.counter(
+            "shardmanager.placement.capacity_exhausted"
+        )
 
     def choose_host(
         self,
@@ -89,12 +103,22 @@ class PlacementPolicy:
                     projected_utilization=utilization,
                 )
         if best is None:
+            self._exhausted_counter.inc()
+            self.obs.events.emit(
+                "shardmanager.placement.capacity_exhausted",
+                shard=shard_id,
+                size_hint=size_hint,
+                region=str(region),
+                excluded_hosts=len(excluded_hosts),
+                excluded_domains=len(excluded_domains),
+            )
             raise CapacityExceededError(
                 f"no eligible host for shard {shard_id} "
                 f"(size_hint={size_hint}, region={region}, "
                 f"excluded={len(excluded_hosts)} hosts, "
                 f"{len(excluded_domains)} domains)"
             )
+        self._decision_counter.inc()
         return best
 
     def choose_replica_set(

@@ -23,6 +23,7 @@ from repro.errors import (
     ShardAlreadyAssignedError,
     ShardNotFoundError,
 )
+from repro.obs import Observability
 from repro.shardmanager.app_server import ApplicationServer
 from repro.shardmanager.balancer import LoadBalancer, MigrationProposal
 from repro.shardmanager.datastore import Datastore, Session
@@ -87,17 +88,45 @@ class SMServer:
         recovery_provider: Optional[
             Callable[[int], Optional[ApplicationServer]]
         ] = None,
+        obs: Optional[Observability] = None,
     ):
         self.spec = spec
         self.simulator = simulator
         self.cluster = cluster
         self.region = region
-        self.datastore = datastore if datastore is not None else Datastore(simulator)
-        self.discovery = discovery if discovery is not None else ServiceDiscovery()
+        self.obs = obs if obs is not None else Observability(
+            clock=lambda: simulator.now
+        )
+        self.datastore = (
+            datastore if datastore is not None
+            else Datastore(simulator, obs=self.obs)
+        )
+        self.discovery = (
+            discovery if discovery is not None else ServiceDiscovery(obs=self.obs)
+        )
         self.metrics = MetricsStore()
-        self.placement = PlacementPolicy(spec, cluster, self.metrics)
-        self.balancer = LoadBalancer(spec, cluster, self.metrics)
-        self.migrations = MigrationEngine(simulator, self.discovery)
+        self.placement = PlacementPolicy(spec, cluster, self.metrics, obs=self.obs)
+        self.balancer = LoadBalancer(spec, cluster, self.metrics, obs=self.obs)
+        self.migrations = MigrationEngine(simulator, self.discovery, obs=self.obs)
+        region_label = region if region is not None else "all"
+        self._heartbeat_counter = self.obs.metrics.counter(
+            "shardmanager.server.heartbeats", region=region_label
+        )
+        self._shards_created_counter = self.obs.metrics.counter(
+            "shardmanager.server.shards_created", region=region_label
+        )
+        self._collect_counter = self.obs.metrics.counter(
+            "shardmanager.server.metric_collections", region=region_label
+        )
+        self._failover_counter = self.obs.metrics.counter(
+            "shardmanager.server.failovers", region=region_label
+        )
+        self._registered_gauge = self.obs.metrics.gauge(
+            "shardmanager.server.registered_hosts", region=region_label
+        )
+        self._unplaced_gauge = self.obs.metrics.gauge(
+            "shardmanager.server.unplaced_failovers", region=region_label
+        )
         self._heartbeat_interval = heartbeat_interval
         self._app_servers: dict[str, ApplicationServer] = {}
         self._sessions: dict[str, Session] = {}
@@ -144,10 +173,12 @@ class SMServer:
                 return
             if self.cluster.host(host_id).is_available:
                 self.datastore.heartbeat(session)
+                self._heartbeat_counter.inc()
 
         self._heartbeat_cancels[host_id] = self.simulator.schedule_periodic(
             self._heartbeat_interval, beat, start_delay=0.0
         )
+        self._registered_gauge.set(len(self._app_servers))
 
     def reconnect_host(self, app_server: ApplicationServer) -> None:
         """Re-register a host whose session expired (it came back empty)."""
@@ -184,21 +215,34 @@ class SMServer:
         if shard_id in self._shards:
             raise MigrationError(f"shard {shard_id} already exists")
         entry = ShardEntry(shard_id=shard_id)
-        decisions = self.placement.choose_replica_set(
-            shard_id, size_hint=size_hint, region=self.region
-        )
-        for index, decision in enumerate(decisions):
-            host_id = self._add_replica_with_retry(
-                entry, decision.host_id, size_hint, source=None
+        with self.obs.tracer.span(
+            "shardmanager.server.create_shard",
+            shard=shard_id,
+            region=str(self.region),
+        ) as span:
+            decisions = self.placement.choose_replica_set(
+                shard_id, size_hint=size_hint, region=self.region
             )
-            if self.spec.replication_model is ReplicationModel.SECONDARY_ONLY:
-                role = ReplicaRole.SECONDARY
-            else:
-                role = ReplicaRole.PRIMARY if index == 0 else ReplicaRole.SECONDARY
-            entry.replicas.append(Replica(host_id=host_id, role=role))
-        self._shards[shard_id] = entry
-        primary = entry.primary() or entry.replicas[0]
-        self.discovery.publish(shard_id, primary.host_id, self.simulator.now)
+            for index, decision in enumerate(decisions):
+                host_id = self._add_replica_with_retry(
+                    entry, decision.host_id, size_hint, source=None
+                )
+                if self.spec.replication_model is ReplicationModel.SECONDARY_ONLY:
+                    role = ReplicaRole.SECONDARY
+                else:
+                    role = (
+                        ReplicaRole.PRIMARY if index == 0
+                        else ReplicaRole.SECONDARY
+                    )
+                entry.replicas.append(Replica(host_id=host_id, role=role))
+            self._shards[shard_id] = entry
+            primary = entry.primary() or entry.replicas[0]
+            self.discovery.publish(shard_id, primary.host_id, self.simulator.now)
+            self._shards_created_counter.inc()
+            span.annotate(
+                replicas=[r.host_id for r in entry.replicas],
+                refused_hosts=sorted(entry.refused_hosts),
+            )
         return entry
 
     def _add_replica_with_retry(
@@ -216,6 +260,16 @@ class SMServer:
                 app.add_shard(entry.shard_id, source)
             except NonRetryableShardError:
                 entry.refused_hosts.add(host_id)
+                self.obs.metrics.counter(
+                    "shardmanager.server.shard_refusals",
+                    region=str(self.region),
+                ).inc()
+                self.obs.events.emit(
+                    "shardmanager.server.shard_refused",
+                    shard=entry.shard_id,
+                    host=host_id,
+                    region=str(self.region),
+                )
                 decision = self.placement.choose_host(
                     entry.shard_id,
                     size_hint=size_hint,
@@ -310,6 +364,7 @@ class SMServer:
         so the balancer never sees phantom load.
         """
         now = self.simulator.now
+        self._collect_counter.inc()
         for host_id, app in self._app_servers.items():
             if not self.cluster.host(host_id).is_available:
                 continue
@@ -327,6 +382,14 @@ class SMServer:
 
     def run_load_balance(self) -> list[MigrationProposal]:
         """One balancing pass: propose moves and execute them."""
+        with self.obs.tracer.span(
+            "shardmanager.server.load_balance", region=str(self.region)
+        ) as span:
+            executed = self._run_load_balance()
+            span.annotate(executed=len(executed))
+        return executed
+
+    def _run_load_balance(self) -> list[MigrationProposal]:
         hosted = {
             host_id: set(shards)
             for host_id, shards in self._host_shards.items()
@@ -455,6 +518,7 @@ class SMServer:
         self._host_shards[host_id] = set()
         self.metrics.remove_host(host_id)
         self._app_servers.pop(host_id, None)
+        self._registered_gauge.set(len(self._app_servers))
         for shard_id in lost:
             self._failover_replica(shard_id, host_id)
 
@@ -535,8 +599,16 @@ class SMServer:
                 continue
             failed_replica.host_id = decision.host_id
             self._host_shards.setdefault(decision.host_id, set()).add(shard_id)
+            self._failover_counter.inc()
             return
         self.unplaced_failovers.append(shard_id)
+        self._unplaced_gauge.set(len(self.unplaced_failovers))
+        self.obs.events.emit(
+            "shardmanager.server.failover_unplaced",
+            shard=shard_id,
+            failed_host=failed_host,
+            region=str(self.region),
+        )
 
     def retry_unplaced_failovers(self) -> int:
         """Retry shards whose failover found no eligible host earlier.
@@ -548,6 +620,7 @@ class SMServer:
         if not pending:
             return 0
         self.unplaced_failovers = []
+        self._unplaced_gauge.set(0)
         recovered = 0
         for shard_id in pending:
             entry = self._shards.get(shard_id)

@@ -15,9 +15,12 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
 
 # Handy constants for readable experiment configuration.
 SECOND = 1.0
@@ -49,6 +52,25 @@ class Simulator:
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._processed = 0
+        self._evt_scheduled_counter = None
+        self._evt_processed_counter = None
+        self._time_gauge = None
+
+    def attach_observability(self, obs: "Observability") -> None:
+        """Wire engine instruments into a shared metrics registry.
+
+        Span timestamps everywhere come from this engine's clock; these
+        instruments expose the engine's own workload (events scheduled/
+        processed, current virtual time) under the ``sim.engine.*``
+        namespace.
+        """
+        self._evt_scheduled_counter = obs.metrics.counter(
+            "sim.engine.events_scheduled"
+        )
+        self._evt_processed_counter = obs.metrics.counter(
+            "sim.engine.events_processed"
+        )
+        self._time_gauge = obs.metrics.gauge("sim.engine.virtual_time_seconds")
 
     @property
     def now(self) -> float:
@@ -73,6 +95,8 @@ class Simulator:
             )
         event = Event(time=float(time), seq=next(self._seq), callback=callback)
         heapq.heappush(self._heap, event)
+        if self._evt_scheduled_counter is not None:
+            self._evt_scheduled_counter.inc()
         return event
 
     def call_later(self, delay: float, callback: Callable[[], None]) -> Event:
@@ -134,8 +158,12 @@ class Simulator:
                 continue
             self._now = event.time
             self._processed += 1
+            if self._evt_processed_counter is not None:
+                self._evt_processed_counter.inc()
             event.callback()
         self._now = end_time
+        if self._time_gauge is not None:
+            self._time_gauge.set(self._now)
 
     def run(self, max_events: Optional[int] = None) -> None:
         """Drain the event heap (optionally bounded by ``max_events``)."""
@@ -148,8 +176,12 @@ class Simulator:
                 continue
             self._now = event.time
             self._processed += 1
+            if self._evt_processed_counter is not None:
+                self._evt_processed_counter.inc()
             event.callback()
             executed += 1
+        if self._time_gauge is not None:
+            self._time_gauge.set(self._now)
 
     def __repr__(self) -> str:
         return (

@@ -17,6 +17,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ShardMappingUnknownError
+from repro.obs import Observability
 from repro.sim.rng import derive_seed
 from repro.smc.tree import PropagationTree
 
@@ -50,12 +51,22 @@ class ServiceDiscovery:
         self,
         tree: PropagationTree | None = None,
         rng: np.random.Generator | None = None,
+        obs: Observability | None = None,
     ):
         self.tree = tree if tree is not None else PropagationTree()
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self._history: dict[int, _ShardHistory] = {}
         self._version = 0
         self.propagation_delays: list[float] = []  # Figure 4c raw samples
+        self.obs = obs if obs is not None else Observability()
+        # Eagerly created so snapshots always show the SMC instruments,
+        # even before the first publish/resolve.
+        self._publish_counter = self.obs.metrics.counter("smc.registry.publishes")
+        self._resolve_counter = self.obs.metrics.counter("smc.registry.resolves")
+        self._stale_counter = self.obs.metrics.counter("smc.registry.stale_reads")
+        self._delay_histogram = self.obs.metrics.histogram(
+            "smc.registry.propagation_delay_seconds"
+        )
 
     # ------------------------------------------------------------------
     # Writes (SM server side)
@@ -79,6 +90,22 @@ class ServiceDiscovery:
         )
         history = self._history.setdefault(shard_id, _ShardHistory())
         history.entries.append(assignment)
+        self._publish_counter.inc()
+        self._delay_histogram.observe(delay)
+        with self.obs.tracer.span(
+            "smc.registry.propagate", shard=shard_id
+        ) as span:
+            span.annotate(
+                host=host_id, version=self._version, delay_seconds=delay
+            )
+            span.set_duration(delay)
+        self.obs.events.emit(
+            "smc.registry.publish",
+            shard=shard_id,
+            host=host_id,
+            version=self._version,
+            visible_at=assignment.visible_at,
+        )
         return assignment
 
     # ------------------------------------------------------------------
@@ -118,6 +145,11 @@ class ServiceDiscovery:
             raise ShardMappingUnknownError(
                 f"shard {shard_id} has no propagated mapping at t={now:.3f}"
             )
+        self._resolve_counter.inc()
+        if visible is not history.entries[-1]:
+            # The authoritative mapping exists but has not reached this
+            # client yet — the stale-read window of Figure 3.
+            self._stale_counter.inc()
         return visible.host_id
 
     def _visible_at(self, entry: ShardAssignment,

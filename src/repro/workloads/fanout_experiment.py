@@ -26,6 +26,7 @@ import numpy as np
 from repro.cubrick.query import Query
 from repro.cubrick.schema import Dimension, Metric, TableSchema
 from repro.errors import QueryFailedError
+from repro.obs import interpolated_percentiles
 from repro.sim.latency import LatencyModel
 from repro.workloads.queries import simple_probe_query
 
@@ -52,15 +53,19 @@ class LatencyPercentiles:
     def from_samples(cls, fanout: int, samples: np.ndarray) -> "LatencyPercentiles":
         if samples.size == 0:
             raise ValueError("no latency samples")
-        quantiles = np.percentile(samples, [50, 90, 99, 99.9, 99.99])
+        # Linear interpolation between order statistics (the same math
+        # as repro.obs histogram readouts), not nearest/max-of-sample.
+        quantiles = interpolated_percentiles(
+            samples.tolist(), [50, 90, 99, 99.9, 99.99]
+        )
         return cls(
             fanout=fanout,
             queries=int(samples.size),
-            p50=float(quantiles[0]),
-            p90=float(quantiles[1]),
-            p99=float(quantiles[2]),
-            p999=float(quantiles[3]),
-            p9999=float(quantiles[4]),
+            p50=quantiles[0],
+            p90=quantiles[1],
+            p99=quantiles[2],
+            p999=quantiles[3],
+            p9999=quantiles[4],
             maximum=float(samples.max()),
         )
 
@@ -135,6 +140,7 @@ def run_fanout_experiment(
     *,
     queries_per_table: int = 2_000,
     rows_per_table: int = 512,
+    sla_seconds: float = PROBE_INTERVAL,
 ) -> FanoutExperimentResult:
     """Integrated Figure 5: real tables, real probe queries end-to-end.
 
@@ -144,8 +150,16 @@ def run_fanout_experiment(
     ``queries_per_table`` times; failures (host down / sampled failure)
     are counted separately and excluded from the latency distribution,
     matching how the paper reports latency for successful runs.
+
+    Every probe lands in the deployment's telemetry: an SLA-outcome
+    counter ``workloads.fanout.probes{fanout, outcome}`` (``ok`` /
+    ``sla_miss`` / ``failed``, with ``sla_seconds`` the probe budget —
+    by default the probe cadence itself) and a per-fanout latency
+    histogram ``workloads.fanout.latency_seconds`` with retained samples
+    for exact percentile readouts.
     """
     rng = deployment.rngs.stream("fanout-experiment")
+    metrics = deployment.obs.metrics
     rows_out: list[LatencyPercentiles] = []
     failed: dict[int, int] = {}
     for fanout in fanouts:
@@ -162,6 +176,21 @@ def run_fanout_experiment(
         simulator = deployment.simulator
         simulator.run_until(simulator.now + 30.0)
 
+        latency_histogram = metrics.histogram(
+            "workloads.fanout.latency_seconds",
+            track_samples=True,
+            fanout=fanout,
+        )
+        ok_counter = metrics.counter(
+            "workloads.fanout.probes", fanout=fanout, outcome="ok"
+        )
+        miss_counter = metrics.counter(
+            "workloads.fanout.probes", fanout=fanout, outcome="sla_miss"
+        )
+        failed_counter = metrics.counter(
+            "workloads.fanout.probes", fanout=fanout, outcome="failed"
+        )
+
         latencies = np.empty(queries_per_table)
         count = 0
         failures = 0
@@ -172,8 +201,15 @@ def run_fanout_experiment(
                 result = deployment.query(probe)
             except QueryFailedError:
                 failures += 1
+                failed_counter.inc()
                 continue
-            latencies[count] = result.metadata["latency"]
+            latency = result.metadata["latency"]
+            latency_histogram.observe(latency)
+            if latency <= sla_seconds:
+                ok_counter.inc()
+            else:
+                miss_counter.inc()
+            latencies[count] = latency
             count += 1
         failed[fanout] = failures
         if count:

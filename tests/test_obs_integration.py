@@ -1,0 +1,160 @@
+"""Integration tests for cluster-wide telemetry.
+
+Covers the PR's acceptance criteria end to end: a seeded run populates
+instruments across every subsystem, traces are complete from the proxy
+root down to per-host scans with durations that agree with the query's
+reported latency, and two identically-seeded runs export byte-identical
+telemetry.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.deployment import CubrickDeployment, DeploymentConfig
+from repro.workloads.fanout_experiment import probe_schema, run_fanout_experiment
+from repro.workloads.queries import simple_probe_query
+from repro.workloads.tables import default_schema, generate_rows
+
+
+def small_deployment(seed: int = 7) -> CubrickDeployment:
+    return CubrickDeployment(
+        DeploymentConfig(seed=seed, regions=2, racks_per_region=2,
+                         hosts_per_rack=4)
+    )
+
+
+def run_seeded_fanout(seed: int) -> CubrickDeployment:
+    deployment = small_deployment(seed)
+    run_fanout_experiment(deployment, [1, 4], queries_per_table=25)
+    return deployment
+
+
+class TestInstrumentCoverage:
+    def test_seeded_fanout_populates_many_subsystems(self):
+        deployment = run_seeded_fanout(seed=7)
+        snapshot = deployment.obs.metrics.snapshot()
+        names = {entry["name"] for entry in snapshot}
+        # The acceptance bar: >= 20 distinct instruments across at least
+        # four subsystem prefixes.
+        assert len(names) >= 20, sorted(names)
+        prefixes = {name.split(".", 1)[0] for name in names}
+        assert {"cubrick", "shardmanager", "sim", "workloads"} <= prefixes
+        assert any(name.startswith("smc.") for name in names), sorted(names)
+
+    def test_core_instruments_carry_real_traffic(self):
+        deployment = run_seeded_fanout(seed=7)
+        metrics = deployment.obs.metrics
+        ok = metrics.get("cubrick.proxy.queries", outcome="ok")
+        assert ok is not None and ok.value >= 40  # two fan-outs x 25 probes
+        latency = metrics.get("cubrick.proxy.latency_seconds")
+        assert latency.count == ok.value
+        scanned = metrics.get("cubrick.storage.bricks_scanned",
+                              table="fanout_0004")
+        assert scanned is not None and scanned.value > 0
+
+    def test_events_emitted_with_virtual_timestamps(self):
+        deployment = run_seeded_fanout(seed=7)
+        events = deployment.obs.events
+        assert events.emitted > 0
+        kinds = {event["kind"] for event in events.tail()}
+        assert any(kind.startswith("cubrick.deployment.") for kind in kinds)
+        times = [event["time"] for event in events.tail()]
+        assert times == sorted(times)
+
+
+class TestTraceConsistency:
+    def test_root_to_leaf_trace_durations_agree_with_latency(self):
+        deployment = small_deployment(seed=21)
+        schema = probe_schema("traced")
+        deployment.create_table(schema, num_partitions=4)
+        rng = np.random.default_rng(3)
+        deployment.load("traced", [
+            {"bucket": int(rng.integers(64)), "value": 1.0}
+            for __ in range(256)
+        ])
+        deployment.simulator.run_until(deployment.simulator.now + 30.0)
+
+        result = deployment.query(simple_probe_query(schema))
+        root = deployment.obs.tracer.recent[-1]
+        assert root.name == "cubrick.proxy.query"
+        assert root.duration == pytest.approx(
+            result.metadata["latency_total"]
+        )
+
+        coordinators = [
+            span for span in root.children
+            if span.name == "cubrick.coordinator.execute"
+        ]
+        assert coordinators, [span.name for span in root.children]
+        final = coordinators[-1]
+        assert final.duration == pytest.approx(result.metadata["latency"])
+
+        scans = [
+            span for span in final.children
+            if span.name == "cubrick.node.scan"
+        ]
+        assert scans, [span.name for span in final.children]
+        # Coordinator latency = slowest host + coordination overheads, so
+        # it must dominate every per-host scan span.
+        assert final.duration >= max(scan.duration for scan in scans)
+        assert all(scan.trace_id == root.trace_id for scan in scans)
+        assert sum(
+            scan.annotations["rows_scanned"] for scan in scans
+        ) > 0
+
+    def test_background_traces_do_not_evict_query_traces(self):
+        deployment = run_seeded_fanout(seed=7)
+        slowest = deployment.obs.tracer.slowest()
+        names = {span.name for span in slowest}
+        # Second-scale create-shard traces (with their SMC propagation
+        # children) coexist with millisecond query traces in the top-K.
+        assert "cubrick.proxy.query" in names
+        assert "shardmanager.server.create_shard" in names
+        descendant_names = {
+            span.name for root in slowest for span in root.walk()
+        }
+        assert "smc.registry.propagate" in descendant_names
+
+
+class TestDeterminism:
+    def test_identically_seeded_runs_export_identical_json(self):
+        first = run_seeded_fanout(seed=42).obs.export_json()
+        second = run_seeded_fanout(seed=42).obs.export_json()
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = run_seeded_fanout(seed=42).obs.export_json()
+        other = run_seeded_fanout(seed=43).obs.export_json()
+        assert first != other
+
+
+class TestObsCli:
+    def test_obs_command_prints_telemetry(self, capsys, tmp_path):
+        path = tmp_path / "obs.json"
+        assert main([
+            "obs", "--fanouts", "1,4", "--queries", "10",
+            "--events", "5", "--json", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "== metrics (" in out
+        assert "cubrick.proxy.latency_seconds" in out
+        assert "== slowest traces" in out
+        assert "cubrick.proxy.query" in out
+        assert "== events" in out
+        export = json.loads(path.read_text())
+        assert {"metrics", "traces", "events"} <= set(export)
+
+    def test_fanout_experiment_obs_json_flag(self, capsys, tmp_path):
+        path = tmp_path / "fanout-obs.json"
+        assert main([
+            "fanout-experiment", "--fanouts", "1", "--queries", "10",
+            "--obs-json", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "p95ms" in out
+        export = json.loads(path.read_text())
+        names = {entry["name"] for entry in export["metrics"]}
+        assert "workloads.fanout.latency_seconds" in names

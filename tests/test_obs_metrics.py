@@ -1,0 +1,188 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, interpolated_percentile
+from repro.obs.metrics import _canonical_labels, interpolated_percentiles
+
+
+class TestPercentileMath:
+    def test_single_sample(self):
+        assert interpolated_percentile([7.0], 50) == 7.0
+        assert interpolated_percentile([7.0], 99) == 7.0
+
+    def test_median_interpolates_between_order_statistics(self):
+        assert interpolated_percentile([1.0, 2.0], 50) == pytest.approx(1.5)
+
+    def test_linear_definition(self):
+        # rank = (n - 1) * q / 100; for [10, 20, 30, 40] and q=75 the rank
+        # is 2.25 → 30 + 0.25 * (40 - 30) = 32.5.
+        assert interpolated_percentile([10, 20, 30, 40], 75) == pytest.approx(32.5)
+
+    def test_high_percentile_not_collapsed_to_max(self):
+        samples = list(range(100))
+        p99 = interpolated_percentile(samples, 99)
+        assert p99 < max(samples)
+        assert p99 == pytest.approx(98.01)
+
+    def test_extremes(self):
+        samples = [3.0, 1.0, 2.0]
+        assert interpolated_percentile(samples, 0) == 1.0
+        assert interpolated_percentile(samples, 100) == 3.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            interpolated_percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            interpolated_percentiles([1.0], [-1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            interpolated_percentile([], 50)
+        with pytest.raises(ValueError):
+            interpolated_percentiles([], [50])
+
+    def test_vector_form_matches_scalar(self):
+        samples = [5.0, 1.0, 9.0, 3.0, 7.0]
+        qs = [0, 25, 50, 95, 100]
+        vector = interpolated_percentiles(samples, qs)
+        assert vector == [interpolated_percentile(samples, q) for q in qs]
+
+
+class TestLabels:
+    def test_canonicalisation_sorts_and_stringifies(self):
+        a = _canonical_labels({"b": 2, "a": "x"})
+        b = _canonical_labels({"a": "x", "b": "2"})
+        assert a == b == (("a", "x"), ("b", "2"))
+
+    def test_lookup_is_label_order_and_type_insensitive(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("q.count", fanout=4, region="r0")
+        assert registry.get("q.count", region="r0", fanout="4") is counter
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x.y.z")
+        a.inc(3)
+        assert registry.counter("x.y.z").value == 3
+        assert len(registry) == 1
+
+    def test_different_labels_are_different_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("x", host="h0").inc()
+        registry.counter("x", host="h1").inc(2)
+        assert registry.get("x", host="h0").value == 1
+        assert registry.get("x", host="h1").value == 2
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_get_does_not_create(self):
+        registry = MetricsRegistry()
+        assert registry.get("missing") is None
+        assert len(registry) == 0
+
+    def test_find_by_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("cubrick.proxy.queries")
+        registry.counter("cubrick.node.scans")
+        registry.counter("shardmanager.server.collects")
+        names = [i.name for i in registry.find("cubrick.")]
+        assert names == ["cubrick.node.scans", "cubrick.proxy.queries"]
+
+    def test_snapshot_sorted_and_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("z.last").inc()
+        registry.gauge("a.first").set(5)
+        snapshot = registry.snapshot()
+        assert [entry["name"] for entry in snapshot] == ["a.first", "z.last"]
+        assert snapshot[0] == {
+            "name": "a.first", "labels": {}, "type": "gauge", "value": 5.0,
+        }
+
+
+class TestCounterGauge:
+    def test_counter_rejects_negative_and_non_finite(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        with pytest.raises(ValueError):
+            counter.inc(float("nan"))
+
+    def test_gauge_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13.0
+        with pytest.raises(ValueError):
+            gauge.set(float("inf"))
+
+
+class TestHistogram:
+    def test_bucket_counts(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            histogram.observe(value)
+        # One per bucket plus one overflow observation.
+        assert histogram.counts == [1, 1, 1, 1]
+        assert histogram.count == 4
+        assert histogram.min == 0.5
+        assert histogram.max == 100.0
+
+    def test_invalid_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h1", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("h2", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h3", buckets=(1.0, 1.0))
+
+    def test_non_finite_sample_rejected(self):
+        histogram = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            histogram.observe(float("nan"))
+
+    def test_tracked_samples_give_exact_percentiles(self):
+        histogram = MetricsRegistry().histogram("h", track_samples=True)
+        samples = [0.01 * i for i in range(1, 101)]
+        for value in samples:
+            histogram.observe(value)
+        assert histogram.percentile(50) == pytest.approx(
+            interpolated_percentile(samples, 50)
+        )
+        assert histogram.percentile(99) == pytest.approx(
+            interpolated_percentile(samples, 99)
+        )
+
+    def test_bucket_percentile_is_bounded_by_observed_range(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 10.0))
+        for value in (2.0, 3.0, 4.0):
+            histogram.observe(value)
+        p50 = histogram.percentile(50)
+        assert 2.0 <= p50 <= 4.0
+
+    def test_empty_readout(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.readout() == {"count": 0, "sum": 0.0}
+        with pytest.raises(ValueError):
+            histogram.percentile(50)
+
+    def test_readout_keys_spread_into_to_dict(self):
+        histogram = MetricsRegistry().histogram("h", track_samples=True)
+        histogram.observe(1.0)
+        histogram.observe(3.0)
+        as_dict = histogram.to_dict()
+        assert as_dict["type"] == "histogram"
+        assert as_dict["count"] == 2
+        assert as_dict["sum"] == 4.0
+        assert as_dict["mean"] == 2.0
+        assert as_dict["p50"] == pytest.approx(2.0)

@@ -1,0 +1,197 @@
+"""Unit tests for the tracer and structured event log (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.obs import EventLog, Observability, Tracer
+
+
+class FakeClock:
+    """Manually advanced clock standing in for the DES virtual clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestSpans:
+    def test_nesting_follows_call_stack(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child-a"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("child-b"):
+                pass
+        names = [span.name for span in root.walk()]
+        assert names == ["root", "child-a", "leaf", "child-b"]
+        assert all(span.trace_id == root.trace_id for span in root.walk())
+
+    def test_sibling_roots_get_new_trace_ids(self):
+        tracer = Tracer()
+        with tracer.span("first") as first:
+            pass
+        with tracer.span("second") as second:
+            pass
+        assert first.trace_id != second.trace_id
+        assert tracer.finished_traces == 2
+
+    def test_explicit_duration_wins_over_clock(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        with tracer.span("query") as span:
+            span.set_duration(0.25)  # clock never advances in-query
+        assert span.duration == pytest.approx(0.25)
+        assert span.end == pytest.approx(span.start + 0.25)
+
+    def test_unset_duration_closes_with_clock_delta(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        with tracer.span("watch") as span:
+            clock.advance(1.5)
+        assert span.duration == pytest.approx(1.5)
+
+    def test_negative_duration_rejected(self):
+        tracer = Tracer()
+        with tracer.span("bad") as span:
+            with pytest.raises(ValueError):
+                span.set_duration(-0.1)
+
+    def test_annotations_sorted_in_to_dict(self):
+        tracer = Tracer()
+        with tracer.span("q", region="r0") as span:
+            span.annotate(zebra=1, apple=2)
+        as_dict = span.to_dict()
+        assert list(as_dict["annotations"]) == ["apple", "zebra"]
+        assert as_dict["labels"] == {"region": "r0"}
+        assert as_dict["children"] == []
+
+    def test_span_closed_even_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("query failed")
+        assert tracer.current is None
+        assert tracer.finished_traces == 1
+
+
+class TestSlowestTraces:
+    def test_top_k_is_kept_per_root_name(self):
+        tracer = Tracer(keep_slowest=2)
+        # Second-scale background traces must not evict fast query traces.
+        for duration in (10.0, 20.0, 30.0):
+            with tracer.span("smc.registry.propagate") as span:
+                span.set_duration(duration)
+        with tracer.span("cubrick.proxy.query") as span:
+            span.set_duration(0.005)
+        query_roots = tracer.slowest(name="cubrick.proxy.query")
+        assert [s.duration for s in query_roots] == [pytest.approx(0.005)]
+        smc_roots = tracer.slowest(name="smc.registry.propagate")
+        assert [s.duration for s in smc_roots] == [30.0, 20.0]
+
+    def test_merged_slowest_grouped_by_sorted_name(self):
+        tracer = Tracer()
+        with tracer.span("b.trace") as span:
+            span.set_duration(1.0)
+        with tracer.span("a.trace") as span:
+            span.set_duration(2.0)
+        assert [s.name for s in tracer.slowest()] == ["a.trace", "b.trace"]
+
+    def test_ties_break_toward_earlier_trace(self):
+        tracer = Tracer(keep_slowest=1)
+        with tracer.span("t") as first:
+            first.set_duration(1.0)
+        with tracer.span("t") as second:
+            second.set_duration(1.0)
+        assert tracer.slowest(name="t")[0].trace_id == first.trace_id
+
+    def test_recent_deque_bounded(self):
+        tracer = Tracer(keep_recent=3)
+        for __ in range(10):
+            with tracer.span("t"):
+                pass
+        assert len(tracer.recent) == 3
+        assert tracer.finished_traces == 10
+
+
+class TestEventLog:
+    def test_emit_records_time_seq_kind(self):
+        clock = FakeClock()
+        log = EventLog(clock)
+        clock.advance(5.0)
+        event = log.emit("cubrick.node.bricks_evicted", host="h0", evicted=3)
+        assert event["time"] == 5.0
+        assert event["seq"] == 1
+        assert event["kind"] == "cubrick.node.bricks_evicted"
+        assert event["host"] == "h0"
+
+    def test_reserved_keys_rejected(self):
+        log = EventLog()
+        for key in ("time", "seq"):
+            with pytest.raises(ValueError):
+                log.emit("x", **{key: 1})
+        # "kind" already collides with the positional parameter itself.
+        with pytest.raises(TypeError):
+            log.emit("x", **{"kind": 1})
+
+    def test_ring_buffer_drops_oldest(self):
+        log = EventLog(capacity=3)
+        for index in range(5):
+            log.emit("tick", index=index)
+        assert log.emitted == 5
+        assert log.dropped == 2
+        assert [e["index"] for e in log.tail()] == [2, 3, 4]
+        assert [e["index"] for e in log.tail(2)] == [3, 4]
+
+    def test_jsonl_is_valid_and_deterministic(self):
+        log = EventLog()
+        log.emit("a.b.c", zebra=1, apple="x")
+        lines = log.to_jsonl().splitlines()
+        assert len(lines) == 1
+        parsed = json.loads(lines[0])
+        assert parsed["kind"] == "a.b.c"
+        # sort_keys=True makes the serialised form reproducible.
+        assert lines[0].index('"apple"') < lines[0].index('"zebra"')
+
+    def test_dump_writes_jsonl_file(self, tmp_path):
+        log = EventLog()
+        log.emit("x")
+        log.emit("y")
+        path = tmp_path / "events.jsonl"
+        assert log.dump(str(path), 1) == 1
+        assert json.loads(path.read_text())["kind"] == "y"
+
+
+class TestObservabilityFacade:
+    def test_shared_clock_across_components(self):
+        clock = FakeClock()
+        obs = Observability(clock=clock)
+        clock.advance(2.0)
+        with obs.tracer.span("t") as span:
+            event = obs.events.emit("e")
+        assert span.start == 2.0
+        assert event["time"] == 2.0
+
+    def test_export_shape(self):
+        obs = Observability()
+        obs.metrics.counter("c").inc()
+        with obs.tracer.span("t"):
+            pass
+        obs.events.emit("e")
+        export = obs.export()
+        assert {"metrics", "traces", "events"} <= set(export)
+        assert export["traces"]["finished"] == 1
+        assert export["events"]["emitted"] == 1
+
+    def test_export_json_round_trips_and_dump(self, tmp_path):
+        obs = Observability()
+        obs.metrics.histogram("h").observe(0.2)
+        path = tmp_path / "obs.json"
+        obs.dump(str(path))
+        assert json.loads(path.read_text()) == json.loads(obs.export_json())

@@ -77,6 +77,35 @@ class TestMovingAverage:
         with pytest.raises(ValueError):
             MovingAverage(alpha=0.0)
 
+    def test_nan_sample_rejected(self):
+        avg = MovingAverage(alpha=0.5)
+        avg.update(10.0)
+        with pytest.raises(ValueError):
+            avg.update(float("nan"))
+        # The rejected sample must not have corrupted the average.
+        assert avg.value == 10.0
+
+    def test_infinite_sample_rejected(self):
+        avg = MovingAverage(alpha=0.5)
+        with pytest.raises(ValueError):
+            avg.update(float("inf"))
+        with pytest.raises(ValueError):
+            avg.update(float("-inf"))
+        assert avg.value is None
+
+    def test_non_finite_initial_value_rejected(self):
+        with pytest.raises(ValueError):
+            MovingAverage(alpha=0.5, value=float("nan"))
+
+    def test_reset_forgets_history(self):
+        avg = MovingAverage(alpha=0.2)
+        avg.update(10.0)
+        avg.update(100.0)
+        avg.reset()
+        assert avg.value is None
+        # First sample after a reset re-primes the average directly.
+        assert avg.update(3.0) == 3.0
+
 
 class TestMetricsStore:
     def test_host_load_sums_shards(self):
