@@ -1,0 +1,432 @@
+"""Declarative, DES-clock-driven fault injection.
+
+A :class:`FaultSchedule` is a plain list of :class:`FaultSpec` entries —
+*what* goes wrong, *where*, *when*, and for *how long* — with no code
+attached, so schedules can be built by scenarios, property-based tests
+or hand-written experiments and replayed byte-identically. The
+:class:`ChaosInjector` binds a schedule to a live
+:class:`~repro.core.deployment.CubrickDeployment`: each fault becomes a
+simulator event, every application and clearance is emitted through the
+shared EventLog, and latency-shaped faults (slow disk, tail
+amplification, hangs) are realised through the region coordinators'
+``service_time_hook`` so they compose with the normal latency model.
+
+Fault taxonomy (matching the paper's failure discussion and the
+LinkedIn OLAP-resilience fault classes):
+
+=====================  =============================================
+``HOST_CRASH``         host down (transient or permanent) for a while
+``HOST_HANG``          host up but unresponsive (adds a huge delay)
+``SLOW_DISK``          one host's service times multiplied
+``TAIL_AMPLIFY``       a whole region's service times multiplied
+``NETWORK_PARTITION``  a region unreachable from the proxy tier
+``SESSION_EXPIRY``     datastore session lost while the host is healthy
+``SM_FAILOVER``        SM server instance replaced; republish storm
+``MIGRATION_INTERRUPT``live migration whose target dies mid-protocol
+=====================  =============================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import (
+    CapacityExceededError,
+    ConfigurationError,
+    MigrationError,
+    NonRetryableShardError,
+    ShardAlreadyAssignedError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.deployment import CubrickDeployment
+
+
+class FaultKind(enum.Enum):
+    """The supported fault classes."""
+
+    HOST_CRASH = "host_crash"
+    HOST_HANG = "host_hang"
+    SLOW_DISK = "slow_disk"
+    TAIL_AMPLIFY = "tail_amplify"
+    NETWORK_PARTITION = "network_partition"
+    SESSION_EXPIRY = "session_expiry"
+    SM_FAILOVER = "sm_failover"
+    MIGRATION_INTERRUPT = "migration_interrupt"
+
+
+#: Kinds whose ``target`` names a region rather than a host.
+REGION_TARGETED = frozenset({
+    FaultKind.TAIL_AMPLIFY,
+    FaultKind.NETWORK_PARTITION,
+    FaultKind.SM_FAILOVER,
+    FaultKind.MIGRATION_INTERRUPT,
+})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault: kind, target, start time and shape."""
+
+    at: float
+    kind: FaultKind
+    target: str  # host id, or region name for REGION_TARGETED kinds
+    duration: float = 0.0
+    factor: float = 1.0  # latency multiplier (SLOW_DISK / TAIL_AMPLIFY)
+    permanent: bool = False  # HOST_CRASH: goes to the repair pipeline
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError(f"fault time must be >= 0: {self.at}")
+        if self.duration < 0:
+            raise ConfigurationError(
+                f"fault duration must be >= 0: {self.duration}"
+            )
+        if self.factor < 1.0:
+            raise ConfigurationError(
+                f"latency factor must be >= 1: {self.factor}"
+            )
+        if not self.target:
+            raise ConfigurationError("fault target must be non-empty")
+
+    @property
+    def clears_at(self) -> Optional[float]:
+        """When the fault is lifted; None for one-shot faults."""
+        if self.duration > 0:
+            return self.at + self.duration
+        return None
+
+    def render(self) -> str:
+        parts = [f"t={self.at:.3f}", self.kind.value, self.target]
+        if self.duration > 0:
+            parts.append(f"duration={self.duration:.1f}")
+        if self.factor != 1.0:
+            parts.append(f"factor={self.factor:g}")
+        if self.permanent:
+            parts.append("permanent")
+        return " ".join(parts)
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered collection of faults, with builder helpers."""
+
+    specs: list = field(default_factory=list)
+
+    def add(self, spec: FaultSpec) -> "FaultSchedule":
+        self.specs.append(spec)
+        return self
+
+    # Builder helpers — one per fault kind, for readable scenarios.
+
+    def host_crash(self, at: float, host: str, *, duration: float = 60.0,
+                   permanent: bool = False) -> "FaultSchedule":
+        return self.add(FaultSpec(at=at, kind=FaultKind.HOST_CRASH,
+                                  target=host, duration=duration,
+                                  permanent=permanent))
+
+    def host_hang(self, at: float, host: str,
+                  *, duration: float = 60.0) -> "FaultSchedule":
+        return self.add(FaultSpec(at=at, kind=FaultKind.HOST_HANG,
+                                  target=host, duration=duration))
+
+    def slow_disk(self, at: float, host: str, *, factor: float = 20.0,
+                  duration: float = 120.0) -> "FaultSchedule":
+        return self.add(FaultSpec(at=at, kind=FaultKind.SLOW_DISK,
+                                  target=host, duration=duration,
+                                  factor=factor))
+
+    def tail_amplify(self, at: float, region: str, *, factor: float = 10.0,
+                     duration: float = 120.0) -> "FaultSchedule":
+        return self.add(FaultSpec(at=at, kind=FaultKind.TAIL_AMPLIFY,
+                                  target=region, duration=duration,
+                                  factor=factor))
+
+    def network_partition(self, at: float, region: str,
+                          *, duration: float = 300.0) -> "FaultSchedule":
+        return self.add(FaultSpec(at=at, kind=FaultKind.NETWORK_PARTITION,
+                                  target=region, duration=duration))
+
+    def session_expiry(self, at: float, host: str,
+                       *, duration: float = 60.0) -> "FaultSchedule":
+        return self.add(FaultSpec(at=at, kind=FaultKind.SESSION_EXPIRY,
+                                  target=host, duration=duration))
+
+    def sm_failover(self, at: float, region: str) -> "FaultSchedule":
+        return self.add(FaultSpec(at=at, kind=FaultKind.SM_FAILOVER,
+                                  target=region))
+
+    def migration_interrupt(self, at: float, region: str,
+                            *, duration: float = 60.0) -> "FaultSchedule":
+        return self.add(FaultSpec(at=at, kind=FaultKind.MIGRATION_INTERRUPT,
+                                  target=region, duration=duration))
+
+    # Introspection
+
+    def sorted_specs(self) -> list:
+        """Specs in application order (time, then insertion order)."""
+        indexed = sorted(
+            enumerate(self.specs), key=lambda pair: (pair[1].at, pair[0])
+        )
+        return [spec for __, spec in indexed]
+
+    @property
+    def end_time(self) -> float:
+        """Virtual time by which every fault has been applied and cleared."""
+        end = 0.0
+        for spec in self.specs:
+            end = max(end, spec.clears_at if spec.clears_at is not None
+                      else spec.at)
+        return end
+
+    def shifted(self, offset: float) -> "FaultSchedule":
+        """A copy with every fault time moved by ``offset`` seconds."""
+        return FaultSchedule(
+            specs=[replace(s, at=s.at + offset) for s in self.specs]
+        )
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+
+class ChaosInjector:
+    """Applies a :class:`FaultSchedule` to a live deployment.
+
+    The injector owns the latency-shaping state (per-host amplification
+    factors and hang flags) and installs itself as the
+    ``service_time_hook`` of every region coordinator. All faults are
+    scheduled on the deployment's simulator, so they interleave
+    deterministically with heartbeats, sweeps and background loops.
+    """
+
+    #: Extra delay added to every request hitting a hung host. Large
+    #: enough that any sane per-hop timeout classifies it as failed.
+    HANG_DELAY = 300.0
+
+    def __init__(self, deployment: "CubrickDeployment"):
+        self._deployment = deployment
+        self._amplify: dict[str, float] = {}
+        self._hung: set[str] = set()
+        self.applied: list = []  # (time, FaultSpec, detail) tuples
+        for coordinator in deployment.coordinators.values():
+            coordinator.service_time_hook = self._shape_service_time
+
+    # ------------------------------------------------------------------
+    # Latency shaping
+    # ------------------------------------------------------------------
+
+    def _shape_service_time(self, host_id: str, sampled: float) -> float:
+        shaped = sampled * self._amplify.get(host_id, 1.0)
+        if host_id in self._hung:
+            shaped += self.HANG_DELAY
+        return shaped
+
+    def amplification(self, host_id: str) -> float:
+        """Current latency multiplier for a host (1.0 = unshaped)."""
+        return self._amplify.get(host_id, 1.0)
+
+    def is_hung(self, host_id: str) -> bool:
+        return host_id in self._hung
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def install(self, schedule: FaultSchedule) -> None:
+        """Schedule every fault (and its clearance) on the simulator."""
+        simulator = self._deployment.simulator
+        for spec in schedule.sorted_specs():
+            if spec.at < simulator.now:
+                raise ConfigurationError(
+                    f"fault scheduled in the past: {spec.render()} "
+                    f"(now={simulator.now})"
+                )
+            simulator.schedule(spec.at, lambda s=spec: self.apply(s))
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+
+    def apply(self, spec: FaultSpec) -> None:
+        """Apply one fault immediately (normally called by the engine)."""
+        handler = {
+            FaultKind.HOST_CRASH: self._apply_host_crash,
+            FaultKind.HOST_HANG: self._apply_host_hang,
+            FaultKind.SLOW_DISK: self._apply_slow_disk,
+            FaultKind.TAIL_AMPLIFY: self._apply_tail_amplify,
+            FaultKind.NETWORK_PARTITION: self._apply_network_partition,
+            FaultKind.SESSION_EXPIRY: self._apply_session_expiry,
+            FaultKind.SM_FAILOVER: self._apply_sm_failover,
+            FaultKind.MIGRATION_INTERRUPT: self._apply_migration_interrupt,
+        }[spec.kind]
+        detail = handler(spec)
+        now = self._deployment.simulator.now
+        self.applied.append((now, spec, detail))
+        self._deployment.obs.events.emit(
+            "repro.chaos.fault_injected",
+            fault=spec.kind.value,
+            target=spec.target,
+            duration=spec.duration,
+            factor=spec.factor,
+            permanent=spec.permanent,
+            detail=detail,
+        )
+
+    def _emit_cleared(self, spec: FaultSpec) -> None:
+        self._deployment.obs.events.emit(
+            "repro.chaos.fault_cleared",
+            fault=spec.kind.value,
+            target=spec.target,
+        )
+
+    def _schedule_clear(self, spec: FaultSpec, clear) -> None:
+        def run_clear() -> None:
+            clear()
+            self._emit_cleared(spec)
+
+        self._deployment.simulator.call_later(spec.duration, run_clear)
+
+    # ------------------------------------------------------------------
+    # Per-kind handlers
+    # ------------------------------------------------------------------
+
+    def _apply_host_crash(self, spec: FaultSpec) -> str:
+        deployment = self._deployment
+        deployment.automation.handle_host_failure(
+            spec.target, permanent=spec.permanent
+        )
+        if spec.duration > 0:
+            self._schedule_clear(
+                spec,
+                lambda: deployment.automation.handle_host_recovery(spec.target),
+            )
+        return "crashed"
+
+    def _apply_host_hang(self, spec: FaultSpec) -> str:
+        self._hung.add(spec.target)
+        if spec.duration > 0:
+            self._schedule_clear(
+                spec, lambda: self._hung.discard(spec.target)
+            )
+        return "hung"
+
+    def _apply_slow_disk(self, spec: FaultSpec) -> str:
+        self._amplify[spec.target] = spec.factor
+        if spec.duration > 0:
+            self._schedule_clear(
+                spec, lambda: self._amplify.pop(spec.target, None)
+            )
+        return f"amplified x{spec.factor:g}"
+
+    def _apply_tail_amplify(self, spec: FaultSpec) -> str:
+        hosts = [
+            h.host_id
+            for h in self._deployment.cluster.hosts_in_region(spec.target)
+        ]
+        for host_id in hosts:
+            self._amplify[host_id] = spec.factor
+
+        def clear() -> None:
+            for host_id in hosts:
+                self._amplify.pop(host_id, None)
+
+        if spec.duration > 0:
+            self._schedule_clear(spec, clear)
+        return f"amplified {len(hosts)} hosts x{spec.factor:g}"
+
+    def _apply_network_partition(self, spec: FaultSpec) -> str:
+        cluster = self._deployment.cluster
+        cluster.set_region_available(spec.target, False)
+        if spec.duration > 0:
+            self._schedule_clear(
+                spec,
+                lambda: cluster.set_region_available(spec.target, True),
+            )
+        return "partitioned"
+
+    def _apply_session_expiry(self, spec: FaultSpec) -> str:
+        deployment = self._deployment
+        region = deployment.cluster.host(spec.target).region
+        sm = deployment.sm_servers[region]
+        expired = sm.datastore.expire_session_of(spec.target)
+        if spec.duration > 0:
+            # The application server notices the lost session and
+            # re-registers after a reconnect delay.
+            self._schedule_clear(
+                spec, lambda: deployment._on_host_return(spec.target)
+            )
+        return "expired" if expired else "no live session"
+
+    def _apply_sm_failover(self, spec: FaultSpec) -> str:
+        """A new SM server instance takes over: it rebuilds its view from
+        the datastore and republishes every shard mapping, producing the
+        propagation storm (and stale-read windows) of a real failover."""
+        sm = self._deployment.sm_servers[spec.target]
+        now = self._deployment.simulator.now
+        republished = 0
+        for shard_id in sm.shard_ids():
+            entry = sm.shard_entry(shard_id)
+            owner = entry.primary() or (
+                entry.replicas[0] if entry.replicas else None
+            )
+            if owner is None:
+                continue
+            sm.discovery.publish(shard_id, owner.host_id, now)
+            republished += 1
+        return f"republished {republished} shards"
+
+    def _apply_migration_interrupt(self, spec: FaultSpec) -> str:
+        """Start a graceful migration, then crash its target mid-protocol.
+
+        The mapping has already been published to the (now dead) target,
+        so queries hit a down owner until the session expires and the
+        failover republishes — the worst-case interrupted-migration
+        window the resilience layer must absorb.
+        """
+        deployment = self._deployment
+        sm = deployment.sm_servers[spec.target]
+        for shard_id in sm.shard_ids():
+            entry = sm.shard_entry(shard_id)
+            if not entry.replicas:
+                continue
+            source_id = entry.replicas[0].host_id
+            if (
+                source_id not in sm.registered_hosts()
+                or not deployment.cluster.host(source_id).is_available
+            ):
+                continue
+            try:
+                decision = sm.placement.choose_host(
+                    shard_id,
+                    size_hint=1.0,
+                    region=spec.target,
+                    exclude_hosts=entry.refused_hosts | entry.hosts(),
+                    exclude_domains=set(),
+                )
+            except CapacityExceededError:
+                continue
+            target_id = decision.host_id
+            source = sm.app_server(source_id)
+            target = sm.app_server(target_id)
+            try:
+                sm.migrations.live_migrate(
+                    shard_id, source, target, reason="manual"
+                )
+            except (NonRetryableShardError, ShardAlreadyAssignedError,
+                    MigrationError):
+                continue
+            sm._record_replica_move(entry, source_id, target_id)
+            # The interruption: the freshly-published target dies.
+            deployment.automation.handle_host_failure(
+                target_id, permanent=False
+            )
+            if spec.duration > 0:
+                self._schedule_clear(
+                    spec,
+                    lambda h=target_id:
+                        deployment.automation.handle_host_recovery(h),
+                )
+            return f"interrupted shard {shard_id} -> {target_id}"
+        return "no migratable shard"

@@ -1,0 +1,305 @@
+"""System-wide invariants validated during and after chaos runs.
+
+Two invariant classes are distinguished, mirroring the distinction
+between *safety* (must hold at every instant, even mid-failure) and
+*convergence* (must hold again once faults clear and recovery settles):
+
+Safety — checked after **every** injected fault:
+
+* **single primary** — no shard ever has two PRIMARY replicas in one
+  SM service (a double-primaried shard means split-brain writes);
+* **discovery consistency** — the authoritative SMC mapping of every
+  shard points at a host SM believes holds a replica;
+* **SM ⊆ application servers** — every shard SM records on a host is
+  actually hosted by that application server (the reverse may lag
+  inside a graceful-drop grace window, which is legal);
+* **SM ↔ datastore agreement** — the set of live datastore sessions
+  matches the set of registered application servers.
+
+Convergence — checked once the schedule is exhausted and recovery has
+had time to settle:
+
+* **replica counts re-converge** — every shard has its full replica
+  set on registered, available hosts and no failovers remain unplaced;
+* **no orphan shards** — registered servers host only shards SM knows.
+
+Query integrity ("accepted queries never silently drop rows") is
+checked per-result: a non-partial success must carry the full answer;
+anything less must be labelled with ``completeness < 1.0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ShardMappingUnknownError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.deployment import CubrickDeployment
+    from repro.cubrick.query import QueryResult
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One failed invariant, with enough context to debug the run."""
+
+    check: str
+    detail: str
+
+    def render(self) -> str:
+        return f"{self.check}: {self.detail}"
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of one checker pass (deterministically renderable)."""
+
+    time: float
+    label: str
+    checks_run: list = field(default_factory=list)
+    violations: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        lines = [
+            f"[t={self.time:10.3f}] {self.label}: {status} "
+            f"({len(self.checks_run)} checks, {len(self.violations)} violations)"
+        ]
+        for violation in self.violations:
+            lines.append(f"    !! {violation.render()}")
+        return "\n".join(lines)
+
+
+class InvariantChecker:
+    """Validates a :class:`CubrickDeployment` against the invariants above."""
+
+    def __init__(self, deployment: "CubrickDeployment"):
+        self._deployment = deployment
+
+    # ------------------------------------------------------------------
+    # Safety (valid at every instant)
+    # ------------------------------------------------------------------
+
+    def check_safety(self, label: str = "safety") -> InvariantReport:
+        report = InvariantReport(
+            time=self._deployment.simulator.now, label=label
+        )
+        self._check_single_primary(report)
+        self._check_discovery_consistency(report)
+        self._check_sm_subset_of_apps(report)
+        self._check_sessions_match_registration(report)
+        self._emit(report)
+        return report
+
+    def _check_single_primary(self, report: InvariantReport) -> None:
+        # Imported here, not at module level: shardmanager.server itself
+        # imports the chaos policy layer, and a top-level import would
+        # close that cycle during package initialisation.
+        from repro.shardmanager.server import ReplicaRole
+
+        report.checks_run.append("single_primary")
+        for region, sm in sorted(self._deployment.sm_servers.items()):
+            for shard_id in sm.shard_ids():
+                entry = sm.shard_entry(shard_id)
+                primaries = [
+                    r.host_id for r in entry.replicas
+                    if r.role is ReplicaRole.PRIMARY
+                ]
+                if len(primaries) > 1:
+                    report.violations.append(InvariantViolation(
+                        "single_primary",
+                        f"shard {shard_id} in {region} has "
+                        f"{len(primaries)} primaries: {sorted(primaries)}",
+                    ))
+
+    def _check_discovery_consistency(self, report: InvariantReport) -> None:
+        report.checks_run.append("discovery_consistency")
+        for region, sm in sorted(self._deployment.sm_servers.items()):
+            for shard_id in sm.shard_ids():
+                entry = sm.shard_entry(shard_id)
+                try:
+                    owner = sm.discovery.resolve_authoritative(shard_id)
+                except ShardMappingUnknownError:
+                    report.violations.append(InvariantViolation(
+                        "discovery_consistency",
+                        f"shard {shard_id} in {region} was never published",
+                    ))
+                    continue
+                if owner is not None and owner not in entry.hosts():
+                    report.violations.append(InvariantViolation(
+                        "discovery_consistency",
+                        f"shard {shard_id} in {region} published to "
+                        f"{owner}, but replicas live on "
+                        f"{sorted(entry.hosts())}",
+                    ))
+
+    def _check_sm_subset_of_apps(self, report: InvariantReport) -> None:
+        report.checks_run.append("sm_matches_app_servers")
+        for region, sm in sorted(self._deployment.sm_servers.items()):
+            for host_id in sm.registered_hosts():
+                recorded = sm.shards_on_host(host_id)
+                hosted = sm.app_server(host_id).hosted_shards()
+                missing = recorded - hosted
+                if missing:
+                    report.violations.append(InvariantViolation(
+                        "sm_matches_app_servers",
+                        f"{region}: SM records shards {sorted(missing)} on "
+                        f"{host_id} but the server does not host them",
+                    ))
+
+    def _check_sessions_match_registration(
+        self, report: InvariantReport
+    ) -> None:
+        report.checks_run.append("sm_matches_datastore")
+        for region, sm in sorted(self._deployment.sm_servers.items()):
+            live = {s.owner for s in sm.datastore.live_sessions()}
+            registered = set(sm.registered_hosts())
+            for owner in sorted(live - registered):
+                report.violations.append(InvariantViolation(
+                    "sm_matches_datastore",
+                    f"{region}: datastore session for {owner} is live but "
+                    f"the host is not registered with SM",
+                ))
+            for host_id in sorted(registered - live):
+                report.violations.append(InvariantViolation(
+                    "sm_matches_datastore",
+                    f"{region}: {host_id} is registered with SM but holds "
+                    f"no live datastore session",
+                ))
+
+    # ------------------------------------------------------------------
+    # Convergence (valid once faults cleared and recovery settled)
+    # ------------------------------------------------------------------
+
+    def check_convergence(self, label: str = "convergence") -> InvariantReport:
+        report = InvariantReport(
+            time=self._deployment.simulator.now, label=label
+        )
+        self._check_replicas_converged(report)
+        self._check_no_orphan_shards(report)
+        self._emit(report)
+        return report
+
+    def _check_replicas_converged(self, report: InvariantReport) -> None:
+        report.checks_run.append("replicas_converged")
+        cluster = self._deployment.cluster
+        for region, sm in sorted(self._deployment.sm_servers.items()):
+            if sm.unplaced_failovers:
+                report.violations.append(InvariantViolation(
+                    "replicas_converged",
+                    f"{region}: {len(sm.unplaced_failovers)} failovers "
+                    f"still unplaced: {sorted(set(sm.unplaced_failovers))}",
+                ))
+            expected = sm.spec.replicas_per_shard
+            registered = set(sm.registered_hosts())
+            for shard_id in sm.shard_ids():
+                entry = sm.shard_entry(shard_id)
+                if len(entry.replicas) != expected:
+                    report.violations.append(InvariantViolation(
+                        "replicas_converged",
+                        f"shard {shard_id} in {region} has "
+                        f"{len(entry.replicas)} replicas, expected {expected}",
+                    ))
+                for replica in entry.replicas:
+                    host_ok = (
+                        replica.host_id in registered
+                        and cluster.host(replica.host_id).is_available
+                    )
+                    if not host_ok:
+                        report.violations.append(InvariantViolation(
+                            "replicas_converged",
+                            f"shard {shard_id} in {region}: replica on "
+                            f"{replica.host_id} is unavailable/unregistered",
+                        ))
+
+    def _check_no_orphan_shards(self, report: InvariantReport) -> None:
+        report.checks_run.append("no_orphan_shards")
+        for region, sm in sorted(self._deployment.sm_servers.items()):
+            for host_id in sm.registered_hosts():
+                hosted = sm.app_server(host_id).hosted_shards()
+                orphans = {s for s in hosted if not sm.has_shard(s)}
+                if orphans:
+                    report.violations.append(InvariantViolation(
+                        "no_orphan_shards",
+                        f"{region}: {host_id} hosts shards "
+                        f"{sorted(orphans)} unknown to SM",
+                    ))
+
+    # ------------------------------------------------------------------
+    # Query integrity
+    # ------------------------------------------------------------------
+
+    def check_query_integrity(
+        self,
+        result: "QueryResult",
+        expected_total: float,
+        *,
+        total: Optional[float] = None,
+        label: str = "query_integrity",
+    ) -> InvariantReport:
+        """An accepted query must never silently drop rows.
+
+        ``total`` is the scalar the caller derived from ``result`` (e.g.
+        the grand sum of a metric); ``expected_total`` its fault-free
+        value. Non-partial answers must match exactly; partial answers
+        must be labelled (``partial`` flag and ``completeness < 1.0``).
+        """
+        report = InvariantReport(
+            time=self._deployment.simulator.now, label=label
+        )
+        report.checks_run.append("no_silent_row_loss")
+        metadata = result.metadata
+        completeness = metadata.get(
+            "completeness", metadata.get("coverage", 1.0)
+        )
+        if metadata.get("partial"):
+            if completeness >= 1.0 and total is not None and total != expected_total:
+                report.violations.append(InvariantViolation(
+                    "no_silent_row_loss",
+                    f"partial answer claims completeness {completeness} but "
+                    f"total {total} != expected {expected_total}",
+                ))
+        else:
+            if total is not None and total != expected_total:
+                report.violations.append(InvariantViolation(
+                    "no_silent_row_loss",
+                    f"non-partial answer dropped rows: total {total} != "
+                    f"expected {expected_total}",
+                ))
+            if completeness < 1.0:
+                report.violations.append(InvariantViolation(
+                    "no_silent_row_loss",
+                    f"non-partial answer reports completeness {completeness}",
+                ))
+        self._emit(report)
+        return report
+
+    # ------------------------------------------------------------------
+    # Aggregate
+    # ------------------------------------------------------------------
+
+    def check_all(self, label: str = "all") -> InvariantReport:
+        """Safety plus convergence in one report (for settled systems)."""
+        safety = self.check_safety(label=label)
+        convergence = self.check_convergence(label=label)
+        merged = InvariantReport(
+            time=self._deployment.simulator.now,
+            label=label,
+            checks_run=safety.checks_run + convergence.checks_run,
+            violations=safety.violations + convergence.violations,
+        )
+        return merged
+
+    def _emit(self, report: InvariantReport) -> None:
+        self._deployment.obs.events.emit(
+            "repro.chaos.invariant_check",
+            label=report.label,
+            checks=len(report.checks_run),
+            violations=len(report.violations),
+            ok=report.ok,
+        )

@@ -1,0 +1,266 @@
+"""Unified resilience policies: one place for all retry/timeout decisions.
+
+Before this module existed, failure handling was scattered: the Cubrick
+proxy retried once per region with no backoff, the region coordinator
+had its own deadline semantics, the SM client did not retry at all, and
+SM server hard-coded five placement attempts. Production OLAP fleets
+(see "Enhancing OLAP Resilience at LinkedIn", PAPERS.md) centralise
+these decisions so they can be tuned — and chaos-tested — coherently.
+
+Everything here is deterministic: backoff jitter is drawn from an
+injected :class:`numpy.random.Generator` (a named stream of the sim's
+:class:`~repro.sim.rng.RngRegistry`), never the wall clock, so two
+identically-seeded chaos runs retry at byte-identical virtual times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple, TypeVar, Union
+
+from repro.errors import (
+    ConfigurationError,
+    HostUnavailableError,
+    QueryFailedError,
+    RetryableShardError,
+    ShardMappingUnknownError,
+)
+
+T = TypeVar("T")
+
+#: Error classes every layer agrees are transient: the request may be
+#: retried (against the same or a different target) within the budget.
+TRANSIENT_ERRORS: tuple = (
+    HostUnavailableError,
+    RetryableShardError,
+    ShardMappingUnknownError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget plus exponential backoff with deterministic jitter.
+
+    ``max_attempts`` counts *total* tries including the first; ``None``
+    means "derived from context" (the proxy uses one try per candidate
+    region — the pre-policy behaviour).
+    """
+
+    max_attempts: Optional[int] = 3
+    base_backoff: float = 0.05
+    backoff_multiplier: float = 2.0
+    max_backoff: float = 5.0
+    # Uniform +/- fraction applied to each delay, drawn from the sim RNG.
+    jitter_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1: {self.max_attempts}"
+            )
+        if self.base_backoff < 0 or self.max_backoff < 0:
+            raise ConfigurationError("backoff delays must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                f"backoff_multiplier must be >= 1: {self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ConfigurationError(
+                f"jitter_fraction out of [0, 1]: {self.jitter_fraction}"
+            )
+
+    def budget(self, default: int) -> int:
+        """The attempt budget, falling back to a context-derived default."""
+        return self.max_attempts if self.max_attempts is not None else default
+
+    def backoff_delay(self, attempt: int, rng=None) -> float:
+        """Delay before retry number ``attempt`` (1-based), in seconds.
+
+        With ``rng`` supplied, the delay is jittered by a uniform factor
+        in ``[1 - jitter, 1 + jitter]``. A zero base backoff draws
+        nothing from the RNG, so legacy (no-backoff) policies do not
+        perturb downstream random streams.
+        """
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1: {attempt}")
+        delay = self.base_backoff * self.backoff_multiplier ** (attempt - 1)
+        delay = min(delay, self.max_backoff)
+        if delay <= 0.0:
+            return 0.0
+        if rng is not None and self.jitter_fraction > 0.0:
+            delay *= 1.0 + self.jitter_fraction * (2.0 * float(rng.random()) - 1.0)
+        return delay
+
+
+@dataclass(frozen=True)
+class TimeoutPolicy:
+    """Per-hop timeout semantics, unified across all layers.
+
+    A host whose (simulated) service time exceeds ``per_hop`` **counts
+    as failed** — it consumes one attempt of the retry budget, exactly
+    like a crashed host. This resolves the historical divergence where
+    the coordinator counted a timed-out host as failed while the SM
+    client kept waiting on it indefinitely.
+    """
+
+    per_hop: Optional[float] = None  # None = no per-hop bound
+
+    def __post_init__(self) -> None:
+        if self.per_hop is not None and self.per_hop <= 0:
+            raise ConfigurationError(
+                f"per_hop timeout must be positive: {self.per_hop}"
+            )
+
+    def is_timeout(self, elapsed: float) -> bool:
+        """Whether a hop that took ``elapsed`` seconds counts as failed."""
+        return self.per_hop is not None and elapsed > self.per_hop
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Hedged fan-out requests (Dean & Barroso's tail-tolerant trick).
+
+    When a host's sampled service time exceeds ``trigger``, up to
+    ``max_hedges`` duplicate requests are issued and the fastest answer
+    wins — trading extra work for a shorter tail.
+    """
+
+    enabled: bool = False
+    trigger: float = 0.2
+    max_hedges: int = 1
+
+    def __post_init__(self) -> None:
+        if self.trigger <= 0:
+            raise ConfigurationError(f"hedge trigger must be positive: {self.trigger}")
+        if self.max_hedges < 1:
+            raise ConfigurationError(f"max_hedges must be >= 1: {self.max_hedges}")
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Graceful degradation once the retry budget is exhausted.
+
+    Instead of failing the query outright, the proxy re-executes it in
+    partial mode (dead/slow hosts dropped) and returns the answer with
+    an explicit ``metadata["completeness"]`` fraction — the Scuba-style
+    accuracy-for-availability trade (paper §II-C), but *opt-in* and
+    *labelled*: an accepted query never silently drops rows.
+    """
+
+    enabled: bool = False
+    # Degraded answers covering less than this fraction are still failed.
+    min_completeness: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_completeness <= 1.0:
+            raise ConfigurationError(
+                f"min_completeness out of [0, 1]: {self.min_completeness}"
+            )
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """The full bundle threaded through proxy, coordinator, SM and chaos."""
+
+    retry: RetryPolicy = RetryPolicy()
+    timeout: TimeoutPolicy = TimeoutPolicy()
+    hedge: HedgePolicy = HedgePolicy()
+    degradation: DegradationPolicy = DegradationPolicy()
+
+    @classmethod
+    def legacy(cls) -> "ResiliencePolicy":
+        """The pre-policy behaviour: one try per region, no backoff,
+        no per-hop timeout, no hedging, no degradation."""
+        return cls(
+            retry=RetryPolicy(max_attempts=None, base_backoff=0.0,
+                              jitter_fraction=0.0),
+        )
+
+    @classmethod
+    def resilient(
+        cls,
+        *,
+        max_attempts: int = 6,
+        per_hop_timeout: Optional[float] = 2.0,
+        hedge: bool = True,
+        degrade: bool = True,
+        min_completeness: float = 0.25,
+    ) -> "ResiliencePolicy":
+        """A production-shaped policy for chaos runs: bounded budget,
+        backoff, per-hop timeouts, hedging and labelled degradation."""
+        return cls(
+            retry=RetryPolicy(max_attempts=max_attempts),
+            timeout=TimeoutPolicy(per_hop=per_hop_timeout),
+            hedge=HedgePolicy(enabled=hedge),
+            degradation=DegradationPolicy(
+                enabled=degrade, min_completeness=min_completeness
+            ),
+        )
+
+
+@dataclass
+class RetryStats:
+    """Bookkeeping for one policy-governed operation."""
+
+    attempts: int = 0
+    timeouts: int = 0
+    backoff_total: float = 0.0
+    errors: list = field(default_factory=list)  # stringified, in order
+
+    def record_error(self, error: BaseException) -> None:
+        self.errors.append(f"{type(error).__name__}: {error}")
+
+
+RetryablePredicate = Union[
+    Tuple[type, ...], Callable[[BaseException], bool]
+]
+
+
+def _is_retryable(error: BaseException, retryable: RetryablePredicate) -> bool:
+    if callable(retryable) and not isinstance(retryable, tuple):
+        return bool(retryable(error))
+    if isinstance(error, QueryFailedError):
+        # QueryFailedError carries its own retryability verdict.
+        return error.retryable and isinstance(error, retryable)
+    return isinstance(error, retryable)
+
+
+def call_with_retries(
+    fn: Callable[[int], T],
+    *,
+    policy: ResiliencePolicy,
+    rng=None,
+    retryable: RetryablePredicate = TRANSIENT_ERRORS,
+    on_retry: Optional[Callable[[int, float], None]] = None,
+) -> Tuple[T, RetryStats]:
+    """Run ``fn(attempt)`` under the policy's retry budget.
+
+    ``fn`` receives the 1-based attempt number. Transient errors (per
+    ``retryable`` — a class tuple or predicate) consume budget and are
+    retried after a deterministic backoff; everything else propagates
+    immediately. ``on_retry(attempt, delay)`` lets callers *spend* the
+    backoff delay (e.g. advance the virtual clock); by default it is
+    only accounted in the returned :class:`RetryStats`.
+
+    Returns ``(result, stats)``; re-raises the final error when the
+    budget runs out.
+    """
+    budget = policy.retry.budget(default=1)
+    stats = RetryStats()
+    last_error: Optional[BaseException] = None
+    for attempt in range(1, budget + 1):
+        stats.attempts = attempt
+        try:
+            return fn(attempt), stats
+        except BaseException as exc:  # noqa: BLE001 - classified below
+            if not _is_retryable(exc, retryable):
+                raise
+            stats.record_error(exc)
+            last_error = exc
+            if attempt < budget:
+                delay = policy.retry.backoff_delay(attempt, rng)
+                stats.backoff_total += delay
+                if on_retry is not None:
+                    on_retry(attempt, delay)
+    assert last_error is not None
+    raise last_error

@@ -234,6 +234,27 @@ def cmd_demo_sql(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a named chaos scenario and print its invariant/SLA report.
+
+    The report is byte-identical for identical ``(scenario, seed)``
+    pairs — the CI determinism gate runs this twice and diffs.
+    """
+    from repro.chaos import list_scenarios, run_scenario
+
+    if args.list:
+        for name, description in list_scenarios():
+            print(f"{name:<20} {description}")
+        return 0
+    if args.scenario is None:
+        print("error: --scenario is required (or use --list)",
+              file=sys.stderr)
+        return 2
+    report = run_scenario(args.scenario, seed=args.seed)
+    print(report.render(), end="")
+    return 0 if report.ok else 1
+
+
 def cmd_smc_delay(args: argparse.Namespace) -> int:
     tree = PropagationTree()
     rng = np.random.default_rng(args.seed)
@@ -326,6 +347,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full telemetry export (JSON) to PATH",
     )
     demo.set_defaults(func=cmd_demo_sql)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a named fault-injection scenario and print the "
+             "invariant/SLA report",
+    )
+    chaos.add_argument("--scenario", default=None,
+                       help="scenario name (see --list)")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--list", action="store_true",
+                       help="list available scenarios and exit")
+    chaos.set_defaults(func=cmd_chaos)
 
     smc = sub.add_parser("smc-delay", help="SMC propagation delays (Fig 4c)")
     smc.add_argument("--samples", type=int, default=100_000)

@@ -16,14 +16,16 @@ mechanism behind Figure 5.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
+from repro.chaos.policies import ResiliencePolicy
 from repro.cubrick.query import PartialResult, Query, QueryResult
 from repro.cubrick.schema import Catalog
 from repro.cubrick.sharding import ShardDirectory
 from repro.errors import (
+    ConfigurationError,
     PartitionNotFoundError,
     QueryFailedError,
     ShardMappingUnknownError,
@@ -65,6 +67,7 @@ class RegionCoordinator:
         latency_model: Optional[LatencyModel] = None,
         failure_model: Optional[BernoulliFailureModel] = None,
         rng: Optional[np.random.Generator] = None,
+        policy: Optional[ResiliencePolicy] = None,
         obs: Optional[Observability] = None,
     ):
         self.region = region
@@ -76,6 +79,14 @@ class RegionCoordinator:
         )
         self.failure_model = failure_model
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        #: Default resilience policy for executions (per-hop timeouts and
+        #: hedging); the proxy may override per call. None = legacy
+        #: behaviour (no per-hop bound, no hedging).
+        self.policy = policy
+        #: Chaos hook: maps (host_id, sampled service time) -> shaped
+        #: service time. Installed by ChaosInjector for slow-disk,
+        #: tail-amplification and hang faults.
+        self.service_time_hook: Optional[Callable[[str, float], float]] = None
         self.executions: list[QueryExecution] = []
         self.obs = obs if obs is not None else Observability()
         self._latency_histogram = self.obs.metrics.histogram(
@@ -133,6 +144,7 @@ class RegionCoordinator:
         extra_roundtrips: int = 0,
         allow_partial: bool = False,
         straggler_timeout: Optional[float] = None,
+        policy: Optional[ResiliencePolicy] = None,
     ) -> QueryResult:
         """Distribute, execute and merge one query in this region.
 
@@ -147,7 +159,16 @@ class RegionCoordinator:
         result carries ``metadata["partial"]`` and ``metadata["coverage"]``
         (fraction of partitions that contributed), trading consistency
         and accuracy for availability and bounded latency.
+
+        ``policy`` (falling back to the coordinator's default) adds the
+        unified resilience semantics: a host whose shaped service time
+        exceeds the per-hop timeout **counts as failed** — it raises the
+        same retryable error as a crashed host (or is skipped in partial
+        mode) — and hosts slower than the hedge trigger are hedged with
+        duplicate requests, the fastest answer winning.
         """
+        if policy is None:
+            policy = self.policy
         with self.obs.tracer.span(
             "cubrick.coordinator.execute", region=self.region, table=query.table
         ) as span:
@@ -160,6 +181,7 @@ class RegionCoordinator:
                     extra_roundtrips=extra_roundtrips,
                     allow_partial=allow_partial,
                     straggler_timeout=straggler_timeout,
+                    policy=policy,
                 )
             except QueryFailedError as exc:
                 span.annotate(outcome="failed", error=str(exc))
@@ -184,6 +206,7 @@ class RegionCoordinator:
         extra_roundtrips: int,
         allow_partial: bool,
         straggler_timeout: Optional[float],
+        policy: Optional[ResiliencePolicy],
     ) -> QueryResult:
         info = self.catalog.get(query.table)
         execution = QueryExecution(query=query, region=self.region)
@@ -196,6 +219,7 @@ class RegionCoordinator:
         merged = PartialResult(query=query)
         slowest = 0.0
         answered_partitions = 0
+        hedges = 0
         skipped_hosts: list[str] = []
         for host_id in sorted(hosts):
             indexes = hosts[host_id]
@@ -214,7 +238,25 @@ class RegionCoordinator:
                     region=self.region,
                     host=host_id,
                 )
-            service_time = self.latency_model.sample(self._rng).total
+            service_time = self._sample_service_time(host_id)
+            if policy is not None and policy.hedge.enabled:
+                service_time, used = self._hedged_service_time(
+                    host_id, service_time, policy
+                )
+                hedges += used
+            if policy is not None and policy.timeout.is_timeout(service_time):
+                # Unified per-hop timeout semantics: a hop slower than
+                # the bound consumes an attempt exactly like a crash.
+                if allow_partial:
+                    skipped_hosts.append(host_id)
+                    continue
+                execution.failed_host = host_id
+                raise QueryFailedError(
+                    f"host {host_id} exceeded {policy.timeout.per_hop}s "
+                    f"per-hop timeout during query on {query.table}",
+                    region=self.region,
+                    host=host_id,
+                )
             if (
                 allow_partial
                 and straggler_timeout is not None
@@ -223,7 +265,25 @@ class RegionCoordinator:
                 # Scuba-style: too slow, drop its answer entirely.
                 skipped_hosts.append(host_id)
                 continue
-            node = self.sm.app_server(host_id)
+            try:
+                node = self.sm.app_server(host_id)
+            except ConfigurationError:
+                # The SMC mapping still points at a host whose SM session
+                # expired: the host is cluster-healthy but deregistered
+                # while failover publications propagate. Treat it exactly
+                # like an unavailable host — skip in partial mode, else
+                # fail this attempt so the proxy retries elsewhere.
+                if allow_partial:
+                    skipped_hosts.append(host_id)
+                    continue
+                execution.failed_host = host_id
+                raise QueryFailedError(
+                    f"host {host_id} is not registered with the shard "
+                    f"manager (failover propagating) during query on "
+                    f"{query.table}",
+                    region=self.region,
+                    host=host_id,
+                )
             # The scan span's duration is the *sampled* service time: the
             # simulated clock does not advance during execution, so the
             # latency model's draw is the span's ground truth.
@@ -280,6 +340,7 @@ class RegionCoordinator:
             coverage=coverage,
             extra_hops=extra_hops,
             extra_roundtrips=extra_roundtrips,
+            hedges=hedges,
         )
         result.metadata.update(
             {
@@ -292,9 +353,34 @@ class RegionCoordinator:
                 "partial": bool(skipped_hosts),
                 "coverage": coverage,
                 "skipped_hosts": skipped_hosts,
+                "hedges": hedges,
             }
         )
         return result
+
+    def _sample_service_time(self, host_id: str) -> float:
+        """One sampled service time, shaped by the chaos hook if set."""
+        service_time = self.latency_model.sample(self._rng).total
+        if self.service_time_hook is not None:
+            service_time = self.service_time_hook(host_id, service_time)
+        return service_time
+
+    def _hedged_service_time(
+        self, host_id: str, first: float, policy: ResiliencePolicy
+    ) -> tuple[float, int]:
+        """Hedge a slow hop: duplicate requests, fastest answer wins.
+
+        Returns the winning service time and the number of hedges sent.
+        Hedges draw from the same deterministic RNG stream, so hedged
+        runs stay byte-reproducible (and un-hedged policies draw
+        nothing extra).
+        """
+        best = first
+        used = 0
+        while best > policy.hedge.trigger and used < policy.hedge.max_hedges:
+            used += 1
+            best = min(best, self._sample_service_time(host_id))
+        return best, used
 
     def _forwarded_execution(
         self,
@@ -319,7 +405,15 @@ class RegionCoordinator:
                     region=self.region,
                     host=stale_host,
                 ) from original
-            node = self.sm.app_server(owner)
+            try:
+                node = self.sm.app_server(owner)
+            except ConfigurationError as exc:
+                raise QueryFailedError(
+                    f"authoritative owner {owner} of {query.table}#{index} "
+                    f"is not registered with the shard manager",
+                    region=self.region,
+                    host=owner,
+                ) from exc
             partial.merge(node.execute_local(query, [index]))
         return partial
 

@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.chaos.policies import ResiliencePolicy, call_with_retries
 from repro.cubrick.bricks import Brick
 from repro.cubrick.compression import MemoryBudget, MemoryMonitor, MonitorReport, decay_all
 from repro.cubrick.loadbalance import (
@@ -51,9 +52,16 @@ class CubrickNode(ApplicationServer):
         memory_budget: Optional[MemoryBudget] = None,
         decay_rng: Optional[np.random.Generator] = None,
         allow_ssd_eviction: bool = False,
+        recovery_policy: Optional[ResiliencePolicy] = None,
         obs: Optional[Observability] = None,
     ):
         super().__init__(host_id)
+        # Governs donor reads during shard recovery; the legacy default
+        # is a single attempt (the pre-policy behaviour).
+        self.recovery_policy = (
+            recovery_policy if recovery_policy is not None
+            else ResiliencePolicy.legacy()
+        )
         self.catalog = catalog
         self.directory = directory
         self.obs = obs if obs is not None else Observability()
@@ -125,8 +133,15 @@ class CubrickNode(ApplicationServer):
             donor = source._partitions.get(name)
             if donor is not None and donor.rows:
                 # Columnar copy: materialise the donor once and bulk-load
-                # through the vectorised path instead of row dicts.
-                storage.insert_columns(donor.all_columns())
+                # through the vectorised path instead of row dicts. The
+                # read side is policy-retried (transient donor hiccups);
+                # the local insert happens exactly once, *after* a full
+                # read succeeded, so retries can never double-insert.
+                columns, __ = call_with_retries(
+                    lambda __attempt: donor.all_columns(),
+                    policy=self.recovery_policy,
+                )
+                storage.insert_columns(columns)
         return storage
 
     def drop_shard(self, shard_id: int) -> None:

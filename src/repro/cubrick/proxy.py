@@ -22,6 +22,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.chaos.policies import ResiliencePolicy
 from repro.cubrick.coordinator import RegionCoordinator
 from repro.cubrick.locator import CachedRandom, CoordinatorLocator
 from repro.cubrick.query import Query, QueryResult
@@ -45,6 +46,9 @@ class QueryLogEntry:
     region: Optional[str] = None
     latency: Optional[float] = None
     error: Optional[str] = None
+    # The answer was accepted through the graceful-degradation path:
+    # partial coverage, explicitly labelled (never silently wrong).
+    degraded: bool = False
 
 
 @dataclass
@@ -99,11 +103,16 @@ class CubrickProxy:
         max_qps: float = float("inf"),
         blacklist_ttl: float = 300.0,
         rng: Optional[np.random.Generator] = None,
+        policy: Optional[ResiliencePolicy] = None,
         obs: Optional[Observability] = None,
     ):
         if not coordinators:
             raise ConfigurationError("proxy needs at least one region coordinator")
         self.coordinators = dict(coordinators)
+        # The unified resilience policy. The default reproduces the
+        # pre-policy behaviour exactly: one attempt per candidate
+        # region, no backoff, no per-hop timeout, no degradation.
+        self.policy = policy if policy is not None else ResiliencePolicy.legacy()
         preference = region_preference or sorted(coordinators)
         unknown = set(preference) - set(coordinators)
         if unknown:
@@ -169,6 +178,7 @@ class CubrickProxy:
         allow_partial: bool = False,
         straggler_timeout: Optional[float] = None,
         deadline: Optional[float] = None,
+        policy: Optional[ResiliencePolicy] = None,
     ) -> QueryResult:
         """Route one query; retry retryable failures across regions.
 
@@ -182,6 +192,14 @@ class CubrickProxy:
         just too slow) and the query is hedged to the next region. The
         final result's ``metadata["latency_total"]`` accounts for the
         time burnt on abandoned attempts.
+
+        ``policy`` overrides the proxy's resilience policy for this one
+        query: retry budget and backoff (attempts cycle through the
+        candidate regions), per-hop timeouts and hedging (enforced by
+        the coordinator) and graceful degradation — when the budget is
+        exhausted on retryable failures, the query is re-executed in
+        partial mode and the answer returned with an explicit
+        ``metadata["completeness"]`` fraction instead of failing.
 
         Raises :class:`AdmissionControlError` when over the QPS limit,
         :class:`RegionUnavailableError` when no region can serve, and
@@ -200,6 +218,7 @@ class CubrickProxy:
                     allow_partial=allow_partial,
                     straggler_timeout=straggler_timeout,
                     deadline=deadline,
+                    policy=policy if policy is not None else self.policy,
                 )
             except AdmissionControlError:
                 span.annotate(outcome="admission_rejected")
@@ -219,6 +238,7 @@ class CubrickProxy:
                 outcome="ok",
                 region=result.metadata.get("region"),
                 attempts=result.metadata.get("attempts"),
+                degraded=result.metadata.get("degraded", False),
             )
         self._outcome_counter("ok").inc()
         self._latency_histogram.observe(latency_total)
@@ -231,6 +251,7 @@ class CubrickProxy:
         allow_partial: bool,
         straggler_timeout: Optional[float],
         deadline: Optional[float],
+        policy: ResiliencePolicy,
     ) -> QueryResult:
         now = self._now
         if not self.admission.admit(now, query.table):
@@ -255,11 +276,18 @@ class CubrickProxy:
             self.query_log.append(entry)
             raise RegionUnavailableError("no region available for query")
 
+        # The retry budget: explicit from the policy, or (legacy) one
+        # attempt per candidate region. Attempts cycle through the
+        # candidate regions in preference order, with deterministic
+        # exponential backoff between them.
+        budget = policy.retry.budget(default=len(regions))
         attempts = 0
         timeouts = 0
         wasted_latency = 0.0
+        backoff_total = 0.0
         last_error: Optional[QueryFailedError] = None
-        for region in regions:
+        for attempt in range(1, budget + 1):
+            region = regions[(attempt - 1) % len(regions)]
             coordinator = self.coordinators[region]
             attempts += 1
             info = coordinator.catalog.get(query.table)
@@ -274,6 +302,7 @@ class CubrickProxy:
                     extra_roundtrips=choice.extra_roundtrips,
                     allow_partial=allow_partial,
                     straggler_timeout=straggler_timeout,
+                    policy=policy,
                 )
             except QueryFailedError as exc:
                 last_error = exc
@@ -287,7 +316,11 @@ class CubrickProxy:
                 if not exc.retryable:
                     break
                 self._retry_counter.inc()
-                continue  # transparently retry in the next region
+                if attempt < budget:
+                    backoff_total += policy.retry.backoff_delay(
+                        attempt, self._rng
+                    )
+                continue  # transparently retry (next candidate region)
             latency = result.metadata.get("latency", 0.0)
             if deadline is not None and latency > deadline:
                 # Too slow: abandon this answer at the deadline and hedge
@@ -307,6 +340,10 @@ class CubrickProxy:
                     deadline=deadline,
                     latency=latency,
                 )
+                if attempt < budget:
+                    backoff_total += policy.retry.backoff_delay(
+                        attempt, self._rng
+                    )
                 continue
             self.locator.observe_result(
                 query.table, result.metadata.get("num_partitions", 0)
@@ -323,8 +360,29 @@ class CubrickProxy:
             )
             result.metadata["attempts"] = attempts
             result.metadata["timeouts"] = timeouts
-            result.metadata["latency_total"] = wasted_latency + latency
+            result.metadata["backoff_total"] = backoff_total
+            result.metadata["latency_total"] = (
+                wasted_latency + backoff_total + latency
+            )
             return result
+
+        if (
+            policy.degradation.enabled
+            and not allow_partial
+            and last_error is not None
+            and last_error.retryable
+        ):
+            degraded = self._degraded_submit(
+                query,
+                regions,
+                policy,
+                now=now,
+                attempts=attempts,
+                timeouts=timeouts,
+                wasted_latency=wasted_latency + backoff_total,
+            )
+            if degraded is not None:
+                return degraded
 
         message = str(last_error) if last_error else "all regions failed"
         self.query_log.append(
@@ -343,6 +401,76 @@ class CubrickProxy:
             raise last_error
         raise RegionUnavailableError(message)
 
+    def _degraded_submit(
+        self,
+        query: Query,
+        regions: list[str],
+        policy: ResiliencePolicy,
+        *,
+        now: float,
+        attempts: int,
+        timeouts: int,
+        wasted_latency: float,
+    ) -> Optional[QueryResult]:
+        """Graceful degradation: partial answer with explicit completeness.
+
+        After the retry budget is exhausted on retryable failures, the
+        query is re-executed region by region in partial mode (dead and
+        timed-out hosts dropped). The first answer covering at least the
+        policy's ``min_completeness`` is returned, labelled with
+        ``metadata["degraded"] = True`` and ``metadata["completeness"]``
+        — an accepted query never silently drops rows. Returns None when
+        no region can produce an acceptable partial answer.
+        """
+        for region in regions:
+            coordinator = self.coordinators[region]
+            attempts += 1
+            info = coordinator.catalog.get(query.table)
+            choice = self.locator.choose(
+                query.table, info.num_partitions, self._rng
+            )
+            try:
+                result = coordinator.execute(
+                    query,
+                    coordinator_partition=choice.partition_index,
+                    extra_hops=choice.extra_hops,
+                    extra_roundtrips=choice.extra_roundtrips,
+                    allow_partial=True,
+                    straggler_timeout=policy.timeout.per_hop,
+                    policy=policy,
+                )
+            except QueryFailedError:
+                continue  # e.g. unresolved shard mapping: try elsewhere
+            coverage = result.metadata.get("coverage", 0.0)
+            if coverage < policy.degradation.min_completeness:
+                continue
+            latency = result.metadata.get("latency", 0.0)
+            self.query_log.append(
+                QueryLogEntry(
+                    time=now,
+                    table=query.table,
+                    succeeded=True,
+                    attempts=attempts,
+                    region=region,
+                    latency=latency,
+                    degraded=True,
+                )
+            )
+            self.obs.events.emit(
+                "cubrick.proxy.query_degraded",
+                table=query.table,
+                region=region,
+                completeness=coverage,
+                attempts=attempts,
+            )
+            result.metadata["attempts"] = attempts
+            result.metadata["timeouts"] = timeouts
+            result.metadata["degraded"] = True
+            result.metadata["completeness"] = coverage
+            result.metadata["latency_total"] = wasted_latency + latency
+            return result
+        return None
+
     # ------------------------------------------------------------------
     # SLA accounting
     # ------------------------------------------------------------------
@@ -352,6 +480,13 @@ class CubrickProxy:
             return 1.0
         succeeded = sum(1 for e in self.query_log if e.succeeded)
         return succeeded / len(self.query_log)
+
+    def degraded_ratio(self) -> float:
+        """Fraction of logged queries answered via graceful degradation."""
+        if not self.query_log:
+            return 0.0
+        degraded = sum(1 for e in self.query_log if e.degraded)
+        return degraded / len(self.query_log)
 
     def first_try_success_ratio(self) -> float:
         """Success without needing a cross-region retry."""

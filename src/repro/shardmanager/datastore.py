@@ -154,27 +154,45 @@ class Datastore:
             if not s.expired and now - s.last_heartbeat > self.session_timeout
         ]
         for session in expired:
-            session.expired = True
-            for key in session.ephemeral_keys:
-                self._data.pop(key, None)
-            del self._sessions[session.session_id]
-            self._expired_counter.inc()
-            self.obs.events.emit(
-                "shardmanager.datastore.session_expired",
+            self._expire(session)
+
+    def _expire(self, session: Session) -> None:
+        """Expire one session: drop ephemerals, notify expiry watchers."""
+        session.expired = True
+        for key in session.ephemeral_keys:
+            self._data.pop(key, None)
+        del self._sessions[session.session_id]
+        self._expired_counter.inc()
+        self.obs.events.emit(
+            "shardmanager.datastore.session_expired",
+            owner=session.owner,
+            session_id=session.session_id,
+            last_heartbeat=session.last_heartbeat,
+        )
+        for watcher in self._expiry_watchers:
+            # Watch deliveries are the SM failure detector's trigger;
+            # each gets its own (root) span so failover work nests
+            # under the notification that caused it.
+            with self.obs.tracer.span(
+                "shardmanager.datastore.watch_delivery",
                 owner=session.owner,
-                session_id=session.session_id,
-                last_heartbeat=session.last_heartbeat,
-            )
-            for watcher in self._expiry_watchers:
-                # Watch deliveries are the SM failure detector's trigger;
-                # each gets its own (root) span so failover work nests
-                # under the notification that caused it.
-                with self.obs.tracer.span(
-                    "shardmanager.datastore.watch_delivery",
-                    owner=session.owner,
-                ):
-                    self._watch_counter.inc()
-                    watcher(session.owner)
+            ):
+                self._watch_counter.inc()
+                watcher(session.owner)
+
+    def expire_session_of(self, owner: str) -> bool:
+        """Force-expire ``owner``'s live session (chaos: a Zookeeper-side
+        session loss while the server itself is healthy).
+
+        Returns True when a session was expired. The watch pipeline runs
+        exactly as it would for a missed-heartbeat expiry, so SM reacts
+        with the same failover path.
+        """
+        for session in list(self._sessions.values()):
+            if session.owner == owner and not session.expired:
+                self._expire(session)
+                return True
+        return False
 
     def shutdown(self) -> None:
         """Stop the background sweep (end of experiment)."""

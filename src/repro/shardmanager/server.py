@@ -14,6 +14,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.chaos.policies import ResiliencePolicy
 from repro.cluster.topology import Cluster
 from repro.errors import (
     CapacityExceededError,
@@ -88,9 +89,13 @@ class SMServer:
         recovery_provider: Optional[
             Callable[[int], Optional[ApplicationServer]]
         ] = None,
+        policy: Optional[ResiliencePolicy] = None,
         obs: Optional[Observability] = None,
     ):
         self.spec = spec
+        # Placement/failover retry budget. The legacy default derives the
+        # historical five attempts from the context default below.
+        self.policy = policy if policy is not None else ResiliencePolicy.legacy()
         self.simulator = simulator
         self.cluster = cluster
         self.region = region
@@ -419,10 +424,11 @@ class SMServer:
             return False
         target_id = proposal.to_host
         attempts = 0
+        budget = self.policy.retry.budget(default=5)
         # Hosts skipped only for this move (e.g. still holding the shard
         # inside a graceful-drop grace window) — not sticky refusals.
         transient_excluded: set[str] = set()
-        while attempts < 5:
+        while attempts < budget:
             attempts += 1
             target = self._app_servers.get(target_id)
             if target is None:
@@ -558,13 +564,30 @@ class SMServer:
             # wherever the application keeps a healthy copy (Cubrick:
             # a different region, paper §IV-D).
             recovery_source = self.recovery_provider(shard_id)
+            if recovery_source is None:
+                # Every healthy copy — in-region survivors *and* the
+                # cross-region donors — is down right now. Proceeding
+                # would hand the replacement an empty shard and silently
+                # lose rows; defer until a donor returns and let
+                # retry_unplaced_failovers (host reconnect / balance
+                # loop) finish the job.
+                self.unplaced_failovers.append(shard_id)
+                self._unplaced_gauge.set(len(self.unplaced_failovers))
+                self.obs.events.emit(
+                    "shardmanager.server.failover_deferred",
+                    shard=shard_id,
+                    failed_host=failed_host,
+                    region=str(self.region),
+                    reason="no_healthy_donor",
+                )
+                return
 
         load = self.metrics.shard_load(shard_id, failed_host)
         replacement_is_published = (
             failed_replica.role is ReplicaRole.PRIMARY or len(entry.replicas) == 1
         )
         transient_excluded: set[str] = set()
-        for __ in range(5):
+        for __ in range(self.policy.retry.budget(default=5)):
             try:
                 decision = self.placement.choose_host(
                     shard_id,

@@ -75,8 +75,22 @@ class MtbfFailureModel:
         return bool(rng.random() < self.permanent_fraction)
 
     def sample_downtime(self, rng: np.random.Generator, permanent: bool) -> float:
+        """Sampled downtime, guaranteed strictly positive.
+
+        A non-positive downtime would schedule the recovery at (or
+        before) the failure itself, making the host flap within one
+        event-loop turn and breaking the injector's fail→recover
+        ordering; reject bad means and clamp degenerate draws.
+        """
         mean = self.repair_time if permanent else self.mttr
-        return float(rng.exponential(mean))
+        if mean <= 0:
+            raise ValueError(f"non-positive mean downtime: {mean}")
+        value = float(rng.exponential(mean))
+        if value <= 0.0:
+            # rng.exponential can round to exactly 0.0; fall back to the
+            # mean so the recovery still strictly follows the failure.
+            value = mean
+        return value
 
     def instantaneous_unavailability(self) -> float:
         """Steady-state fraction of time a host is down (for calibration)."""

@@ -1,0 +1,85 @@
+"""Differential chaos tests: never silently wrong.
+
+For every built-in fault scenario, the answer produced under chaos
+(with the resilient policy's retries, hedges and labelled degradation)
+must either equal the fault-free baseline exactly, or be explicitly
+marked as degraded with ``completeness < 1.0``. A wrong total on an
+unlabelled answer is the one outcome that must never occur.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import list_scenarios, run_scenario
+from repro.chaos.policies import ResiliencePolicy
+from repro.chaos.scenarios import build_chaos_deployment
+from repro.cubrick.query import AggFunc, Aggregation, Query
+
+SCENARIO_NAMES = [name for name, __ in list_scenarios()]
+
+
+def test_fault_free_baseline_is_exact():
+    deployment, expected = build_chaos_deployment(seed=21)
+    deployment.simulator.run_until(30.0)
+    result = deployment.proxy.submit(
+        Query.build("events", [Aggregation(AggFunc.SUM, "clicks")]),
+        policy=ResiliencePolicy.resilient(),
+    )
+    assert float(result.rows[0][-1]) == expected
+    assert not result.metadata.get("degraded", False)
+
+
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+def test_chaos_answers_match_baseline_or_are_labelled(name):
+    report = run_scenario(name, seed=7)
+    assert report.probes, "scenario must issue probes"
+    for probe in report.probes:
+        if probe.outcome.startswith("failed:"):
+            # An error is loud by definition; it returned no rows.
+            continue
+        if probe.total == probe.expected_total:
+            continue  # exact answer — matches the fault-free baseline
+        # Anything short of the baseline must be explicitly labelled.
+        assert probe.outcome == "degraded", (
+            f"{name}/{probe.label}: total {probe.total} != "
+            f"{probe.expected_total} but outcome is {probe.outcome!r}"
+        )
+        assert probe.completeness < 1.0, (
+            f"{name}/{probe.label}: wrong total with completeness "
+            f"{probe.completeness}"
+        )
+        assert probe.integrity_ok
+
+
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+def test_recovered_probe_returns_to_baseline(name):
+    # Once faults clear and recovery settles, answers must be exact
+    # again — degraded mode is a transient, not a steady state.
+    report = run_scenario(name, seed=7)
+    recovered = report.probes[-1]
+    assert recovered.label == "recovered"
+    assert recovered.outcome == "ok"
+    assert recovered.total == recovered.expected_total
+    assert recovered.completeness == 1.0
+
+
+def test_degradation_is_opt_in():
+    # Under the legacy policy a blacked-out query fails loudly instead
+    # of degrading: no policy, no partial answers.
+    from repro.chaos.faults import ChaosInjector, FaultSchedule
+    from repro.errors import QueryFailedError, RegionUnavailableError
+
+    deployment, __ = build_chaos_deployment(seed=21)
+    deployment.simulator.run_until(30.0)
+    injector = ChaosInjector(deployment)
+    schedule = FaultSchedule()
+    for region in ("region0", "region1", "region2"):
+        schedule.network_partition(40.0, region, duration=60.0)
+    injector.install(schedule)
+    deployment.simulator.run_until(41.0)
+    with pytest.raises((QueryFailedError, RegionUnavailableError)):
+        deployment.proxy.submit(
+            Query.build("events", [Aggregation(AggFunc.SUM, "clicks")]),
+            policy=ResiliencePolicy.legacy(),
+        )

@@ -1,0 +1,216 @@
+"""Unit tests for fault specs, schedules and the chaos injector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.faults import (
+    REGION_TARGETED,
+    ChaosInjector,
+    FaultKind,
+    FaultSchedule,
+    FaultSpec,
+)
+from repro.chaos.scenarios import build_chaos_deployment
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def chaos_deployment():
+    deployment, expected_total = build_chaos_deployment(seed=3)
+    deployment.simulator.run_until(10.0)
+    return deployment, expected_total
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(at=-1.0, kind=FaultKind.HOST_CRASH, target="h")
+        with pytest.raises(ConfigurationError):
+            FaultSpec(at=0.0, kind=FaultKind.HOST_CRASH, target="h",
+                      duration=-5.0)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(at=0.0, kind=FaultKind.SLOW_DISK, target="h",
+                      factor=0.5)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(at=0.0, kind=FaultKind.HOST_CRASH, target="")
+
+    def test_clears_at(self):
+        spec = FaultSpec(at=10.0, kind=FaultKind.HOST_CRASH, target="h",
+                         duration=30.0)
+        assert spec.clears_at == 40.0
+        one_shot = FaultSpec(at=10.0, kind=FaultKind.SM_FAILOVER,
+                             target="region0")
+        assert one_shot.clears_at is None
+
+    def test_render(self):
+        spec = FaultSpec(at=40.0, kind=FaultKind.SLOW_DISK,
+                         target="region0-rack000-host000",
+                         duration=120.0, factor=20.0)
+        assert spec.render() == (
+            "t=40.000 slow_disk region0-rack000-host000 "
+            "duration=120.0 factor=20"
+        )
+
+    def test_region_targeted_taxonomy(self):
+        assert FaultKind.NETWORK_PARTITION in REGION_TARGETED
+        assert FaultKind.HOST_CRASH not in REGION_TARGETED
+
+
+class TestFaultSchedule:
+    def test_builders_cover_every_kind(self):
+        schedule = (
+            FaultSchedule()
+            .host_crash(1.0, "h1")
+            .host_hang(2.0, "h2")
+            .slow_disk(3.0, "h3")
+            .tail_amplify(4.0, "region0")
+            .network_partition(5.0, "region1")
+            .session_expiry(6.0, "h4")
+            .sm_failover(7.0, "region2")
+            .migration_interrupt(8.0, "region0")
+        )
+        assert len(schedule) == 8
+        kinds = {spec.kind for spec in schedule.specs}
+        assert kinds == set(FaultKind)
+
+    def test_sorted_specs_stable_for_equal_times(self):
+        schedule = (
+            FaultSchedule()
+            .host_crash(5.0, "b")
+            .host_crash(5.0, "a")
+            .host_crash(1.0, "c")
+        )
+        assert [s.target for s in schedule.sorted_specs()] == ["c", "b", "a"]
+
+    def test_end_time_covers_clearance(self):
+        schedule = (
+            FaultSchedule()
+            .host_crash(10.0, "h", duration=100.0)
+            .sm_failover(200.0, "region0")
+        )
+        assert schedule.end_time == 200.0
+        schedule.host_crash(150.0, "h2", duration=100.0)
+        assert schedule.end_time == 250.0
+
+    def test_shifted(self):
+        schedule = FaultSchedule().host_crash(10.0, "h", duration=5.0)
+        moved = schedule.shifted(30.0)
+        assert moved.specs[0].at == 40.0
+        assert schedule.specs[0].at == 10.0  # original untouched
+
+
+class TestChaosInjector:
+    def test_rejects_faults_in_the_past(self, chaos_deployment):
+        deployment, __ = chaos_deployment
+        injector = ChaosInjector(deployment)
+        schedule = FaultSchedule().host_crash(
+            5.0, "region0-rack000-host000"
+        )  # now is 10.0
+        with pytest.raises(ConfigurationError):
+            injector.install(schedule)
+
+    def test_host_crash_and_recovery(self, chaos_deployment):
+        deployment, __ = chaos_deployment
+        injector = ChaosInjector(deployment)
+        host = "region0-rack000-host000"
+        injector.install(
+            FaultSchedule().host_crash(20.0, host, duration=30.0)
+        )
+        deployment.simulator.run_until(21.0)
+        assert not deployment.cluster.host(host).is_available
+        deployment.simulator.run_until(60.0)
+        assert deployment.cluster.host(host).is_available
+        assert len(injector.applied) == 1
+        __, spec, detail = injector.applied[0]
+        assert spec.kind is FaultKind.HOST_CRASH
+        assert detail == "crashed"
+
+    def test_hang_shapes_service_time(self, chaos_deployment):
+        deployment, __ = chaos_deployment
+        injector = ChaosInjector(deployment)
+        host = "region1-rack000-host001"
+        injector.install(
+            FaultSchedule().host_hang(20.0, host, duration=30.0)
+        )
+        deployment.simulator.run_until(21.0)
+        assert injector.is_hung(host)
+        shaped = injector._shape_service_time(host, 0.01)
+        assert shaped == pytest.approx(0.01 + ChaosInjector.HANG_DELAY)
+        deployment.simulator.run_until(60.0)
+        assert not injector.is_hung(host)
+
+    def test_slow_disk_amplifies_one_host(self, chaos_deployment):
+        deployment, __ = chaos_deployment
+        injector = ChaosInjector(deployment)
+        host = "region0-rack001-host000"
+        injector.install(
+            FaultSchedule().slow_disk(20.0, host, factor=50.0, duration=10.0)
+        )
+        deployment.simulator.run_until(21.0)
+        assert injector.amplification(host) == 50.0
+        assert injector.amplification("region0-rack000-host000") == 1.0
+        deployment.simulator.run_until(40.0)
+        assert injector.amplification(host) == 1.0
+
+    def test_tail_amplify_covers_whole_region(self, chaos_deployment):
+        deployment, __ = chaos_deployment
+        injector = ChaosInjector(deployment)
+        injector.install(
+            FaultSchedule().tail_amplify(20.0, "region2", factor=10.0,
+                                         duration=10.0)
+        )
+        deployment.simulator.run_until(21.0)
+        for host in deployment.cluster.hosts_in_region("region2"):
+            assert injector.amplification(host.host_id) == 10.0
+        for host in deployment.cluster.hosts_in_region("region0"):
+            assert injector.amplification(host.host_id) == 1.0
+
+    def test_network_partition_toggles_region(self, chaos_deployment):
+        deployment, __ = chaos_deployment
+        injector = ChaosInjector(deployment)
+        injector.install(
+            FaultSchedule().network_partition(20.0, "region1", duration=15.0)
+        )
+        deployment.simulator.run_until(21.0)
+        assert not deployment.cluster.region("region1").available
+        deployment.simulator.run_until(40.0)
+        assert deployment.cluster.region("region1").available
+
+    def test_session_expiry_deregisters_host(self, chaos_deployment):
+        deployment, __ = chaos_deployment
+        host = "region0-rack000-host000"
+        sm = deployment.sm_servers["region0"]
+        assert host in sm.registered_hosts()
+        injector = ChaosInjector(deployment)
+        injector.install(
+            FaultSchedule().session_expiry(20.0, host, duration=30.0)
+        )
+        deployment.simulator.run_until(21.0)
+        assert host not in sm.registered_hosts()
+        # The host itself never crashed — this is a false positive.
+        assert deployment.cluster.host(host).is_available
+        deployment.simulator.run_until(120.0)
+        assert host in sm.registered_hosts()
+
+    def test_sm_failover_republishes_mappings(self, chaos_deployment):
+        deployment, __ = chaos_deployment
+        injector = ChaosInjector(deployment)
+        injector.install(FaultSchedule().sm_failover(20.0, "region0"))
+        deployment.simulator.run_until(21.0)
+        __, spec, detail = injector.applied[0]
+        assert spec.kind is FaultKind.SM_FAILOVER
+        assert detail.startswith("republished ")
+        assert int(detail.split()[1]) > 0
+
+    def test_faults_are_emitted_to_event_log(self, chaos_deployment):
+        deployment, __ = chaos_deployment
+        injector = ChaosInjector(deployment)
+        injector.install(
+            FaultSchedule().host_crash(
+                20.0, "region0-rack000-host000", duration=10.0
+            )
+        )
+        deployment.simulator.run_until(40.0)
+        assert deployment.obs.events.of_kind("repro.chaos.fault_injected")
+        assert deployment.obs.events.of_kind("repro.chaos.fault_cleared")

@@ -1,0 +1,159 @@
+"""Unit tests for the chaos invariant checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.invariants import InvariantChecker, InvariantViolation
+from repro.chaos.scenarios import build_chaos_deployment
+from repro.cubrick.query import AggFunc, Aggregation, Query
+from repro.shardmanager.server import ReplicaRole
+
+
+@pytest.fixture
+def settled():
+    deployment, expected_total = build_chaos_deployment(seed=11)
+    deployment.simulator.run_until(30.0)
+    return deployment, expected_total
+
+
+def test_healthy_deployment_passes_all(settled):
+    deployment, __ = settled
+    checker = InvariantChecker(deployment)
+    report = checker.check_all(label="healthy")
+    assert report.ok
+    assert len(report.checks_run) == 6
+    assert report.violations == []
+
+
+def test_double_primary_detected(settled):
+    deployment, __ = settled
+    sm = deployment.sm_servers["region0"]
+    shard_id = sorted(sm.shard_ids())[0]
+    entry = sm.shard_entry(shard_id)
+    for replica in entry.replicas:
+        replica.role = ReplicaRole.PRIMARY
+    if len(entry.replicas) < 2:  # single-replica spec: fabricate a twin
+        import copy
+
+        twin = copy.deepcopy(entry.replicas[0])
+        twin.host_id = "region0-rack001-host000"
+        entry.replicas.append(twin)
+    report = InvariantChecker(deployment).check_safety()
+    assert not report.ok
+    assert any(v.check == "single_primary" for v in report.violations)
+
+
+def test_stale_discovery_detected(settled):
+    deployment, __ = settled
+    sm = deployment.sm_servers["region0"]
+    shard_id = sorted(sm.shard_ids())[0]
+    sm.discovery.publish(
+        shard_id, "region0-rack001-host002", deployment.simulator.now
+    )
+    # The published host holds no replica of the shard.
+    entry = sm.shard_entry(shard_id)
+    assert "region0-rack001-host002" not in entry.hosts()
+    report = InvariantChecker(deployment).check_safety()
+    assert any(
+        v.check == "discovery_consistency" for v in report.violations
+    )
+
+
+def test_sm_app_server_divergence_detected(settled):
+    deployment, __ = settled
+    sm = deployment.sm_servers["region0"]
+    host_id = sorted(sm.registered_hosts())[0]
+    shards = sorted(sm.shards_on_host(host_id))
+    assert shards, "fixture host should own at least one shard"
+    # Drop the data behind SM's back: SM still records the shard.
+    sm.app_server(host_id).drop_shard(shards[0])
+    report = InvariantChecker(deployment).check_safety()
+    assert any(
+        v.check == "sm_matches_app_servers" for v in report.violations
+    )
+
+
+def test_session_registration_divergence_detected(settled):
+    deployment, __ = settled
+    sm = deployment.sm_servers["region0"]
+    host_id = sorted(sm.registered_hosts())[0]
+    # Fabricate the divergence the checker exists for: SM forgets the
+    # host while its datastore session stays alive (a lost-deregistration
+    # bug), so `live - registered` is non-empty.
+    sm._app_servers.pop(host_id)
+    report = InvariantChecker(deployment).check_safety()
+    assert any(
+        v.check == "sm_matches_datastore" and host_id in v.detail
+        for v in report.violations
+    )
+
+
+def test_query_integrity_exact_match_passes(settled):
+    deployment, expected_total = settled
+    checker = InvariantChecker(deployment)
+    query = Query.build("events", [Aggregation(AggFunc.SUM, "clicks")])
+    result = deployment.proxy.submit(query)
+    total = float(result.rows[0][-1])
+    report = checker.check_query_integrity(
+        result, expected_total, total=total
+    )
+    assert report.ok
+
+
+def test_query_integrity_flags_silent_row_loss(settled):
+    deployment, expected_total = settled
+    checker = InvariantChecker(deployment)
+    query = Query.build("events", [Aggregation(AggFunc.SUM, "clicks")])
+    result = deployment.proxy.submit(query)
+    report = checker.check_query_integrity(
+        result, expected_total, total=expected_total - 100.0
+    )
+    assert not report.ok
+    assert "dropped rows" in report.violations[0].detail
+
+
+def test_query_integrity_accepts_labelled_partial(settled):
+    deployment, expected_total = settled
+    checker = InvariantChecker(deployment)
+    query = Query.build("events", [Aggregation(AggFunc.SUM, "clicks")])
+    result = deployment.proxy.submit(query)
+    result.metadata["partial"] = True
+    result.metadata["completeness"] = 0.5
+    report = checker.check_query_integrity(
+        result, expected_total, total=expected_total / 2
+    )
+    assert report.ok  # labelled degradation is legal
+
+
+def test_query_integrity_flags_unlabelled_partial(settled):
+    deployment, expected_total = settled
+    checker = InvariantChecker(deployment)
+    query = Query.build("events", [Aggregation(AggFunc.SUM, "clicks")])
+    result = deployment.proxy.submit(query)
+    result.metadata.pop("partial", None)
+    result.metadata["completeness"] = 0.5
+    report = checker.check_query_integrity(
+        result, expected_total, total=expected_total
+    )
+    assert not report.ok
+
+
+def test_report_render_format():
+    deployment, __ = build_chaos_deployment(seed=2)
+    deployment.simulator.run_until(30.0)
+    report = InvariantChecker(deployment).check_safety(label="demo")
+    line = report.render()
+    assert line.startswith("[t=    30.000] demo: PASS (4 checks, 0 violations)")
+    report.violations.append(InvariantViolation("fake", "boom"))
+    rendered = report.render()
+    assert "FAIL" in rendered
+    assert "    !! fake: boom" in rendered
+
+
+def test_checks_emit_events():
+    deployment, __ = build_chaos_deployment(seed=2)
+    deployment.simulator.run_until(30.0)
+    InvariantChecker(deployment).check_all(label="emitting")
+    events = deployment.obs.events.of_kind("repro.chaos.invariant_check")
+    assert len(events) >= 2  # safety + convergence passes

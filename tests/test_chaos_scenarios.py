@@ -1,0 +1,107 @@
+"""Scenario harness and `repro chaos` CLI tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import list_scenarios, run_scenario
+from repro.chaos.scenarios import SCENARIOS, build_chaos_deployment
+from repro.cli import main
+from repro.errors import ConfigurationError
+
+
+def test_list_scenarios_is_sorted_and_complete():
+    listed = list_scenarios()
+    names = [name for name, __ in listed]
+    assert names == sorted(SCENARIOS)
+    assert all(desc for __, desc in listed)
+
+
+def test_unknown_scenario_raises_with_known_names():
+    with pytest.raises(ConfigurationError, match="region-partition"):
+        run_scenario("no-such-scenario")
+
+
+def test_build_chaos_deployment_ground_truth_is_load_independent():
+    deployment, expected = build_chaos_deployment(seed=5)
+    # Ground truth comes from the generated rows, not the query path.
+    assert expected > 0
+    deployment.simulator.run_until(30.0)
+    from repro.cubrick.query import AggFunc, Aggregation, Query
+
+    result = deployment.proxy.submit(
+        Query.build("events", [Aggregation(AggFunc.SUM, "clicks")])
+    )
+    assert float(result.rows[0][-1]) == expected
+
+
+def test_host_crash_scenario_passes():
+    report = run_scenario("host-crash", seed=7)
+    assert report.ok
+    assert report.sla["success_ratio"] == 1.0
+    assert report.sla["faults_injected"] == 2
+    labels = [p.label for p in report.probes]
+    assert labels[0] == "baseline"
+    assert labels[-1] == "recovered"
+    assert all(p.integrity_ok for p in report.probes)
+
+
+def test_session_expiry_scenario_passes():
+    # Regression: a deregistered-but-healthy host used to escape the
+    # retry loop as an uncaught ConfigurationError.
+    report = run_scenario("session-expiry", seed=7)
+    assert report.ok
+
+
+def test_crash_storm_never_silently_loses_rows():
+    # Regression: overlapping owner crashes used to fail over with no
+    # healthy donor, recovering *empty* shards that answered queries
+    # with completeness 1.0 and a wrong total.
+    report = run_scenario("crash-storm", seed=7)
+    assert report.ok
+    for probe in report.probes:
+        assert probe.integrity_ok
+        if probe.completeness >= 1.0 and probe.outcome == "ok":
+            assert probe.total == probe.expected_total
+
+
+def test_report_render_is_deterministic():
+    a = run_scenario("region-partition", seed=7).render()
+    b = run_scenario("region-partition", seed=7).render()
+    assert a == b
+    assert a.endswith("verdict: PASS\n")
+
+
+def test_different_seeds_may_differ_but_both_render():
+    a = run_scenario("host-hang", seed=1)
+    b = run_scenario("host-hang", seed=2)
+    assert a.render().startswith("chaos scenario: host-hang (seed=1)")
+    assert b.render().startswith("chaos scenario: host-hang (seed=2)")
+
+
+def test_cli_chaos_list(capsys):
+    assert main(["chaos", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name, __ in list_scenarios():
+        assert name in out
+
+
+def test_cli_chaos_requires_scenario(capsys):
+    assert main(["chaos"]) == 2
+    assert "scenario" in capsys.readouterr().err
+
+
+def test_cli_chaos_runs_scenario(capsys):
+    code = main(["chaos", "--scenario", "host-hang", "--seed", "7"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert out.startswith("chaos scenario: host-hang (seed=7)")
+    assert "verdict: PASS" in out
+
+
+def test_cli_chaos_output_byte_identical(capsys):
+    main(["chaos", "--scenario", "host-hang", "--seed", "7"])
+    first = capsys.readouterr().out
+    main(["chaos", "--scenario", "host-hang", "--seed", "7"])
+    second = capsys.readouterr().out
+    assert first == second

@@ -1,0 +1,170 @@
+"""Stateful chaos property test.
+
+Hypothesis drives a loaded three-region deployment through random
+interleavings of fault injection (crashes, recoveries, session
+expiries, partitions), resilient-policy queries, migration/balance
+rounds and clock advances. After every rule the safety invariants must
+hold, and every accepted query answer must be exact or explicitly
+labelled degraded — the same "never silently wrong" property the named
+scenarios check, but over adversarial interleavings no scenario author
+thought of.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.chaos.invariants import InvariantChecker
+from repro.chaos.policies import ResiliencePolicy
+from repro.chaos.scenarios import build_chaos_deployment
+from repro.cubrick.query import AggFunc, Aggregation, Query
+from repro.errors import (
+    AdmissionControlError,
+    QueryFailedError,
+    RegionUnavailableError,
+)
+
+REGIONS = ["region0", "region1", "region2"]
+HOSTS_PER_REGION = 6  # 2 racks x 3 hosts (build_chaos_deployment)
+
+
+class ChaosMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.deployment, self.expected_total = build_chaos_deployment(seed=0)
+        self.deployment.simulator.run_until(30.0)
+        self.checker = InvariantChecker(self.deployment)
+        self.policy = ResiliencePolicy.resilient()
+        self.down: set[str] = set()
+        self.expired: set[str] = set()
+        self.partitioned: set[str] = set()
+
+    def _host_id(self, region: int, index: int) -> str:
+        hosts = [
+            h.host_id
+            for h in self.deployment.cluster.hosts_in_region(
+                REGIONS[region % len(REGIONS)]
+            )
+        ]
+        return hosts[index % len(hosts)]
+
+    # ------------------------------------------------------------------
+    # Fault rules
+    # ------------------------------------------------------------------
+
+    @rule(region=st.integers(0, 2), index=st.integers(0, HOSTS_PER_REGION - 1))
+    def crash_host(self, region: int, index: int) -> None:
+        host_id = self._host_id(region, index)
+        if host_id in self.down or len(self.down) >= 4:
+            return
+        self.deployment.automation.handle_host_failure(
+            host_id, permanent=False
+        )
+        self.down.add(host_id)
+        self.expired.discard(host_id)
+
+    @rule(region=st.integers(0, 2), index=st.integers(0, HOSTS_PER_REGION - 1))
+    def recover_host(self, region: int, index: int) -> None:
+        host_id = self._host_id(region, index)
+        if host_id not in self.down:
+            return
+        self.deployment.automation.handle_host_recovery(host_id)
+        self.down.discard(host_id)
+
+    @rule(region=st.integers(0, 2), index=st.integers(0, HOSTS_PER_REGION - 1))
+    def expire_session(self, region: int, index: int) -> None:
+        host_id = self._host_id(region, index)
+        if host_id in self.down or host_id in self.expired:
+            return
+        sm = self.deployment.sm_servers[
+            self.deployment.cluster.host(host_id).region
+        ]
+        if sm.datastore.expire_session_of(host_id):
+            self.expired.add(host_id)
+
+    @rule(region=st.integers(0, 2), index=st.integers(0, HOSTS_PER_REGION - 1))
+    def reconnect_expired(self, region: int, index: int) -> None:
+        host_id = self._host_id(region, index)
+        if host_id not in self.expired or host_id in self.down:
+            return
+        self.deployment._on_host_return(host_id)
+        self.expired.discard(host_id)
+
+    @rule(region=st.integers(0, 2))
+    def partition_region(self, region: int) -> None:
+        name = REGIONS[region % len(REGIONS)]
+        if name in self.partitioned or len(self.partitioned) >= 2:
+            return
+        self.deployment.cluster.set_region_available(name, False)
+        self.partitioned.add(name)
+
+    @rule(region=st.integers(0, 2))
+    def heal_region(self, region: int) -> None:
+        name = REGIONS[region % len(REGIONS)]
+        if name not in self.partitioned:
+            return
+        self.deployment.cluster.set_region_available(name, True)
+        self.partitioned.discard(name)
+
+    # ------------------------------------------------------------------
+    # Work rules
+    # ------------------------------------------------------------------
+
+    @rule()
+    def balance_and_retry(self) -> None:
+        for sm in self.deployment.sm_servers.values():
+            sm.collect_metrics()
+            sm.run_load_balance()
+            sm.retry_unplaced_failovers()
+
+    @rule(dt=st.sampled_from([5.0, 30.0, 60.0]))
+    def advance_time(self, dt: float) -> None:
+        simulator = self.deployment.simulator
+        simulator.run_until(simulator.now + dt)
+
+    @rule()
+    def probe_query(self) -> None:
+        query = Query.build("events", [Aggregation(AggFunc.SUM, "clicks")])
+        try:
+            result = self.deployment.proxy.submit(query, policy=self.policy)
+        except (
+            AdmissionControlError,
+            QueryFailedError,
+            RegionUnavailableError,
+        ):
+            return  # failing loudly is always legal under chaos
+        total = float(result.rows[0][-1]) if result.rows else 0.0
+        report = self.checker.check_query_integrity(
+            result, self.expected_total, total=total, label="stateful-probe"
+        )
+        assert report.ok, report.render()
+        if not result.metadata.get("degraded", False):
+            assert total == self.expected_total, (
+                f"unlabelled answer dropped rows: {total} != "
+                f"{self.expected_total}"
+            )
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def safety_holds(self) -> None:
+        report = self.checker.check_safety(label="stateful")
+        assert report.ok, report.render()
+
+
+TestChaosStateful = ChaosMachine.TestCase
+TestChaosStateful.settings = settings(
+    max_examples=10,
+    stateful_step_count=20,
+    deadline=None,
+    derandomize=True,  # fixed seed: CI runs are reproducible
+)

@@ -72,6 +72,48 @@ class TestMtbfModel:
             MtbfFailureModel(permanent_fraction=2.0)
 
 
+class TestBoundaries:
+    """Boundary semantics of the failure-model math."""
+
+    def test_success_ratio_fanout_zero_is_exactly_one(self):
+        # No hosts visited: success regardless of how unreliable they are.
+        assert BernoulliFailureModel(probability=1.0).query_success_ratio(0) == 1.0
+
+    def test_success_ratio_fanout_one_is_exactly_one_minus_p(self):
+        model = BernoulliFailureModel(probability=0.125)
+        assert model.query_success_ratio(1) == 1.0 - 0.125
+
+    def test_success_ratio_certain_failure(self):
+        model = BernoulliFailureModel(probability=1.0)
+        assert model.query_success_ratio(1) == 0.0
+
+    def test_downtime_is_strictly_positive(self, rng):
+        model = MtbfFailureModel(mttr=60.0, repair_time=6000.0)
+        for permanent in (False, True):
+            for __ in range(500):
+                assert model.sample_downtime(rng, permanent) > 0.0
+
+    def test_downtime_clamps_degenerate_zero_draw_to_mean(self):
+        class ZeroExponentialRng:
+            def exponential(self, mean):
+                return 0.0
+
+        model = MtbfFailureModel(mttr=60.0, repair_time=6000.0)
+        assert model.sample_downtime(ZeroExponentialRng(), False) == 60.0
+        assert model.sample_downtime(ZeroExponentialRng(), True) == 6000.0
+
+    def test_downtime_rejects_non_positive_mean(self, rng):
+        # The frozen dataclass rejects bad means at construction; a
+        # corrupted instance must still be refused at sample time.
+        model = MtbfFailureModel()
+        object.__setattr__(model, "mttr", 0.0)
+        with pytest.raises(ValueError, match="non-positive mean"):
+            model.sample_downtime(rng, False)
+        object.__setattr__(model, "repair_time", -1.0)
+        with pytest.raises(ValueError, match="non-positive mean"):
+            model.sample_downtime(rng, True)
+
+
 class TestFailureInjector:
     def _make(self, mtbf=2 * DAY, horizon=None):
         simulator = Simulator()
