@@ -23,6 +23,7 @@ LinkedIn OLAP-resilience fault classes):
 ``SESSION_EXPIRY``     datastore session lost while the host is healthy
 ``SM_FAILOVER``        SM server instance replaced; republish storm
 ``MIGRATION_INTERRUPT``live migration whose target dies mid-protocol
+``QUERY_STORM``        a traffic burst against one table's front door
 =====================  =============================================
 """
 
@@ -33,10 +34,13 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import (
+    AdmissionControlError,
     CapacityExceededError,
     ConfigurationError,
     MigrationError,
     NonRetryableShardError,
+    QueryFailedError,
+    RegionUnavailableError,
     ShardAlreadyAssignedError,
 )
 
@@ -55,6 +59,7 @@ class FaultKind(enum.Enum):
     SESSION_EXPIRY = "session_expiry"
     SM_FAILOVER = "sm_failover"
     MIGRATION_INTERRUPT = "migration_interrupt"
+    QUERY_STORM = "query_storm"
 
 
 #: Kinds whose ``target`` names a region rather than a host.
@@ -163,6 +168,18 @@ class FaultSchedule:
         return self.add(FaultSpec(at=at, kind=FaultKind.MIGRATION_INTERRUPT,
                                   target=region, duration=duration))
 
+    def query_storm(self, at: float, table: str, *, qps: float = 100.0,
+                    duration: float = 10.0) -> "FaultSchedule":
+        """A traffic burst: ``qps`` fixed queries/s against ``table``.
+
+        Overload is a fault class like any other (the LinkedIn OLAP
+        fault taxonomy lists it alongside crashes): ``factor`` carries
+        the storm rate.
+        """
+        return self.add(FaultSpec(at=at, kind=FaultKind.QUERY_STORM,
+                                  target=table, duration=duration,
+                                  factor=qps))
+
     # Introspection
 
     def sorted_specs(self) -> list:
@@ -260,6 +277,7 @@ class ChaosInjector:
             FaultKind.SESSION_EXPIRY: self._apply_session_expiry,
             FaultKind.SM_FAILOVER: self._apply_sm_failover,
             FaultKind.MIGRATION_INTERRUPT: self._apply_migration_interrupt,
+            FaultKind.QUERY_STORM: self._apply_query_storm,
         }[spec.kind]
         detail = handler(spec)
         now = self._deployment.simulator.now
@@ -430,3 +448,37 @@ class ChaosInjector:
                 )
             return f"interrupted shard {shard_id} -> {target_id}"
         return "no migratable shard"
+
+    def _apply_query_storm(self, spec: FaultSpec) -> str:
+        """Fire a fixed aggregation query at a steady rate for ``duration``.
+
+        Every arrival goes through the proxy's normal front door —
+        admission control included — so an overloaded window rejects the
+        excess loudly. Outcomes land in the proxy's query log and the
+        shared obs counters; nothing here is random, so seeded storms
+        replay byte-identically.
+        """
+        from repro.cubrick.query import AggFunc, Aggregation, Query
+
+        deployment = self._deployment
+        info = deployment.catalog.get(spec.target)
+        query = Query.build(
+            spec.target,
+            [Aggregation(AggFunc.SUM, info.schema.metrics[0].name)],
+        )
+        count = max(1, int(spec.factor * spec.duration))
+        interval = spec.duration / count
+
+        def fire() -> None:
+            try:
+                deployment.proxy.submit(query)
+            except (
+                AdmissionControlError,
+                QueryFailedError,
+                RegionUnavailableError,
+            ):
+                pass  # rejections/failures are the storm's observable toll
+
+        for index in range(count):
+            deployment.simulator.call_later(index * interval, fire)
+        return f"{count} queries at {spec.factor:g} qps"

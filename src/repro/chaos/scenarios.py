@@ -197,6 +197,17 @@ def _build_migration_interrupt(deployment, t0: float) -> FaultSchedule:
     return FaultSchedule().migration_interrupt(t0, "region0", duration=60.0)
 
 
+def _build_overload_storm(deployment, t0: float) -> FaultSchedule:
+    # Overload is the fault: cap the admission window at a realistic
+    # serving rate, then storm the front door at ~2.5x that rate. The
+    # excess is rejected loudly (visible in the SLA stats and the
+    # repro.obs counters); probes issued mid-storm may themselves be
+    # rejected — a loud failure, never a silent wrong answer — and the
+    # recovered probe shows the window draining back to normal.
+    deployment.proxy.admission.max_qps = 60.0
+    return FaultSchedule().query_storm(t0, "events", qps=150.0, duration=10.0)
+
+
 SCENARIOS: dict[str, Scenario] = {
     s.name: s
     for s in (
@@ -244,6 +255,11 @@ SCENARIOS: dict[str, Scenario] = {
             "migration-interrupt",
             "a live migration's target dies mid-protocol",
             _build_migration_interrupt,
+        ),
+        Scenario(
+            "overload-storm",
+            "a 2.5x-saturation query storm against a capped admission window",
+            _build_overload_storm,
         ),
     )
 }

@@ -255,6 +255,37 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_overload(args: argparse.Namespace) -> int:
+    """Run the overload-vs-SLA experiment and print its report(s).
+
+    With ``--policy both`` (the default) the same seeded storm is run
+    against the managed and legacy policies back to back — the paper's
+    trade made visible: shed explicitly and defend the SLA for what you
+    admitted, or admit everything and collapse it for everyone. Reports
+    are byte-identical for identical seeds — the CI determinism gate
+    runs this twice and diffs.
+    """
+    from repro.workloads.loadgen import run_overload_experiment
+
+    policies = (
+        ["managed", "legacy"] if args.policy == "both" else [args.policy]
+    )
+    ok = True
+    for index, policy in enumerate(policies):
+        report = run_overload_experiment(
+            args.seed,
+            policy=policy,
+            saturation=args.saturation,
+            duration=args.duration,
+        )
+        if index:
+            print()
+        print(report.render(), end="")
+        if policy == "managed" and not report.sla_met:
+            ok = False
+    return 0 if ok else 1
+
+
 def cmd_smc_delay(args: argparse.Namespace) -> int:
     tree = PropagationTree()
     rng = np.random.default_rng(args.seed)
@@ -359,6 +390,21 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--list", action="store_true",
                        help="list available scenarios and exit")
     chaos.set_defaults(func=cmd_chaos)
+
+    overload = sub.add_parser(
+        "overload",
+        help="run a seeded overload storm against the managed and "
+             "legacy workload-management policies",
+    )
+    overload.add_argument(
+        "--policy", choices=("managed", "legacy", "both"), default="both"
+    )
+    overload.add_argument("--seed", type=int, default=0)
+    overload.add_argument("--saturation", type=float, default=5.0,
+                          help="arrival rate as a multiple of capacity")
+    overload.add_argument("--duration", type=float, default=20.0,
+                          help="storm duration in virtual seconds")
+    overload.set_defaults(func=cmd_overload)
 
     smc = sub.add_parser("smc-delay", help="SMC propagation delays (Fig 4c)")
     smc.add_argument("--samples", type=int, default=100_000)

@@ -40,6 +40,8 @@ from repro.cubrick.schema import Catalog, TableInfo, TableSchema
 from repro.cubrick.sharding import MonotonicHashMapper, ShardDirectory, ShardMapper
 from repro.errors import ConfigurationError, TableNotFoundError
 from repro.obs import Observability
+from repro.sched.cache import QueryResultCache
+from repro.sched.queue import NodeSlots
 from repro.shardmanager.server import SMServer
 from repro.shardmanager.spec import ServiceSpec
 from repro.sim.engine import Simulator
@@ -66,6 +68,12 @@ class DeploymentConfig:
     # Per-host-visit probability of a mid-query failure (Figure 1 model);
     # 0 disables sampled failures (host-down failures still apply).
     query_failure_probability: float = 0.0
+    # Execution lanes per host (repro.sched.NodeSlots): scans at a busy
+    # host wait for a free lane, so per-node queueing delay appears in
+    # query latency. None = legacy unbounded concurrency.
+    executor_slots_per_host: Optional[int] = None
+    # Proxy result-cache entries; 0 disables caching (legacy behaviour).
+    result_cache_capacity: int = 0
 
     def __post_init__(self) -> None:
         if self.regions <= 0:
@@ -141,6 +149,8 @@ class CubrickDeployment:
                     ),
                     obs=self.obs,
                 )
+                if cfg.executor_slots_per_host is not None:
+                    node.execution_slots = NodeSlots(cfg.executor_slots_per_host)
                 self.nodes[host.host_id] = node
                 sm.register_host(node)
             coordinators[region] = RegionCoordinator(
@@ -152,6 +162,7 @@ class CubrickDeployment:
                 failure_model=failure_model,
                 rng=self.rngs.stream(f"coordinator:{region}"),
                 obs=self.obs,
+                node_slots=cfg.executor_slots_per_host,
             )
         self.coordinators = coordinators
         # Failover data recovery crosses regions (paper §IV-D): when a
@@ -165,6 +176,8 @@ class CubrickDeployment:
             rng=self.rngs.stream("proxy"),
             obs=self.obs,
         )
+        if cfg.result_cache_capacity > 0:
+            self.proxy.result_cache = QueryResultCache(cfg.result_cache_capacity)
         self.automation = DatacenterAutomation(
             self.simulator,
             self.cluster,
@@ -296,6 +309,7 @@ class CubrickDeployment:
         if info.replicated:
             for node in self.nodes.values():
                 node.insert_into_replicated(table, rows)
+            info.bump_ingest()
             return len(rows)
         by_partition: dict[int, list[dict[str, float]]] = {}
         for row in rows:
@@ -307,6 +321,8 @@ class CubrickDeployment:
                 owner = sm.discovery.resolve_authoritative(shards[index])
                 node = sm.app_server(owner)
                 node.insert_into_partition(table, index, partition_rows)
+        # New rows are visible: invalidate cached answers via the key.
+        info.bump_ingest()
         return len(rows)
 
     def sql(self, statement: str, **query_kwargs) -> QueryResult:
@@ -323,6 +339,12 @@ class CubrickDeployment:
         from repro.cubrick.loader import StreamingLoader
 
         return StreamingLoader(self, table, batch_rows=batch_rows)
+
+    def workload_manager(self, policy=None):
+        """A :class:`~repro.sched.WorkloadManager` in front of this proxy."""
+        from repro.sched.manager import WorkloadManager
+
+        return WorkloadManager(self, policy=policy)
 
     # ------------------------------------------------------------------
     # Querying

@@ -31,6 +31,7 @@ from repro.errors import (
     ShardMappingUnknownError,
 )
 from repro.obs import Observability
+from repro.sched.queue import NodeSlots
 from repro.shardmanager.server import SMServer
 from repro.sim.latency import LatencyModel, LogNormalTailLatency
 from repro.sim.failures import BernoulliFailureModel
@@ -69,6 +70,7 @@ class RegionCoordinator:
         rng: Optional[np.random.Generator] = None,
         policy: Optional[ResiliencePolicy] = None,
         obs: Optional[Observability] = None,
+        node_slots: Optional[int] = None,
     ):
         self.region = region
         self.sm = sm_server
@@ -87,6 +89,10 @@ class RegionCoordinator:
         #: service time. Installed by ChaosInjector for slow-disk,
         #: tail-amplification and hang faults.
         self.service_time_hook: Optional[Callable[[str, float], float]] = None
+        #: Per-host execution lanes (repro.sched). None = legacy
+        #: behaviour: unbounded concurrency, no lane wait.
+        self.node_slots_per_host = node_slots
+        self._node_slots: dict[str, NodeSlots] = {}
         self.executions: list[QueryExecution] = []
         self.obs = obs if obs is not None else Observability()
         self._latency_histogram = self.obs.metrics.histogram(
@@ -244,6 +250,10 @@ class RegionCoordinator:
                     host_id, service_time, policy
                 )
                 hedges += used
+            # Per-host lane contention: a busy host answers later queries
+            # slower. The lane wait counts against per-hop timeouts, like
+            # real queueing at the node would.
+            service_time = self._shape_node_slots(host_id, service_time)
             if policy is not None and policy.timeout.is_timeout(service_time):
                 # Unified per-hop timeout semantics: a hop slower than
                 # the bound consumes an attempt exactly like a crash.
@@ -364,6 +374,28 @@ class RegionCoordinator:
         if self.service_time_hook is not None:
             service_time = self.service_time_hook(host_id, service_time)
         return service_time
+
+    def _shape_node_slots(self, host_id: str, service_time: float) -> float:
+        """Add per-host lane wait when execution slots are configured.
+
+        The node's own :class:`NodeSlots` is preferred (installed by the
+        deployment, shared by every consumer of the host); a
+        coordinator-local one is kept for hosts that don't carry slots.
+        """
+        if self.node_slots_per_host is None:
+            return service_time
+        slots = None
+        try:
+            node = self.sm.app_server(host_id)
+            slots = getattr(node, "execution_slots", None)
+        except ConfigurationError:
+            pass
+        if slots is None:
+            slots = self._node_slots.get(host_id)
+            if slots is None:
+                slots = NodeSlots(self.node_slots_per_host)
+                self._node_slots[host_id] = slots
+        return slots.occupy(self.sm.simulator.now, service_time)
 
     def _hedged_service_time(
         self, host_id: str, first: float, policy: ResiliencePolicy

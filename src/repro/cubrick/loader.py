@@ -164,6 +164,20 @@ class StreamingLoader:
         if self._batches_counter is not None:
             self._batches_counter.inc()
             self._rows_flushed_counter.inc(written)
+        # New rows are visible: advance the ingestion generation so the
+        # proxy result cache stops serving pre-flush answers, and tell
+        # the event log why.
+        info = self.deployment.catalog.get(self.table)
+        ingest_generation = info.bump_ingest()
+        obs = getattr(self.deployment, "obs", None)
+        if obs is not None:
+            obs.events.emit(
+                "cubrick.loader.flush",
+                table=self.table,
+                partition=index,
+                rows=written,
+                ingest_generation=ingest_generation,
+            )
         return written
 
     def _columns_from_rows(

@@ -84,6 +84,11 @@ class CubrickNode(ApplicationServer):
         # Replicated dimension tables: full copies on every node, used to
         # answer joins locally (paper §II-B).
         self._replicated: dict[str, PartitionStorage] = {}
+        # Per-node execution lanes (repro.sched.NodeSlots), installed by
+        # the deployment when executor slots are configured; None =
+        # unbounded concurrency. The region coordinator routes every
+        # scan's service time through these lanes when present.
+        self.execution_slots = None
 
     # ------------------------------------------------------------------
     # SM ApplicationServer endpoints

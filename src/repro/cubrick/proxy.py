@@ -16,8 +16,7 @@ Every query is submitted to a Cubrick proxy, which:
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -31,8 +30,11 @@ from repro.errors import (
     ConfigurationError,
     QueryFailedError,
     RegionUnavailableError,
+    TableNotFoundError,
 )
 from repro.obs import Observability
+from repro.sched.admission import SlidingWindowAdmission
+from repro.sched.cache import CACHE_HIT_LATENCY, QueryResultCache
 
 
 @dataclass
@@ -49,46 +51,20 @@ class QueryLogEntry:
     # The answer was accepted through the graceful-degradation path:
     # partial coverage, explicitly labelled (never silently wrong).
     degraded: bool = False
+    # Served from the proxy result cache without touching a region.
+    cached: bool = False
 
 
 @dataclass
-class AdmissionController:
-    """Sliding-window QPS limiter, global plus per-table quotas.
+class AdmissionController(SlidingWindowAdmission):
+    """Compat shim: the sliding-window limiter now lives in ``repro.sched``.
 
-    Per-table quotas are the multi-tenant fairness lever: the paper
-    notes multi-tenant systems must keep single users or tables from
-    monopolising cluster capacity (§II-C); table-level rate limits are
-    the query-side counterpart of the table-size limits it describes.
+    Kept so existing callers (and tests) that reach for
+    ``proxy.admission.max_qps`` / ``set_table_quota`` keep working; the
+    implementation — including the fast-path fix that records arrivals
+    even while no limit is configured — is
+    :class:`repro.sched.admission.SlidingWindowAdmission`.
     """
-
-    max_qps: float = float("inf")
-    window: float = 1.0
-    table_qps: dict = field(default_factory=dict)
-    _recent: deque = field(default_factory=deque)
-    _recent_per_table: dict = field(default_factory=dict)
-
-    def set_table_quota(self, table: str, max_qps: float) -> None:
-        if max_qps <= 0:
-            raise ValueError(f"table quota must be positive: {max_qps}")
-        self.table_qps[table] = max_qps
-
-    def admit(self, now: float, table: Optional[str] = None) -> bool:
-        quota = self.table_qps.get(table) if table is not None else None
-        if self.max_qps == float("inf") and quota is None:
-            return True
-        while self._recent and now - self._recent[0] >= self.window:
-            self._recent.popleft()
-        if len(self._recent) >= self.max_qps * self.window:
-            return False
-        if quota is not None:
-            recent = self._recent_per_table.setdefault(table, deque())
-            while recent and now - recent[0] >= self.window:
-                recent.popleft()
-            if len(recent) >= quota * self.window:
-                return False
-            recent.append(now)
-        self._recent.append(now)
-        return True
 
 
 class CubrickProxy:
@@ -120,6 +96,9 @@ class CubrickProxy:
         self.region_preference = preference
         self.locator = locator if locator is not None else CachedRandom()
         self.admission = AdmissionController(max_qps=max_qps)
+        # Optional proxy-level result cache (repro.sched). Off by
+        # default; installed by the workload manager or the deployment.
+        self.result_cache: Optional[QueryResultCache] = None
         self.blacklist_ttl = blacklist_ttl
         self._blacklist: dict[str, float] = {}  # host -> expiry time
         self._rng = rng if rng is not None else np.random.default_rng(0)
@@ -168,6 +147,52 @@ class CubrickProxy:
         return candidates
 
     # ------------------------------------------------------------------
+    # Result cache
+    # ------------------------------------------------------------------
+
+    def _table_versions(self, table: str) -> Optional[tuple[int, int]]:
+        """(generation, ingest_generation) for cache keys; None = unknown."""
+        any_coordinator = next(iter(self.coordinators.values()))
+        try:
+            info = any_coordinator.catalog.get(table)
+        except TableNotFoundError:
+            return None
+        return info.generation, info.ingest_generation
+
+    def _cache_get(self, query: Query) -> Optional[QueryResult]:
+        versions = self._table_versions(query.table)
+        if versions is None:
+            return None
+        hit = self.result_cache.get(
+            query, generation=versions[0], ingest_generation=versions[1]
+        )
+        if hit is None:
+            return None
+        hit.metadata["cached"] = True
+        hit.metadata["latency_total"] = CACHE_HIT_LATENCY
+        self.query_log.append(
+            QueryLogEntry(
+                time=self._now,
+                table=query.table,
+                succeeded=True,
+                attempts=0,
+                latency=CACHE_HIT_LATENCY,
+                cached=True,
+            )
+        )
+        self._outcome_counter("cache_hit").inc()
+        self._latency_histogram.observe(CACHE_HIT_LATENCY)
+        return hit
+
+    def _cache_put(self, query: Query, result: QueryResult) -> None:
+        versions = self._table_versions(query.table)
+        if versions is None:
+            return
+        self.result_cache.put(
+            query, result, generation=versions[0], ingest_generation=versions[1]
+        )
+
+    # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
 
@@ -179,6 +204,7 @@ class CubrickProxy:
         straggler_timeout: Optional[float] = None,
         deadline: Optional[float] = None,
         policy: Optional[ResiliencePolicy] = None,
+        cache_lookup: bool = True,
     ) -> QueryResult:
         """Route one query; retry retryable failures across regions.
 
@@ -201,6 +227,10 @@ class CubrickProxy:
         partial mode and the answer returned with an explicit
         ``metadata["completeness"]`` fraction instead of failing.
 
+        ``cache_lookup=False`` skips the result-cache *lookup* (for
+        callers like the workload manager that already checked) while
+        still storing the fresh answer for future hits.
+
         Raises :class:`AdmissionControlError` when over the QPS limit,
         :class:`RegionUnavailableError` when no region can serve, and
         re-raises the last :class:`QueryFailedError` when all regions
@@ -208,6 +238,17 @@ class CubrickProxy:
         """
         if deadline is not None and deadline <= 0:
             raise ConfigurationError(f"deadline must be positive: {deadline}")
+        # Only full-fidelity answers are cacheable: partial/straggler
+        # modes change result semantics and must always execute.
+        cacheable = (
+            self.result_cache is not None
+            and not allow_partial
+            and straggler_timeout is None
+        )
+        if cacheable and cache_lookup:
+            hit = self._cache_get(query)
+            if hit is not None:
+                return hit
         # The root span of every query trace. Its duration is the
         # user-visible latency (wasted attempts included); coordinator
         # and per-host scan spans nest beneath it.
@@ -242,6 +283,8 @@ class CubrickProxy:
             )
         self._outcome_counter("ok").inc()
         self._latency_histogram.observe(latency_total)
+        if cacheable:
+            self._cache_put(query, result)
         return result
 
     def _submit(

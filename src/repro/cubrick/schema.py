@@ -221,6 +221,10 @@ class TableInfo:
     schema: TableSchema
     num_partitions: int = 8  # the paper's starting point for new tables
     generation: int = 0  # bumped by every re-partition
+    # Bumped by every ingest (bulk load or streaming-loader flush).
+    # Result-cache keys embed it, so a write makes all previously cached
+    # answers for the table unreachable (repro.sched.cache).
+    ingest_generation: int = 0
     replicated: bool = False
 
     def __post_init__(self) -> None:
@@ -228,6 +232,11 @@ class TableInfo:
             raise SchemaError(
                 f"table {self.schema.name}: num_partitions must be positive"
             )
+
+    def bump_ingest(self) -> int:
+        """Record one ingest; returns the new ingestion generation."""
+        self.ingest_generation += 1
+        return self.ingest_generation
 
 
 @dataclass

@@ -4,8 +4,10 @@ Synthetic equivalents of the production workloads the paper measures:
 multi-tenant table populations with realistic size skew
 (:mod:`repro.workloads.tables`), OLAP query streams
 (:mod:`repro.workloads.queries`), the Figure 5 fan-out/latency
-experiment (:mod:`repro.workloads.fanout_experiment`), and the
-Figure 4e hot/cold access trace (:mod:`repro.workloads.hotcold`).
+experiment (:mod:`repro.workloads.fanout_experiment`), the
+Figure 4e hot/cold access trace (:mod:`repro.workloads.hotcold`), and
+open/closed-loop overload traffic with Zipf tenant skew
+(:mod:`repro.workloads.loadgen`).
 """
 
 from repro.workloads.tables import (
@@ -22,6 +24,13 @@ from repro.workloads.fanout_experiment import (
     sample_fanout_latencies,
 )
 from repro.workloads.hotcold import HotColdTrace, run_hot_cold_week
+from repro.workloads.loadgen import (
+    OverloadReport,
+    TenantProfile,
+    TrafficGenerator,
+    overload_policy,
+    run_overload_experiment,
+)
 from repro.workloads.traces import (
     QueryTrace,
     ReplayReport,
@@ -42,6 +51,11 @@ __all__ = [
     "sample_fanout_latencies",
     "HotColdTrace",
     "run_hot_cold_week",
+    "OverloadReport",
+    "TenantProfile",
+    "TrafficGenerator",
+    "overload_policy",
+    "run_overload_experiment",
     "QueryTrace",
     "TraceEntry",
     "TraceRecorder",

@@ -69,8 +69,9 @@ class TestFaultSchedule:
             .session_expiry(6.0, "h4")
             .sm_failover(7.0, "region2")
             .migration_interrupt(8.0, "region0")
+            .query_storm(9.0, "events")
         )
-        assert len(schedule) == 8
+        assert len(schedule) == 9
         kinds = {spec.kind for spec in schedule.specs}
         assert kinds == set(FaultKind)
 

@@ -1,0 +1,107 @@
+"""QueryTrace serialisation round-trip and replay determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deployment import CubrickDeployment, DeploymentConfig
+from repro.errors import ReproError
+from repro.workloads.queries import QueryGenerator
+from repro.workloads.traces import (
+    QueryTrace,
+    TraceEntry,
+    TraceRecorder,
+    replay,
+)
+
+from tests.conftest import make_rows
+
+
+def build_deployment(events_schema, seed=33):
+    deployment = CubrickDeployment(
+        DeploymentConfig(seed=seed, regions=2, racks_per_region=2,
+                         hosts_per_rack=3)
+    )
+    deployment.create_table(events_schema, num_partitions=4)
+    deployment.load("events", make_rows(events_schema, 300, seed=6))
+    deployment.simulator.run_until(30.0)
+    return deployment
+
+
+def generated_trace(events_schema, count=20, seed=5):
+    generator = QueryGenerator([events_schema], np.random.default_rng(seed))
+    trace = QueryTrace()
+    for index, query in enumerate(generator.stream(count)):
+        trace.record(index * 0.5, query)
+    return trace
+
+
+def test_trace_entry_json_round_trip():
+    entry = TraceEntry(offset=1.25, sql="SELECT sum(clicks) FROM events")
+    assert TraceEntry.from_json(entry.to_json()) == entry
+
+
+def test_query_trace_round_trips_through_jsonl(events_schema):
+    trace = generated_trace(events_schema)
+    text = trace.dumps()
+    # Every line is standalone JSON; blank lines are tolerated on load.
+    restored = QueryTrace.loads(text + "\n\n")
+    assert len(restored) == len(trace) == 20
+    assert restored.entries == trace.entries
+    # Round-tripping the restored trace is a fixed point.
+    assert restored.dumps() == text
+
+
+def test_recorder_captures_offsets_and_rendered_sql(events_schema):
+    deployment = build_deployment(events_schema)
+    recorder = TraceRecorder(deployment)
+    generator = QueryGenerator([events_schema], np.random.default_rng(8))
+    start = deployment.simulator.now
+    for step, query in enumerate(generator.stream(5)):
+        deployment.simulator.run_until(start + step * 2.0)
+        recorder.query(query)
+    offsets = [entry.offset for entry in recorder.trace.entries]
+    assert offsets == [0.0, 2.0, 4.0, 6.0, 8.0]
+    assert all("FROM events" in e.sql for e in recorder.trace.entries)
+
+
+def test_replay_is_deterministic_across_identical_deployments(events_schema):
+    trace = generated_trace(events_schema, count=30)
+    first = replay(build_deployment(events_schema), trace)
+    second = replay(build_deployment(events_schema), trace)
+    assert first.total == second.total == 30
+    assert first.succeeded == second.succeeded
+    assert first.failed == second.failed
+    assert first.latencies == second.latencies
+    assert first.success_ratio == second.success_ratio
+    assert first.percentile(99) == second.percentile(99)
+
+
+def test_replay_after_round_trip_matches_original(events_schema):
+    trace = generated_trace(events_schema, count=15)
+    restored = QueryTrace.loads(trace.dumps())
+    original = replay(build_deployment(events_schema), trace)
+    round_tripped = replay(build_deployment(events_schema), restored)
+    assert round_tripped.latencies == original.latencies
+    assert round_tripped.succeeded == original.succeeded
+
+
+def test_replay_time_scale_stretches_pacing(events_schema):
+    trace = generated_trace(events_schema, count=5)
+    deployment = build_deployment(events_schema)
+    start = deployment.simulator.now
+    replay(deployment, trace, time_scale=4.0)
+    # Last entry sits at offset 2.0; scaled pacing drove the clock to 8s.
+    assert deployment.simulator.now - start >= 8.0
+    with pytest.raises(ReproError):
+        replay(deployment, trace, time_scale=0.0)
+
+
+def test_replay_report_percentile_requires_latencies():
+    from repro.workloads.traces import ReplayReport
+
+    empty = ReplayReport(total=0, succeeded=0, failed=0, latencies=[])
+    assert empty.success_ratio == 1.0
+    with pytest.raises(ReproError):
+        empty.percentile(50)
