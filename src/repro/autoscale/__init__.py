@@ -1,0 +1,57 @@
+"""Elastic control plane: autoscaling, online resharding, wall breach.
+
+The paper's central finding is that an interactive DBMS hits a
+*scalability wall*: with per-host mid-query failure probability ``p``
+and a success SLA ``s``, no query may fan out to more than
+``ln(s)/ln(1-p)`` hosts (repro.core.wall). Partial sharding decouples a
+table's fan-out from fleet size — which means the fleet can grow (and
+shrink) freely *as long as something keeps every table's sharding
+degree on the safe side of the wall while still tracking load*.
+
+This package is that something:
+
+- :class:`FleetController` (fleet.py) provisions hosts through a staged
+  warm-up → SM-registration pipeline and decommissions them through an
+  SM-coordinated drain (every replica evacuated before deregistration).
+- :class:`ReshardPlanner` (reshard.py) changes a table's partial-
+  sharding degree online: a staged copy under a generation-tagged
+  physical alias, verified, then atomically cut over — queries keep
+  answering correctly mid-reshard.
+- :class:`WallBreachController` (controller.py) closes the loop: it
+  reads observability signals (full-fan-out success ratio vs the SLA,
+  host utilization, scheduler queue pressure) and actuates the two
+  above, capping every table's fan-out at the wall.
+- :func:`run_autoscale_experiment` (demo.py) reproduces the breach: a
+  managed partially-sharded deployment rides a growth ramp while
+  holding the SLA; a naive full-sharding baseline on the same ramp
+  collapses.
+"""
+
+from repro.autoscale.controller import (
+    ControlDecision,
+    ControllerSpec,
+    WallBreachController,
+)
+from repro.autoscale.demo import AutoscaleReport, run_autoscale_experiment
+from repro.autoscale.fleet import FleetController, FleetSpec, ProvisionState
+from repro.autoscale.reshard import (
+    ReshardOperation,
+    ReshardPlanner,
+    ReshardSpec,
+    ReshardState,
+)
+
+__all__ = [
+    "AutoscaleReport",
+    "ControlDecision",
+    "ControllerSpec",
+    "FleetController",
+    "FleetSpec",
+    "ProvisionState",
+    "ReshardOperation",
+    "ReshardPlanner",
+    "ReshardSpec",
+    "ReshardState",
+    "WallBreachController",
+    "run_autoscale_experiment",
+]

@@ -1,0 +1,352 @@
+"""The wall-breach experiment: elastic control plane vs naive scaling.
+
+Two deployments ride the same four-phase growth ramp (data volume and
+query traffic both increase every phase), with the same per-host
+mid-query failure probability:
+
+- **managed** — partially sharded, run by the elastic control plane:
+  the :class:`~repro.autoscale.WallBreachController` provisions hosts
+  as utilization rises and lets the :class:`~repro.autoscale.ReshardPlanner`
+  widen the table online (staged + verified + atomically cut over,
+  under live traffic), with fan-out always capped at the wall.
+- **baseline** — the naive *full sharding* design the paper warns
+  about: every table spans every host, so each fleet growth step widens
+  every query. Its per-query success is ``(1-p)^hosts`` — it starts
+  SLA-compliant on a small fleet and arithmetically collapses as the
+  fleet grows through the wall.
+
+Both arms run single-region with a one-attempt retry budget, so the
+measured success ratio *is* the full-fan-out success ratio — no
+cross-region retry masks the wall. Reports are a pure function of the
+seed: identical seeds render byte-identical text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.autoscale.controller import ControllerSpec, WallBreachController
+from repro.autoscale.fleet import FleetController, FleetSpec
+from repro.autoscale.reshard import ReshardPlanner, ReshardSpec, ReshardState
+from repro.core.deployment import CubrickDeployment, DeploymentConfig
+from repro.core.fanout import ShardingMode
+from repro.cubrick.partitioning import PartitioningPolicy
+from repro.cubrick.query import AggFunc, Aggregation, Query
+from repro.cubrick.schema import Dimension, Metric, TableSchema
+from repro.errors import ConfigurationError, QueryFailedError
+
+#: Per-host-visit mid-query failure probability for both arms.
+FAILURE_PROBABILITY = 1e-3
+#: The success SLA both arms are judged against.
+SLA = 0.99
+#: Hosts added to the fleet at each phase boundary.
+BASELINE_HOSTS_PER_PHASE = 8
+
+
+@dataclass
+class PhaseStats:
+    """One growth phase of one arm."""
+
+    phase: int
+    hosts: int  # SM-registered hosts when the phase ended
+    partitions: int  # table fan-out when the phase ended
+    queries: int
+    succeeded: int
+
+    @property
+    def success_ratio(self) -> float:
+        return self.succeeded / self.queries if self.queries else 1.0
+
+
+@dataclass
+class AutoscaleReport:
+    """Deterministically renderable outcome of one wall-breach run."""
+
+    seed: int
+    sla: float
+    failure_probability: float
+    wall: int  # analytic max safe fan-out
+    managed_phases: list[PhaseStats] = field(default_factory=list)
+    baseline_phases: list[PhaseStats] = field(default_factory=list)
+    managed_hosts_provisioned: int = 0
+    managed_reshards: list[str] = field(default_factory=list)
+    managed_fanout_cap: int = 0
+    managed_control_actions: int = 0
+
+    @property
+    def managed_success(self) -> float:
+        total = sum(p.queries for p in self.managed_phases)
+        ok = sum(p.succeeded for p in self.managed_phases)
+        return ok / total if total else 1.0
+
+    @property
+    def baseline_success(self) -> float:
+        total = sum(p.queries for p in self.baseline_phases)
+        ok = sum(p.succeeded for p in self.baseline_phases)
+        return ok / total if total else 1.0
+
+    @property
+    def sla_met(self) -> bool:
+        return self.managed_success >= self.sla
+
+    @property
+    def baseline_collapsed(self) -> bool:
+        return self.baseline_success < self.sla
+
+    def render(self) -> str:
+        lines = [
+            f"autoscale experiment: seed={self.seed}",
+            f"  sla={self.sla:.2f} p={self.failure_probability:g} "
+            f"wall={self.wall} hosts",
+        ]
+        for name, phases in (
+            ("managed", self.managed_phases),
+            ("baseline", self.baseline_phases),
+        ):
+            lines.append(f"  {name} (per phase):")
+            for stats in phases:
+                lines.append(
+                    f"    phase {stats.phase}: hosts={stats.hosts:3d} "
+                    f"fanout={stats.partitions:3d} "
+                    f"success={stats.success_ratio:.4f} "
+                    f"({stats.succeeded}/{stats.queries})"
+                )
+        lines.append(
+            f"  managed: success={self.managed_success:.4f} "
+            f"cap={self.managed_fanout_cap} "
+            f"provisioned={self.managed_hosts_provisioned} "
+            f"reshards=[{', '.join(self.managed_reshards)}] "
+            f"actions={self.managed_control_actions}"
+        )
+        lines.append(f"  baseline: success={self.baseline_success:.4f}")
+        managed_verdict = "SLA MET" if self.sla_met else "SLA MISSED"
+        baseline_verdict = (
+            "COLLAPSED" if self.baseline_collapsed else "survived"
+        )
+        lines.append(
+            f"  verdict: managed {managed_verdict} at "
+            f"{self.managed_success:.4f}; baseline {baseline_verdict} at "
+            f"{self.baseline_success:.4f}"
+        )
+        return "\n".join(lines) + "\n"
+
+
+_SCHEMA = TableSchema.build(
+    "events",
+    dimensions=[Dimension("day", 30, range_size=7)],
+    metrics=[Metric("clicks")],
+)
+
+
+def _phase_rows(seed: int, phase: int, count: int) -> list[dict[str, float]]:
+    """The phase's ingest batch — identical for both arms."""
+    rng = np.random.default_rng((seed, phase))
+    return [
+        {"day": int(rng.integers(30)), "clicks": float(rng.integers(1, 100))}
+        for __ in range(count)
+    ]
+
+
+def _build_deployment(seed: int, mode: ShardingMode) -> CubrickDeployment:
+    # 8 hosts/region to start; tiny per-host memory so ingest volume
+    # moves the utilization signal the controller watches.
+    return CubrickDeployment(
+        DeploymentConfig(
+            seed=seed,
+            regions=1,
+            racks_per_region=4,
+            hosts_per_rack=2,
+            max_shards=10_000,
+            mode=mode,
+            partitioning=PartitioningPolicy(
+                initial_partitions=2,
+                max_rows_per_partition=1200,
+                min_rows_per_partition=50,
+                max_partitions=4,
+            ),
+            memory_bytes_per_host=1 << 20,
+            query_failure_probability=FAILURE_PROBABILITY,
+        )
+    )
+
+
+def _run_phase_traffic(
+    deployment: CubrickDeployment,
+    *,
+    queries: int,
+    duration: float,
+) -> tuple[int, int]:
+    """Submit ``queries`` evenly spaced over ``duration``; count outcomes."""
+    query = Query.build("events", [Aggregation(AggFunc.SUM, "clicks")])
+    outcomes = {"ok": 0, "failed": 0}
+    spacing = duration / (queries + 1)
+
+    def submit_one() -> None:
+        try:
+            deployment.proxy.submit(query)
+        except QueryFailedError:
+            outcomes["failed"] += 1
+        else:
+            outcomes["ok"] += 1
+
+    start = deployment.simulator.now
+    for i in range(queries):
+        deployment.simulator.call_later((i + 1) * spacing, submit_one)
+    deployment.simulator.run_until(start + duration)
+    return outcomes["ok"], outcomes["ok"] + outcomes["failed"]
+
+
+def _registered_hosts(deployment: CubrickDeployment) -> int:
+    return min(
+        len(sm.registered_hosts()) for sm in deployment.sm_servers.values()
+    )
+
+
+def _run_managed(
+    seed: int, report: AutoscaleReport,
+    *, phases: int, queries_per_phase: int, phase_duration: float,
+    rows_per_phase: list[int],
+) -> None:
+    deployment = _build_deployment(seed, ShardingMode.PARTIAL)
+    deployment.create_table(_SCHEMA, num_partitions=2)
+    fleet = FleetController(
+        deployment,
+        FleetSpec(warmup_delay=20.0, register_stagger=5.0),
+    )
+    reshard = ReshardPlanner(
+        deployment,
+        ReshardSpec(verify_delay=10.0, cutover_delay=5.0, cleanup_grace=30.0),
+    )
+    controller = WallBreachController(
+        deployment,
+        fleet,
+        reshard,
+        ControllerSpec(
+            sla=SLA,
+            failure_probability=FAILURE_PROBABILITY,
+            interval=15.0,
+            # Per-host memory is 1 MiB, so these absolute storage
+            # utilizations correspond to the ingest ramp's mid-point.
+            scale_out_utilization=0.012,
+            scale_in_utilization=0.001,
+            hosts_per_step=2,
+            min_hosts_per_region=8,
+            cooldown=120.0,
+        ),
+    )
+    total = phases * phase_duration
+    for sm in deployment.sm_servers.values():
+        sm.start(collect_interval=15.0, balance_interval=60.0, until=total)
+    controller.start(until=total)
+
+    for phase in range(phases):
+        deployment.load("events", _phase_rows(seed, phase, rows_per_phase[phase]))
+        ok, submitted = _run_phase_traffic(
+            deployment, queries=queries_per_phase, duration=phase_duration
+        )
+        report.managed_phases.append(
+            PhaseStats(
+                phase=phase,
+                hosts=_registered_hosts(deployment),
+                partitions=deployment.catalog.get("events").num_partitions,
+                queries=submitted,
+                succeeded=ok,
+            )
+        )
+    controller.stop()
+    report.managed_hosts_provisioned = sum(
+        1 for op in fleet.operations
+        if op.kind == "provision" and op.state.value == "registered"
+    )
+    report.managed_reshards = [
+        f"{op.from_count}->{op.to_count}"
+        for op in reshard.operations
+        if op.state is ReshardState.DONE
+    ]
+    report.managed_fanout_cap = controller.fanout_cap
+    report.managed_control_actions = sum(
+        1 for d in controller.decisions if d.actions
+    )
+
+
+def _run_baseline(
+    seed: int, report: AutoscaleReport,
+    *, phases: int, queries_per_phase: int, phase_duration: float,
+    rows_per_phase: list[int],
+) -> None:
+    """Full sharding: the table spans the fleet, and grows with it."""
+    deployment = _build_deployment(seed, ShardingMode.FULL)
+    deployment.create_table(
+        _SCHEMA, num_partitions=deployment.hosts_per_region
+    )
+    total = phases * phase_duration
+    for sm in deployment.sm_servers.values():
+        sm.start(collect_interval=15.0, balance_interval=60.0, until=total)
+
+    for phase in range(phases):
+        if phase > 0:
+            # The fleet grows with traffic — and full sharding drags
+            # every table's fan-out along with it.
+            for region in deployment.region_names():
+                deployment.add_hosts(region, BASELINE_HOSTS_PER_PHASE)
+            deployment._repartition(
+                "events", _registered_hosts(deployment)
+            )
+        deployment.load("events", _phase_rows(seed, phase, rows_per_phase[phase]))
+        ok, submitted = _run_phase_traffic(
+            deployment, queries=queries_per_phase, duration=phase_duration
+        )
+        report.baseline_phases.append(
+            PhaseStats(
+                phase=phase,
+                hosts=_registered_hosts(deployment),
+                partitions=deployment.catalog.get("events").num_partitions,
+                queries=submitted,
+                succeeded=ok,
+            )
+        )
+
+
+def run_autoscale_experiment(
+    seed: int = 0,
+    *,
+    phases: int = 4,
+    queries_per_phase: int = 500,
+    phase_duration: float = 500.0,
+    rows_per_phase: Optional[list[int]] = None,
+) -> AutoscaleReport:
+    """Run both arms of the wall-breach experiment; return the report."""
+    if phases <= 0:
+        raise ConfigurationError(f"phases must be positive: {phases}")
+    if queries_per_phase <= 0:
+        raise ConfigurationError(
+            f"queries_per_phase must be positive: {queries_per_phase}"
+        )
+    if rows_per_phase is None:
+        rows_per_phase = [1500 * (phase + 1) for phase in range(phases)]
+    if len(rows_per_phase) != phases:
+        raise ConfigurationError(
+            f"rows_per_phase needs {phases} entries: {rows_per_phase}"
+        )
+    from repro.core.wall import scalability_wall
+
+    report = AutoscaleReport(
+        seed=seed,
+        sla=SLA,
+        failure_probability=FAILURE_PROBABILITY,
+        wall=scalability_wall(FAILURE_PROBABILITY, SLA),
+    )
+    _run_managed(
+        seed, report,
+        phases=phases, queries_per_phase=queries_per_phase,
+        phase_duration=phase_duration, rows_per_phase=rows_per_phase,
+    )
+    _run_baseline(
+        seed, report,
+        phases=phases, queries_per_phase=queries_per_phase,
+        phase_duration=phase_duration, rows_per_phase=rows_per_phase,
+    )
+    return report

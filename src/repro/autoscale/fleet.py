@@ -1,0 +1,277 @@
+"""Fleet elasticity: staged provisioning and drain-first decommission.
+
+Scaling the fleet is only safe because partial sharding makes fan-out
+independent of fleet size (paper §II-C): a new host widens no query,
+and a removed host narrows none — provided its replicas are moved, not
+lost. The controller therefore treats both directions as *staged*
+operations driven by the discrete-event simulator:
+
+Provision (scale-out)::
+
+    add host (empty, unregistered) --warm-up delay--> register with SM
+                                                      (staggered)
+
+  During warm-up the host exists in the cluster topology but reports no
+  capacity: SM placement, balancing and the discovery map all ignore it,
+  so a crash mid-provision is invisible to every invariant.
+
+Decommission (scale-in)::
+
+    start_drain --> SM drain (evacuate every replica, retried)
+                --> deregister (graceful session close, no failover storm)
+                --> finish_drain --> decommissioned
+
+  Deregistration is refused by the SM while the host still holds any
+  shard, so the *evacuate-before-deregister* ordering is enforced at the
+  server, not just here. A host that fails mid-drain falls back to the
+  normal failure path: its session expires and the SM fails over
+  whatever was left, after which the decommission is abandoned.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.cluster.host import HostState
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.deployment import CubrickDeployment
+
+
+class ProvisionState(enum.Enum):
+    """Lifecycle of one staged host operation."""
+
+    WARMING_UP = "warming_up"
+    REGISTERED = "registered"
+    DRAINING = "draining"
+    DECOMMISSIONED = "decommissioned"
+    ABORTED = "aborted"
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Timing knobs for staged fleet operations."""
+
+    warmup_delay: float = 30.0  # provision -> first possible registration
+    register_stagger: float = 5.0  # spacing between registrations in a batch
+    drain_retry_interval: float = 15.0  # between drain passes
+    drain_max_attempts: int = 8  # drain passes before giving up
+    decommission_grace: float = 5.0  # drained -> removed from the fleet
+
+    def __post_init__(self) -> None:
+        if self.warmup_delay < 0 or self.register_stagger < 0:
+            raise ConfigurationError("warm-up timings must be non-negative")
+        if self.drain_retry_interval <= 0:
+            raise ConfigurationError(
+                f"drain_retry_interval must be positive: "
+                f"{self.drain_retry_interval}"
+            )
+        if self.drain_max_attempts <= 0:
+            raise ConfigurationError(
+                f"drain_max_attempts must be positive: {self.drain_max_attempts}"
+            )
+
+
+@dataclass
+class FleetOperation:
+    """Progress record for one provision or decommission."""
+
+    host_id: str
+    kind: str  # "provision" | "decommission"
+    started: float
+    state: ProvisionState
+    finished: Optional[float] = None
+    drain_attempts: int = 0
+    shards_moved: int = 0
+    note: str = ""
+
+
+@dataclass
+class FleetController:
+    """Provisions and decommissions hosts through staged pipelines."""
+
+    deployment: "CubrickDeployment"
+    spec: FleetSpec = field(default_factory=FleetSpec)
+
+    def __post_init__(self) -> None:
+        self.operations: list[FleetOperation] = []
+        obs = self.deployment.obs
+        self._provisioned_counter = obs.metrics.counter(
+            "autoscale.fleet.hosts_provisioned"
+        )
+        self._decommissioned_counter = obs.metrics.counter(
+            "autoscale.fleet.hosts_decommissioned"
+        )
+        self._aborted_counter = obs.metrics.counter(
+            "autoscale.fleet.operations_aborted"
+        )
+
+    # ------------------------------------------------------------------
+    # Scale-out
+    # ------------------------------------------------------------------
+
+    def provision(self, region: str, count: int,
+                  *, rack: str = "rack-auto") -> list[str]:
+        """Add ``count`` hosts to ``region``; register them after warm-up.
+
+        Returns the new host ids immediately; each host joins the SM
+        only once its (staggered) warm-up completes.
+        """
+        sim = self.deployment.simulator
+        host_ids = self.deployment.add_hosts(
+            region, count, rack=rack, register=False
+        )
+        for i, host_id in enumerate(host_ids):
+            op = FleetOperation(
+                host_id=host_id,
+                kind="provision",
+                started=sim.now,
+                state=ProvisionState.WARMING_UP,
+            )
+            self.operations.append(op)
+            delay = self.spec.warmup_delay + i * self.spec.register_stagger
+            sim.call_later(
+                delay, lambda o=op: self._finish_provision(o))
+            self.deployment.obs.events.emit(
+                "autoscale.fleet.provision_started",
+                host=host_id, region=region, ready_at=sim.now + delay,
+            )
+        return host_ids
+
+    def _finish_provision(self, op: FleetOperation) -> None:
+        host = self.deployment.cluster.host(op.host_id)
+        if host.state is not HostState.HEALTHY:
+            # Crashed (or was failed by chaos) during warm-up: it never
+            # registered, so nothing holds state about it. Abandon; the
+            # normal repair pipeline will bring it back as a fresh host.
+            self._abort(op, f"host state {host.state.value} at registration")
+            return
+        self.deployment.complete_host_registration(op.host_id)
+        op.state = ProvisionState.REGISTERED
+        op.finished = self.deployment.simulator.now
+        self._provisioned_counter.inc()
+        self.deployment.obs.events.emit(
+            "autoscale.fleet.host_registered",
+            host=op.host_id, region=host.region,
+        )
+
+    # ------------------------------------------------------------------
+    # Scale-in
+    # ------------------------------------------------------------------
+
+    def decommission(self, host_id: str) -> FleetOperation:
+        """Begin an SM-coordinated drain-then-remove for ``host_id``."""
+        host = self.deployment.cluster.host(host_id)
+        if host.state is not HostState.HEALTHY:
+            raise ConfigurationError(
+                f"cannot decommission {host_id}: state {host.state.value}"
+            )
+        sim = self.deployment.simulator
+        op = FleetOperation(
+            host_id=host_id,
+            kind="decommission",
+            started=sim.now,
+            state=ProvisionState.DRAINING,
+        )
+        self.operations.append(op)
+        # DRAINING keeps the host serving (is_available) but stops new
+        # placements (accepts_new_shards is False), so the evacuation
+        # only ever shrinks its shard set.
+        host.start_drain()
+        self.deployment.obs.events.emit(
+            "autoscale.fleet.decommission_started",
+            host=host_id, region=host.region,
+        )
+        self._drain_step(op)
+        return op
+
+    def _drain_step(self, op: FleetOperation) -> None:
+        host = self.deployment.cluster.host(op.host_id)
+        if host.state is not HostState.DRAINING:
+            # The host failed mid-drain. Its session expiry already
+            # triggered SM failover for whatever was still on it; the
+            # decommission itself is abandoned.
+            self._abort(op, f"host state {host.state.value} mid-drain")
+            return
+        sm = self.deployment.sm_servers[host.region]
+        if op.host_id not in sm.registered_hosts():
+            # Session expired (e.g. chaos forced it) while DRAINING:
+            # failover has re-homed its shards already.
+            self._abort(op, "session expired mid-drain")
+            return
+        op.drain_attempts += 1
+        op.shards_moved += sm.drain_host(op.host_id)
+        remaining = sm.shards_on_host(op.host_id)
+        if remaining:
+            if op.drain_attempts >= self.spec.drain_max_attempts:
+                # Could not evacuate (e.g. no collision-free target).
+                # Never deregister a host that still holds replicas:
+                # return it to service instead of losing copies.
+                host.recover()
+                self._abort(
+                    op,
+                    f"{len(remaining)} shard(s) undrainable after "
+                    f"{op.drain_attempts} attempts",
+                )
+                return
+            self.deployment.simulator.call_later(
+                self.spec.drain_retry_interval,
+                lambda: self._drain_step(op))
+            return
+        # Empty: the SM will now accept a graceful deregistration (it
+        # refuses while any shard remains), which closes the session
+        # without firing the failover watchers.
+        sm.deregister_host(op.host_id)
+        host.finish_drain()
+        self.deployment.simulator.call_later(
+            self.spec.decommission_grace,
+            lambda: self._finalize_decommission(op))
+
+    def _finalize_decommission(self, op: FleetOperation) -> None:
+        host = self.deployment.cluster.host(op.host_id)
+        if host.state is not HostState.DRAINED:
+            self._abort(op, f"host state {host.state.value} at removal")
+            return
+        host.decommission()
+        injector = self.deployment._failure_injector
+        if injector is not None:
+            injector.untrack(op.host_id)
+        op.state = ProvisionState.DECOMMISSIONED
+        op.finished = self.deployment.simulator.now
+        self._decommissioned_counter.inc()
+        self.deployment.obs.events.emit(
+            "autoscale.fleet.host_decommissioned",
+            host=op.host_id, region=host.region,
+            shards_moved=op.shards_moved,
+        )
+
+    # ------------------------------------------------------------------
+    # Shared
+    # ------------------------------------------------------------------
+
+    def _abort(self, op: FleetOperation, note: str) -> None:
+        op.state = ProvisionState.ABORTED
+        op.finished = self.deployment.simulator.now
+        op.note = note
+        self._aborted_counter.inc()
+        self.deployment.obs.events.emit(
+            "autoscale.fleet.operation_aborted",
+            host=op.host_id, operation=op.kind, reason=note,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def pending(self) -> list[FleetOperation]:
+        """Operations still in flight."""
+        return [
+            op for op in self.operations
+            if op.state in (ProvisionState.WARMING_UP, ProvisionState.DRAINING)
+        ]
+
+    def registered_hosts(self, region: str) -> int:
+        return len(self.deployment.sm_servers[region].registered_hosts())

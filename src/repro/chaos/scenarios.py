@@ -197,6 +197,31 @@ def _build_migration_interrupt(deployment, t0: float) -> FaultSchedule:
     return FaultSchedule().migration_interrupt(t0, "region0", duration=60.0)
 
 
+def _build_scale_in_crash(deployment, t0: float) -> FaultSchedule:
+    # Elastic control plane under fire: a shard-owning host is being
+    # decommissioned (drained, deregistered, awaiting removal) and a
+    # fresh host is warming up towards SM registration when BOTH crash.
+    # The decommission and the provision must each abort cleanly, the
+    # repair pipeline must return both hosts to service, and the
+    # single-primary / replica-reconvergence invariants must hold
+    # throughout — no shard may be lost to the interrupted drain.
+    from repro.autoscale.fleet import FleetController, FleetSpec
+
+    fleet = FleetController(
+        deployment,
+        # Long grace/warm-up windows so both staged operations are still
+        # in flight when the crashes land.
+        FleetSpec(warmup_delay=30.0, decommission_grace=30.0),
+    )
+    victim = _owner_hosts(deployment, "region0")[0]
+    fleet.decommission(victim)
+    warming = fleet.provision("region0", 1)[0]
+    schedule = FaultSchedule()
+    schedule.host_crash(t0, victim, duration=90.0)
+    schedule.host_crash(t0 + 10.0, warming, duration=120.0)
+    return schedule
+
+
 def _build_overload_storm(deployment, t0: float) -> FaultSchedule:
     # Overload is the fault: cap the admission window at a realistic
     # serving rate, then storm the front door at ~2.5x that rate. The
@@ -255,6 +280,12 @@ SCENARIOS: dict[str, Scenario] = {
             "migration-interrupt",
             "a live migration's target dies mid-protocol",
             _build_migration_interrupt,
+        ),
+        Scenario(
+            "scale-in-crash",
+            "a decommissioning host and a warming-up host both crash "
+            "mid-operation; both staged operations abort cleanly",
+            _build_scale_in_crash,
         ),
         Scenario(
             "overload-storm",

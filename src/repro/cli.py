@@ -286,6 +286,27 @@ def cmd_overload(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_autoscale(args: argparse.Namespace) -> int:
+    """Run the wall-breach experiment and print its report.
+
+    The managed arm (elastic control plane: staged provisioning, online
+    resharding, fan-out capped at the wall) and the naive full-sharding
+    baseline ride the same seeded growth ramp. Exit status is non-zero
+    unless the managed arm held the SLA *and* the baseline collapsed —
+    the paper's wall made operational. Reports are byte-identical for
+    identical seeds.
+    """
+    from repro.autoscale import run_autoscale_experiment
+
+    report = run_autoscale_experiment(
+        args.seed,
+        phases=args.phases,
+        queries_per_phase=args.queries,
+    )
+    print(report.render(), end="")
+    return 0 if report.sla_met and report.baseline_collapsed else 1
+
+
 def cmd_smc_delay(args: argparse.Namespace) -> int:
     tree = PropagationTree()
     rng = np.random.default_rng(args.seed)
@@ -405,6 +426,17 @@ def build_parser() -> argparse.ArgumentParser:
     overload.add_argument("--duration", type=float, default=20.0,
                           help="storm duration in virtual seconds")
     overload.set_defaults(func=cmd_overload)
+
+    autoscale = sub.add_parser(
+        "autoscale",
+        help="run the wall-breach experiment: elastic control plane vs "
+             "naive full-sharding baseline on the same growth ramp",
+    )
+    autoscale.add_argument("--seed", type=int, default=0)
+    autoscale.add_argument("--phases", type=int, default=4)
+    autoscale.add_argument("--queries", type=int, default=500,
+                           help="queries per growth phase")
+    autoscale.set_defaults(func=cmd_autoscale)
 
     smc = sub.add_parser("smc-delay", help="SMC propagation delays (Fig 4c)")
     smc.add_argument("--samples", type=int, default=100_000)

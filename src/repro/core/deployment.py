@@ -37,7 +37,12 @@ from repro.cubrick.partitioning import (
 from repro.cubrick.proxy import CubrickProxy
 from repro.cubrick.query import Query, QueryResult
 from repro.cubrick.schema import Catalog, TableInfo, TableSchema
-from repro.cubrick.sharding import MonotonicHashMapper, ShardDirectory, ShardMapper
+from repro.cubrick.sharding import (
+    MonotonicHashMapper,
+    ShardDirectory,
+    ShardMapper,
+    generation_alias,
+)
 from repro.errors import ConfigurationError, TableNotFoundError
 from repro.obs import Observability
 from repro.sched.cache import QueryResultCache
@@ -136,21 +141,8 @@ class CubrickDeployment:
             )
             self.sm_servers[region] = sm
             for host in self.cluster.hosts_in_region(region):
-                node = CubrickNode(
-                    host.host_id,
-                    self.catalog,
-                    self.directory,
-                    memory_bytes=cfg.memory_bytes_per_host,
-                    ssd_bytes=cfg.ssd_bytes_per_host,
-                    exporter=make_exporter(cfg.lb_generation),
-                    decay_rng=self.rngs.stream(f"decay:{host.host_id}"),
-                    allow_ssd_eviction=(
-                        cfg.lb_generation is LoadBalanceGeneration.GEN3_SSD
-                    ),
-                    obs=self.obs,
-                )
-                if cfg.executor_slots_per_host is not None:
-                    node.execution_slots = NodeSlots(cfg.executor_slots_per_host)
+                node = self._new_node(host.host_id, host.memory_bytes,
+                                      host.ssd_bytes)
                 self.nodes[host.host_id] = node
                 sm.register_host(node)
             coordinators[region] = RegionCoordinator(
@@ -185,6 +177,26 @@ class CubrickDeployment:
             on_return=self._on_host_return,
         )
         self._failure_injector: Optional[FailureInjector] = None
+
+    def _new_node(self, host_id: str, memory_bytes: int,
+                  ssd_bytes: int) -> CubrickNode:
+        """Construct one CubrickNode with the deployment's standard wiring."""
+        node = CubrickNode(
+            host_id,
+            self.catalog,
+            self.directory,
+            memory_bytes=memory_bytes,
+            ssd_bytes=ssd_bytes,
+            exporter=make_exporter(self.config.lb_generation),
+            decay_rng=self.rngs.stream(f"decay:{host_id}"),
+            allow_ssd_eviction=(
+                self.config.lb_generation is LoadBalanceGeneration.GEN3_SSD
+            ),
+            obs=self.obs,
+        )
+        if self.config.executor_slots_per_host is not None:
+            node.execution_slots = NodeSlots(self.config.executor_slots_per_host)
+        return node
 
     def _make_recovery_provider(self, region: str):
         def provider(shard_id: int):
@@ -279,6 +291,10 @@ class CubrickDeployment:
                 else:
                     sm.create_shard(shard, size_hint=1.0)
 
+    def physical_table(self, name: str) -> str:
+        """Physical name of the table's serving layout (reshard-aware)."""
+        return self.catalog.get(name).physical_table
+
     def drop_table(self, name: str) -> None:
         """Drop a table everywhere; empty shards are released from SM."""
         info = self.catalog.get(name)
@@ -287,9 +303,12 @@ class CubrickDeployment:
                 node.drop_replicated(name)
             self.catalog.drop(name)
             return
-        shards = self.directory.shards_for_table(name)
-        self.directory.unregister_table(name)
-        self._detach_table(name, shards)
+        for physical in {info.physical_table} | (
+            {info.pending_physical} if info.resharding else set()
+        ):
+            shards = self.directory.shards_for_table(physical)
+            self.directory.unregister_table(physical)
+            self._detach_table(physical, shards)
         self.catalog.drop(name)
 
     # ------------------------------------------------------------------
@@ -311,19 +330,37 @@ class CubrickDeployment:
                 node.insert_into_replicated(table, rows)
             info.bump_ingest()
             return len(rows)
+        self._load_into_layout(
+            info.physical_table, schema, info.num_partitions, rows
+        )
+        if info.resharding:
+            # Dual-write: a staged reshard keeps the pending layout in
+            # sync with every ingest, so the cutover needs no catch-up.
+            self._load_into_layout(
+                info.pending_physical, schema, info.pending_partitions, rows
+            )
+        # New rows are visible: invalidate cached answers via the key.
+        info.bump_ingest()
+        return len(rows)
+
+    def _load_into_layout(
+        self,
+        physical: str,
+        schema: TableSchema,
+        num_partitions: int,
+        rows: list[dict[str, float]],
+    ) -> None:
+        """Insert rows into one physical layout in every region."""
         by_partition: dict[int, list[dict[str, float]]] = {}
         for row in rows:
-            index = partition_of(schema, row, info.num_partitions)
+            index = partition_of(schema, row, num_partitions)
             by_partition.setdefault(index, []).append(row)
-        shards = self.directory.shards_for_table(table)
+        shards = self.directory.shards_for_table(physical)
         for sm in self.sm_servers.values():
             for index, partition_rows in by_partition.items():
                 owner = sm.discovery.resolve_authoritative(shards[index])
                 node = sm.app_server(owner)
-                node.insert_into_partition(table, index, partition_rows)
-        # New rows are visible: invalidate cached answers via the key.
-        info.bump_ingest()
-        return len(rows)
+                node.insert_into_partition(physical, index, partition_rows)
 
     def sql(self, statement: str, **query_kwargs) -> QueryResult:
         """Parse and execute one SQL statement through the proxy.
@@ -415,47 +452,50 @@ class CubrickDeployment:
     def _partition_row_counts(self, table: str) -> list[int]:
         """Row counts per partition, read from the first region."""
         info = self.catalog.get(table)
+        physical = info.physical_table
         sm = next(iter(self.sm_servers.values()))
-        shards = self.directory.shards_for_table(table)
+        shards = self.directory.shards_for_table(physical)
         counts = []
         for index in range(info.num_partitions):
             owner = sm.discovery.resolve_authoritative(shards[index])
             node = sm.app_server(owner)
-            counts.append(node.partition(table, index).rows)
+            counts.append(node.partition(physical, index).rows)
         return counts
 
     def _repartition(self, table: str, new_count: int) -> None:
         info = self.catalog.get(table)
         schema = info.schema
+        old_physical = info.physical_table
         # Collect all rows once, from the first region's copy.
         sm = next(iter(self.sm_servers.values()))
-        shards = self.directory.shards_for_table(table)
+        shards = self.directory.shards_for_table(old_physical)
         rows: list[dict[str, float]] = []
         for index in range(info.num_partitions):
             owner = sm.discovery.resolve_authoritative(shards[index])
             node = sm.app_server(owner)
-            rows.extend(node.partition(table, index).all_rows())
+            rows.extend(node.partition(old_physical, index).all_rows())
 
         plan = plan_repartition(schema, rows, new_count)
 
         # Tear down the old layout and build the new one in all regions.
-        self.directory.unregister_table(table)
-        self._detach_table(table, shards)
+        self.directory.unregister_table(old_physical)
+        self._detach_table(old_physical, shards)
 
         old_count = info.num_partitions
+        new_physical = generation_alias(table, info.generation + 1)
         try:
-            self._build_layout(table, info, new_count, plan)
+            self._build_layout(table, new_physical, info, new_count, plan)
         except Exception:
             # Roll back to the old layout with the collected rows: a
             # failed re-partition must never lose the table.
             try:
-                self.directory.unregister_table(table)
+                self.directory.unregister_table(new_physical)
             except ConfigurationError:
                 pass
-            attempted = self.mapper.shards_of(table, new_count)
-            self._detach_table(table, attempted)
+            attempted = self.mapper.shards_of(new_physical, new_count)
+            self._detach_table(new_physical, attempted)
             old_plan = plan_repartition(schema, rows, old_count)
-            self._build_layout(table, info, old_count, old_plan)
+            self._build_layout(table, old_physical, info, old_count, old_plan)
             raise
 
     def _detach_table(self, table: str, shards: list[int]) -> None:
@@ -476,15 +516,21 @@ class CubrickDeployment:
     def _build_layout(
         self,
         table: str,
+        physical: str,
         info: TableInfo,
         new_count: int,
         plan: dict[int, list[dict[str, float]]],
     ) -> None:
-        """Register, materialise and load one partition layout."""
-        new_shards = self.directory.register_table(table, new_count)
+        """Register, materialise and load one partition layout.
+
+        ``physical`` is the (possibly generation-tagged) name the layout
+        is registered under; the catalog entry is flipped to serve it.
+        """
+        new_shards = self.directory.register_table(physical, new_count)
         info.num_partitions = new_count
         info.generation += 1
-        self._materialize_table(table, new_shards)
+        info.serving_physical = "" if physical == table else physical
+        self._materialize_table(physical, new_shards)
         for sm_region in self.sm_servers.values():
             for index in range(new_count):
                 partition_rows = plan.get(index, [])
@@ -492,7 +538,7 @@ class CubrickDeployment:
                     continue
                 owner = sm_region.discovery.resolve_authoritative(new_shards[index])
                 node = sm_region.app_server(owner)
-                node.insert_into_partition(table, index, partition_rows)
+                node.insert_into_partition(physical, index, partition_rows)
 
     # ------------------------------------------------------------------
     # Operations
@@ -542,19 +588,7 @@ class CubrickDeployment:
         so local joins keep working once the host rejoins.
         """
         host = self.cluster.host(host_id)
-        node = CubrickNode(
-            host_id,
-            self.catalog,
-            self.directory,
-            memory_bytes=host.memory_bytes,
-            ssd_bytes=host.ssd_bytes,
-            exporter=make_exporter(self.config.lb_generation),
-            decay_rng=self.rngs.stream(f"decay:{host_id}"),
-            allow_ssd_eviction=(
-                self.config.lb_generation is LoadBalanceGeneration.GEN3_SSD
-            ),
-            obs=self.obs,
-        )
+        node = self._new_node(host_id, host.memory_bytes, host.ssd_bytes)
         self._replicate_dimension_tables(node)
         self.nodes[host_id] = node
 
@@ -621,7 +655,7 @@ class CubrickDeployment:
     # ------------------------------------------------------------------
 
     def add_hosts(self, region: str, count: int,
-                  *, rack: str = "rack-exp") -> list[str]:
+                  *, rack: str = "rack-exp", register: bool = True) -> list[str]:
         """Scale out: add hosts to a region and register them with SM.
 
         New hosts start empty; the next load-balancing run (or explicit
@@ -629,10 +663,15 @@ class CubrickDeployment:
         tables are partially sharded, adding hosts never increases any
         table's fan-out — the property that lets the system scale past
         the wall.
+
+        ``register=False`` creates the host and its node but defers the
+        SM registration — the warm-up phase of a staged provision
+        (repro.autoscale.FleetController). Until
+        :meth:`complete_host_registration` runs, the host reports no
+        capacity, so SM placement and balancing ignore it.
         """
         if count <= 0:
             raise ConfigurationError(f"count must be positive: {count}")
-        sm = self.sm_servers[region]
         added = []
         existing = sum(
             1 for h in self.cluster.hosts()
@@ -648,26 +687,22 @@ class CubrickDeployment:
                 ssd_bytes=self.config.ssd_bytes_per_host,
             )
             self.cluster.add_host(host)
-            node = CubrickNode(
-                host_id,
-                self.catalog,
-                self.directory,
-                memory_bytes=host.memory_bytes,
-                ssd_bytes=host.ssd_bytes,
-                exporter=make_exporter(self.config.lb_generation),
-                decay_rng=self.rngs.stream(f"decay:{host_id}"),
-                allow_ssd_eviction=(
-                    self.config.lb_generation is LoadBalanceGeneration.GEN3_SSD
-                ),
-                obs=self.obs,
-            )
+            node = self._new_node(host_id, host.memory_bytes, host.ssd_bytes)
             self._replicate_dimension_tables(node)
             self.nodes[host_id] = node
-            sm.register_host(node)
-            if self._failure_injector is not None:
-                self._failure_injector.track(host_id)
+            if register:
+                self.complete_host_registration(host_id)
             added.append(host_id)
         return added
+
+    def complete_host_registration(self, host_id: str) -> None:
+        """Register a provisioned (warmed-up) host with its region's SM."""
+        region = self.cluster.host(host_id).region
+        sm = self.sm_servers[region]
+        if host_id not in sm.registered_hosts():
+            sm.register_host(self.nodes[host_id])
+        if self._failure_injector is not None:
+            self._failure_injector.track(host_id)
 
     def decommission_host(self, host_id: str) -> bool:
         """Scale in: drain a host's shards and remove it permanently.
@@ -737,7 +772,8 @@ class CubrickDeployment:
         audit fail — only two *reachable* regions disagreeing does.
         """
         info = self.catalog.get(table)
-        shards = self.directory.shards_for_table(table)
+        physical = info.physical_table
+        shards = self.directory.shards_for_table(physical)
         per_region: dict[str, Optional[list[int]]] = {}
         for region, sm in self.sm_servers.items():
             counts: Optional[list[int]] = []
@@ -751,10 +787,10 @@ class CubrickDeployment:
                     counts = None  # region incomplete right now
                     break
                 node = sm.app_server(owner)
-                if not node.has_partition(table, index):
+                if not node.has_partition(physical, index):
                     counts = None
                     break
-                counts.append(node.partition(table, index).rows)
+                counts.append(node.partition(physical, index).rows)
             per_region[region] = counts
 
         reachable = {r: c for r, c in per_region.items() if c is not None}
@@ -787,7 +823,7 @@ class CubrickDeployment:
         if table not in self.catalog:
             raise TableNotFoundError(f"unknown table: {table}")
         sm = next(iter(self.sm_servers.values()))
-        shards = self.directory.shards_for_table(table)
+        shards = self.directory.shards_for_table(self.physical_table(table))
         hosts = set()
         for shard in shards:
             hosts.add(sm.discovery.resolve_authoritative(shard))

@@ -15,7 +15,7 @@ mechanism behind Figure 5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
 import numpy as np
@@ -111,10 +111,16 @@ class RegionCoordinator:
     def partition_hosts(self, table: str) -> dict[str, list[int]]:
         """host id → partition indexes it must answer for, via SMC.
 
+        ``table`` may be a logical catalog name (resolved to the serving
+        physical layout, which may be a generation-tagged alias while an
+        online reshard is in flight) or a physical alias directly.
+
         Raises :class:`QueryFailedError` if any partition's shard has no
         propagated mapping (e.g. a failover still publishing).
         """
-        shards = self.directory.shards_for_table(table)
+        info = self.catalog.tables.get(table)
+        physical = info.physical_table if info is not None else table
+        shards = self.directory.shards_for_table(physical)
         now = self.sm.simulator.now
         hosts: dict[str, list[int]] = {}
         for index, shard in enumerate(shards):
@@ -218,7 +224,16 @@ class RegionCoordinator:
         execution = QueryExecution(query=query, region=self.region)
         self.executions.append(execution)
 
-        hosts = self.partition_hosts(query.table)
+        # Mid-reshard, the serving layout lives under a generation-tagged
+        # physical alias; nodes key partition storage by that name, so
+        # the query is rewritten before local execution. Results and
+        # metadata keep presenting the logical name.
+        physical = info.physical_table
+        exec_query = (
+            query if physical == query.table
+            else replace(query, table=physical)
+        )
+        hosts = self.partition_hosts(physical)
         execution.fanout = len(hosts)
         total_partitions = sum(len(v) for v in hosts.values())
 
@@ -301,7 +316,7 @@ class RegionCoordinator:
                 "cubrick.node.scan", host=host_id, region=self.region
             ) as scan_span:
                 try:
-                    partial = node.execute_local(query, indexes)
+                    partial = node.execute_local(exec_query, indexes)
                 except PartitionNotFoundError as exc:
                     if allow_partial:
                         scan_span.annotate(skipped="partition_missing")
@@ -309,7 +324,7 @@ class RegionCoordinator:
                         continue
                     # Stale SMC mapping: the authoritative owner may differ.
                     partial = self._forwarded_execution(
-                        query, host_id, indexes, exc
+                        exec_query, host_id, indexes, exc
                     )
                 scan_span.set_duration(service_time)
                 scan_span.annotate(
@@ -356,6 +371,7 @@ class RegionCoordinator:
             {
                 "table": query.table,
                 "num_partitions": info.num_partitions,
+                "generation": info.generation,
                 "region": self.region,
                 "latency": latency,
                 "fanout": execution.fanout,

@@ -137,7 +137,9 @@ class StreamingLoader:
         rows = self._buffers.get(index)
         if not rows:
             return 0
-        shards = self.deployment.directory.shards_for_table(self.table)
+        info = self.deployment.catalog.get(self.table)
+        physical = info.physical_table
+        shards = self.deployment.directory.shards_for_table(physical)
         shard = shards[index]
         # Pivot the batch to columns once; every region's owner then
         # takes the vectorised bulk-load path (rows were validated at
@@ -156,8 +158,16 @@ class StreamingLoader:
                     f"shard {shard} in region {sm.region}"
                 )
             node = sm.app_server(owner)
-            node.insert_columns_into_partition(self.table, index, columns)
+            node.insert_columns_into_partition(physical, index, columns)
             written = len(rows)
+        if info.resharding:
+            # Dual-write into the staged layout so the online reshard's
+            # cutover needs no catch-up (the pending layout buckets rows
+            # by its own partition count).
+            self.deployment._load_into_layout(
+                info.pending_physical, info.schema,
+                info.pending_partitions, list(rows),
+            )
         self._buffers[index] = []
         self.stats.rows_flushed += written
         self.stats.batches_flushed += 1

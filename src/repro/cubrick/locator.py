@@ -50,8 +50,14 @@ class CoordinatorLocator(abc.ABC):
                rng: np.random.Generator) -> LocatorChoice:
         """Pick a partition in ``[0, actual_partitions)``."""
 
-    def observe_result(self, table: str, num_partitions: int) -> None:
-        """Feed back the partition count piggy-backed on query results."""
+    def observe_result(self, table: str, num_partitions: int,
+                       generation: int = 0) -> None:
+        """Feed back the partition count piggy-backed on query results.
+
+        ``generation`` tags which layout generation produced the count,
+        so a straggling result from before an online reshard's cutover
+        can never regress a fresher cached count.
+        """
 
 
 class AlwaysPartitionZero(CoordinatorLocator):
@@ -105,13 +111,17 @@ class CachedRandom(CoordinatorLocator):
     name = "cached_random"
 
     def __init__(self) -> None:
-        self._cache: dict[str, int] = {}
+        # table -> (layout generation, partition count). The generation
+        # tag orders cache refreshes: results computed against an older
+        # layout (in flight across an online reshard's cutover) must not
+        # overwrite a count observed from a newer one.
+        self._cache: dict[str, tuple[int, int]] = {}
 
     def choose(self, table: str, actual_partitions: int,
                rng: np.random.Generator) -> LocatorChoice:
         cached = self._cache.get(table)
         if cached is None:
-            self._cache[table] = actual_partitions
+            self._cache[table] = (0, actual_partitions)
             partition = int(rng.integers(actual_partitions))
             return LocatorChoice(
                 partition_index=partition,
@@ -119,7 +129,7 @@ class CachedRandom(CoordinatorLocator):
                 extra_roundtrips=1,
                 used_cache=False,
             )
-        partition = int(rng.integers(cached)) % actual_partitions
+        partition = int(rng.integers(cached[1])) % actual_partitions
         return LocatorChoice(
             partition_index=partition,
             extra_hops=0,
@@ -127,11 +137,16 @@ class CachedRandom(CoordinatorLocator):
             used_cache=True,
         )
 
-    def observe_result(self, table: str, num_partitions: int) -> None:
-        self._cache[table] = num_partitions
+    def observe_result(self, table: str, num_partitions: int,
+                       generation: int = 0) -> None:
+        cached = self._cache.get(table)
+        if cached is not None and cached[0] > generation:
+            return  # stale: an older generation's result arrived late
+        self._cache[table] = (generation, num_partitions)
 
     def cached_count(self, table: str) -> int | None:
-        return self._cache.get(table)
+        cached = self._cache.get(table)
+        return cached[1] if cached is not None else None
 
     def invalidate(self, table: str) -> None:
         self._cache.pop(table, None)

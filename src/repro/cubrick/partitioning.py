@@ -62,11 +62,16 @@ class PartitioningPolicy:
         """Partition count after evaluating thresholds (may be unchanged)."""
         if current < 1:
             raise ConfigurationError(f"current partition count invalid: {current}")
-        if (
-            max_partition_rows > self.max_rows_per_partition
-            and current < self.max_partitions
-        ):
-            return min(current * 2, self.max_partitions)
+        if max_partition_rows > self.max_rows_per_partition:
+            # Grow, clamped at the cap even when doubling overshoots.
+            if current < self.max_partitions:
+                return min(current * 2, self.max_partitions)
+            # Already at (or above) the cap: an overloaded table must
+            # never fall through into the shrink branch — a skewed table
+            # can be over the per-partition maximum while its *average*
+            # rows-per-partition sits below the shrink threshold, and
+            # halving it would make the hot partition worse.
+            return current
         if (
             current > self.initial_partitions
             and total_rows / current < self.min_rows_per_partition

@@ -389,7 +389,9 @@ class CubrickProxy:
                     )
                 continue
             self.locator.observe_result(
-                query.table, result.metadata.get("num_partitions", 0)
+                query.table,
+                result.metadata.get("num_partitions", 0),
+                result.metadata.get("generation", 0),
             )
             self.query_log.append(
                 QueryLogEntry(

@@ -226,12 +226,31 @@ class TableInfo:
     # answers for the table unreachable (repro.sched.cache).
     ingest_generation: int = 0
     replicated: bool = False
+    # Online reshard state (repro.autoscale.reshard). The *serving*
+    # layout may live under a generation-tagged physical alias of the
+    # logical name ("" = the logical name itself); while a staged
+    # reshard is in flight, ``pending_physical``/``pending_partitions``
+    # describe the layout being built. Queries keep routing to the
+    # serving layout until the cutover flips these fields atomically.
+    serving_physical: str = ""
+    pending_physical: str = ""
+    pending_partitions: int = 0
 
     def __post_init__(self) -> None:
         if self.num_partitions <= 0:
             raise SchemaError(
                 f"table {self.schema.name}: num_partitions must be positive"
             )
+
+    @property
+    def physical_table(self) -> str:
+        """Physical name the serving layout is registered under."""
+        return self.serving_physical or self.schema.name
+
+    @property
+    def resharding(self) -> bool:
+        """Whether a staged reshard is currently in flight."""
+        return bool(self.pending_physical)
 
     def bump_ingest(self) -> int:
         """Record one ingest; returns the new ingestion generation."""
@@ -263,7 +282,15 @@ class Catalog:
         try:
             return self.tables[name]
         except KeyError:
-            raise TableNotFoundError(f"unknown table: {name}") from None
+            pass
+        # Generation aliases (``table@gN``) are physical layouts of a
+        # logical table: they share its schema and catalog entry.
+        from repro.cubrick.sharding import logical_table
+
+        logical = logical_table(name)
+        if logical != name and logical in self.tables:
+            return self.tables[logical]
+        raise TableNotFoundError(f"unknown table: {name}") from None
 
     def drop(self, name: str) -> None:
         from repro.errors import TableNotFoundError

@@ -42,6 +42,42 @@ def stable_hash(key: str) -> int:
     return int.from_bytes(digest[:8], "little")
 
 
+# ----------------------------------------------------------------------
+# Generation-tagged shard maps (online resharding)
+# ----------------------------------------------------------------------
+
+#: Separator between a logical table name and its layout generation tag.
+#: Table names only forbid ``#`` (the partition separator), so the tag
+#: stays a legal table name and the whole registration/attach/execute
+#: machinery works on it unchanged.
+GENERATION_SEPARATOR = "@g"
+
+
+def generation_alias(table: str, generation: int) -> str:
+    """Physical table name of one layout generation.
+
+    Generation 0 is the layout created with the table and keeps the
+    plain logical name; later generations (produced by online reshards)
+    are registered under ``table@g<n>``. Distinct physical names mean a
+    staging layout never collides with the serving one — in the shard
+    directory, in node partition storage, or in the same-table
+    co-location refusal check.
+    """
+    if generation < 0:
+        raise ConfigurationError(f"generation must be non-negative: {generation}")
+    if generation == 0:
+        return table
+    return f"{table}{GENERATION_SEPARATOR}{generation}"
+
+
+def logical_table(physical: str) -> str:
+    """Logical table name behind a (possibly generation-tagged) alias."""
+    base, sep, tag = physical.rpartition(GENERATION_SEPARATOR)
+    if sep and base and tag.isdigit():
+        return base
+    return physical
+
+
 _JUMP_MULTIPLIER = 2862933555777941757
 _UINT64_MASK = 0xFFFFFFFFFFFFFFFF
 

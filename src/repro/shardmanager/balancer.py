@@ -65,7 +65,12 @@ class LoadBalancer:
         that must not receive it (other replicas' hosts, hosts that threw
         non-retryable errors).
         """
-        forbidden = forbidden_targets if forbidden_targets is not None else {}
+        # Copy so in-run updates (destinations chosen this run) never
+        # leak back into the caller's map.
+        forbidden = {
+            shard_id: set(hosts)
+            for shard_id, hosts in (forbidden_targets or {}).items()
+        }
         self._runs_counter.inc()
         imbalance = self.imbalance(region)
         if math.isfinite(imbalance):
@@ -83,9 +88,6 @@ class LoadBalancer:
         if len(hosts) < 2 or not donors:
             return []
 
-        # Work on a mutable copy of loads so successive proposals in one
-        # run see the effect of earlier ones.
-        load = {h.host_id: self._metrics.host_load(h.host_id) for h in hosts}
         capacity = {h.host_id: self._metrics.capacity(h.host_id) for h in hosts}
         # Movable shards: only what SM's assignment table says the host
         # owns (metrics may briefly include shards mid-graceful-drop).
@@ -102,22 +104,39 @@ class LoadBalancer:
             if host_id in shards:
                 for shard_id in owned:
                     shards[host_id].setdefault(shard_id, 0.0)
+        # Work on a mutable copy of loads so successive proposals in one
+        # run see the effect of earlier ones. Load is derived from the
+        # *owned* shard set rather than raw ``host_load``: during a
+        # graceful drop the departing replica keeps reporting its metric
+        # for a grace window while the new owner already reports
+        # provisional load, so the raw per-host sums count the migrating
+        # shard twice and overstate the old host's excess.
+        load = {
+            h.host_id: sum(shards[h.host_id].values()) for h in hosts
+        }
 
         eligible = [h.host_id for h in hosts if capacity.get(h.host_id, 0.0) > 0]
         if len(eligible) < 2:
             return []
 
         proposals: list[MigrationProposal] = []
+        moved: set[int] = set()
         for __ in range(budget):
-            move = self._best_move(eligible, donors, load, capacity, shards, forbidden)
+            move = self._best_move(
+                eligible, donors, load, capacity, shards, forbidden, moved
+            )
             if move is None:
                 break
             proposals.append(move)
             load[move.from_host] -= move.shard_load
             load[move.to_host] += move.shard_load
             del shards[move.from_host][move.shard_id]
-            shards.setdefault(move.to_host, {})[move.shard_id] = move.shard_load
-            donors.add(move.to_host)
+            # One move per shard per run: a just-proposed shard must not
+            # chain onwards from its new home, and replicas of the same
+            # shard on other donors must not pile onto the destination
+            # slot we just reserved.
+            moved.add(move.shard_id)
+            forbidden.setdefault(move.shard_id, set()).add(move.to_host)
             if not shards[move.from_host]:
                 donors.discard(move.from_host)
         self._proposal_counter.inc(len(proposals))
@@ -131,6 +150,7 @@ class LoadBalancer:
         capacity: dict[str, float],
         shards: dict[str, dict[int, float]],
         forbidden: dict[int, set[str]],
+        moved: set[int],
     ) -> Optional[MigrationProposal]:
         util = {h: load[h] / capacity[h] for h in eligible}
         mean_util = sum(util.values()) / len(util)
@@ -150,7 +170,7 @@ class LoadBalancer:
             shards[donor].items(), key=lambda kv: (-kv[1], kv[0])
         )
         for shard_id, shard_load in donor_shards:
-            if shard_load <= 0:
+            if shard_load <= 0 or shard_id in moved:
                 continue
             blocked = forbidden.get(shard_id, set())
             for receiver in receivers:

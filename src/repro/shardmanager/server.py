@@ -198,6 +198,39 @@ class SMServer:
         # can be re-placed now.
         self.retry_unplaced_failovers()
 
+    def deregister_host(self, host_id: str) -> None:
+        """Gracefully detach an *empty* host from the service.
+
+        The inverse of :meth:`register_host`, used by planned scale-in:
+        the host must already be drained (no shards assigned — call
+        :meth:`drain_host` first). The datastore session is closed
+        through the graceful path, so the expiry watcher never fires and
+        no failover storm follows; the fleet simply shrinks by one.
+        """
+        if host_id not in self._app_servers:
+            raise ConfigurationError(f"host {host_id} not registered")
+        remaining = self._host_shards.get(host_id, set())
+        if remaining:
+            raise MigrationError(
+                f"host {host_id} still holds {len(remaining)} shard(s) "
+                f"{sorted(remaining)}; drain before deregistering"
+            )
+        cancel = self._heartbeat_cancels.pop(host_id, None)
+        if cancel is not None:
+            cancel()
+        session = self._sessions.pop(host_id, None)
+        if session is not None and not session.expired:
+            self.datastore.close_session(session)
+        self._host_shards.pop(host_id, None)
+        self.metrics.remove_host(host_id)
+        self._app_servers.pop(host_id, None)
+        self._registered_gauge.set(len(self._app_servers))
+        self.obs.events.emit(
+            "shardmanager.server.host_deregistered",
+            host=host_id,
+            region=str(self.region),
+        )
+
     def registered_hosts(self) -> list[str]:
         return sorted(self._app_servers)
 

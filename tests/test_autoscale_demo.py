@@ -1,0 +1,111 @@
+"""The autoscale demo experiment: deterministic, and it breaches the wall.
+
+The full acceptance run (4 phases, 500 queries each) lives in the CI
+job via the CLI; these tests exercise a scaled-down run so the suite
+stays fast, plus the report/CLI plumbing around it.
+"""
+
+import pytest
+
+from repro.autoscale.demo import (
+    AutoscaleReport,
+    PhaseStats,
+    run_autoscale_experiment,
+)
+from repro.cli import build_parser, cmd_autoscale
+from repro.core.wall import scalability_wall
+
+
+def small_run(seed=3):
+    return run_autoscale_experiment(
+        seed, phases=2, queries_per_phase=60, phase_duration=120.0
+    )
+
+
+class TestExperiment:
+    def test_seeded_runs_are_byte_identical(self):
+        first = small_run()
+        second = small_run()
+        assert first.render() == second.render()
+
+    def test_report_structure(self):
+        report = small_run()
+        assert report.wall == scalability_wall(1e-3, 0.99) == 10
+        assert report.sla == 0.99
+        assert [p.phase for p in report.managed_phases] == [0, 1]
+        assert [p.phase for p in report.baseline_phases] == [0, 1]
+        # Both arms replayed the identical workload.
+        for managed, baseline in zip(
+            report.managed_phases, report.baseline_phases
+        ):
+            assert managed.queries == baseline.queries == 60
+        # The baseline arm grows the fleet AND the fan-out each phase;
+        # the managed arm keeps fan-out capped regardless of fleet size.
+        assert report.baseline_phases[1].hosts == 16
+        assert report.baseline_phases[1].partitions == 16
+        assert report.managed_phases[1].partitions <= report.managed_fanout_cap
+
+    def test_render_contains_verdicts(self):
+        report = small_run()
+        text = report.render()
+        assert f"wall={report.wall} hosts" in text
+        assert "managed" in text and "baseline" in text
+        assert f"seed={report.seed}" in text
+        assert "verdict:" in text
+
+    def test_different_seeds_differ(self):
+        assert small_run(3).render() != small_run(4).render()
+
+
+class TestReportMath:
+    def phases(self, *ratios, queries=1000):
+        return [
+            PhaseStats(
+                phase=i, hosts=8, partitions=4, queries=queries,
+                succeeded=int(round(ratio * queries)),
+            )
+            for i, ratio in enumerate(ratios)
+        ]
+
+    def report(self, managed, baseline):
+        return AutoscaleReport(
+            seed=0, sla=0.99, failure_probability=1e-3, wall=10,
+            managed_phases=managed, baseline_phases=baseline,
+            managed_hosts_provisioned=2, managed_reshards=["2->4"],
+            managed_fanout_cap=10, managed_control_actions=3,
+        )
+
+    def test_success_ratios_aggregate_over_phases(self):
+        report = self.report(
+            self.phases(1.0, 0.99), self.phases(0.99, 0.95)
+        )
+        assert report.managed_success == pytest.approx(0.995)
+        assert report.baseline_success == pytest.approx(0.97)
+        assert report.sla_met
+        assert report.baseline_collapsed
+
+    def test_wall_breach_requires_both_verdicts(self):
+        healthy = self.phases(1.0, 1.0)
+        assert self.report(healthy, healthy).sla_met
+        assert not self.report(healthy, healthy).baseline_collapsed
+        degraded = self.phases(0.9, 0.9)
+        assert not self.report(degraded, degraded).sla_met
+
+    def test_empty_phase_list_is_vacuously_successful(self):
+        report = self.report([], [])
+        assert report.managed_success == 1.0
+        assert report.sla_met
+
+
+class TestCli:
+    def test_parser_wires_autoscale_command(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["autoscale", "--seed", "7", "--phases", "3", "--queries", "50"]
+        )
+        assert args.func is cmd_autoscale
+        assert (args.seed, args.phases, args.queries) == (7, 3, 50)
+
+    def test_cli_defaults(self):
+        args = build_parser().parse_args(["autoscale"])
+        assert (args.seed, args.phases, args.queries) == (0, 4, 500)

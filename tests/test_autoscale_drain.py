@@ -1,0 +1,269 @@
+"""Drain-first decommission: every replica evacuated before deregistration.
+
+The scale-in safety contract: a host holding primaries is emptied
+through SM-coordinated migrations, the SM refuses to deregister it
+while anything remains, and the chaos invariant checker agrees the
+cluster is safe and converged afterwards.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autoscale.fleet import FleetController, FleetSpec, ProvisionState
+from repro.chaos.invariants import InvariantChecker
+from repro.cluster.host import HostState
+from repro.core.deployment import CubrickDeployment, DeploymentConfig
+from repro.cubrick.query import AggFunc, Aggregation, Query
+from repro.cubrick.schema import Dimension, Metric, TableSchema
+from repro.errors import ConfigurationError, MigrationError
+
+
+def build_deployment(seed=0, *, regions=2, racks=2, hosts_per_rack=3,
+                     partitions=3, rows=300):
+    deployment = CubrickDeployment(
+        DeploymentConfig(
+            seed=seed,
+            regions=regions,
+            racks_per_region=racks,
+            hosts_per_rack=hosts_per_rack,
+            max_shards=10_000,
+        )
+    )
+    schema = TableSchema.build(
+        "events",
+        dimensions=[Dimension("day", 30, range_size=7)],
+        metrics=[Metric("clicks")],
+    )
+    deployment.create_table(schema, num_partitions=partitions)
+    rng = np.random.default_rng(seed)
+    loaded = [
+        {"day": int(rng.integers(30)), "clicks": float(rng.integers(1, 100))}
+        for __ in range(rows)
+    ]
+    deployment.load("events", loaded)
+    expected = float(sum(row["clicks"] for row in loaded))
+    return deployment, expected
+
+
+def sum_query():
+    return Query.build("events", [Aggregation(AggFunc.SUM, "clicks")])
+
+
+def shard_owner(deployment, region="region0"):
+    """A registered host owning at least one shard in ``region``."""
+    sm = deployment.sm_servers[region]
+    for host_id in sorted(sm.registered_hosts()):
+        if sm.shards_on_host(host_id):
+            return host_id
+    raise AssertionError("no shard-owning host found")
+
+
+class TestDecommission:
+    def test_evacuates_every_replica_before_deregistration(self):
+        deployment, expected = build_deployment()
+        checker = InvariantChecker(deployment)
+        region = "region0"
+        sm = deployment.sm_servers[region]
+        victim = shard_owner(deployment, region)
+        held = set(sm.shards_on_host(victim))
+        assert held, "victim must hold shards for the test to mean anything"
+
+        # Spy on the deregistration: at the moment the SM lets the host
+        # go, it must already be completely empty.
+        original = sm.deregister_host
+        observed = []
+
+        def spying_deregister(host_id):
+            observed.append((host_id, set(sm.shards_on_host(host_id))))
+            return original(host_id)
+
+        sm.deregister_host = spying_deregister
+        fleet = FleetController(deployment, FleetSpec())
+        op = fleet.decommission(victim)
+        deployment.simulator.run_until(deployment.simulator.now + 300.0)
+
+        assert observed == [(victim, set())]
+        assert op.state is ProvisionState.DECOMMISSIONED
+        assert op.shards_moved == len(held)
+        assert victim not in sm.registered_hosts()
+        assert deployment.cluster.host(victim).state is HostState.DECOMMISSIONED
+        # Every evacuated shard is served by a remaining registered host.
+        for shard_id in held:
+            owner = sm.discovery.resolve_authoritative(shard_id)
+            assert owner is not None and owner != victim
+            assert owner in sm.registered_hosts()
+        assert checker.check_all(label="after-decommission").ok
+        result = deployment.proxy.submit(sum_query())
+        total = float(result.rows[0][-1])
+        integrity = checker.check_query_integrity(
+            result, expected, total=total, label="post-decommission"
+        )
+        assert integrity.ok
+        assert total == pytest.approx(expected)
+
+    def test_sm_refuses_deregistration_while_shards_remain(self):
+        deployment, _ = build_deployment()
+        sm = deployment.sm_servers["region0"]
+        victim = shard_owner(deployment)
+        with pytest.raises(MigrationError):
+            sm.deregister_host(victim)
+        # Refusal must leave the host fully registered and serving.
+        assert victim in sm.registered_hosts()
+        assert sm.shards_on_host(victim)
+
+    def test_deregister_unknown_host_rejected(self):
+        deployment, _ = build_deployment()
+        sm = deployment.sm_servers["region0"]
+        with pytest.raises(ConfigurationError):
+            sm.deregister_host("no-such-host")
+
+    def test_graceful_deregistration_fires_no_failover(self):
+        """Closing the session must not trigger the expiry watchers."""
+        deployment, _ = build_deployment()
+        sm = deployment.sm_servers["region0"]
+        victim = shard_owner(deployment)
+        expiries = []
+        sm.datastore.watch_sessions(lambda host: expiries.append(host))
+        fleet = FleetController(deployment, FleetSpec())
+        fleet.decommission(victim)
+        deployment.simulator.run_until(deployment.simulator.now + 300.0)
+        assert victim not in expiries
+        assert not sm.unplaced_failovers
+        assert deployment.obs.events.of_kind(
+            "shardmanager.server.host_deregistered"
+        )
+
+    def test_decommission_rejects_unhealthy_host(self):
+        deployment, _ = build_deployment()
+        victim = shard_owner(deployment)
+        deployment.automation.handle_host_failure(victim, permanent=False)
+        fleet = FleetController(deployment, FleetSpec())
+        with pytest.raises(ConfigurationError):
+            fleet.decommission(victim)
+
+    def test_crash_mid_decommission_aborts_cleanly(self):
+        deployment, expected = build_deployment()
+        checker = InvariantChecker(deployment)
+        victim = shard_owner(deployment)
+        fleet = FleetController(
+            deployment, FleetSpec(decommission_grace=50.0)
+        )
+        op = fleet.decommission(victim)
+        sim = deployment.simulator
+        # The drain finished instantly, so the host sits deregistered in
+        # its DRAINED grace window — crash it there.
+        sim.call_later(
+            10.0,
+            lambda: deployment.automation.handle_host_failure(
+                victim, permanent=False
+            ),
+        )
+        sim.call_later(
+            90.0,
+            lambda: deployment.automation.handle_host_recovery(victim),
+        )
+        sim.run_until(sim.now + 400.0)
+        assert op.state is ProvisionState.ABORTED
+        # The repair pipeline returned the host to service as a fresh
+        # registered node.
+        sm = deployment.sm_servers["region0"]
+        assert victim in sm.registered_hosts()
+        assert deployment.cluster.host(victim).state is HostState.HEALTHY
+        assert checker.check_all(label="after-aborted-decommission").ok
+        result = deployment.proxy.submit(sum_query())
+        assert float(result.rows[0][-1]) == pytest.approx(expected)
+
+    def test_undrainable_host_returns_to_service(self):
+        # Two hosts, two partitions of the same table: the peer host is
+        # a same-table collision for every shard, so the drain can never
+        # complete. The controller must give up and put the host back,
+        # not deregister it with data aboard.
+        deployment, expected = build_deployment(
+            regions=1, racks=1, hosts_per_rack=2, partitions=2, rows=100
+        )
+        checker = InvariantChecker(deployment)
+        sm = deployment.sm_servers["region0"]
+        victim = shard_owner(deployment)
+        held = set(sm.shards_on_host(victim))
+        fleet = FleetController(
+            deployment,
+            FleetSpec(drain_retry_interval=5.0, drain_max_attempts=2),
+        )
+        op = fleet.decommission(victim)
+        deployment.simulator.run_until(deployment.simulator.now + 100.0)
+        assert op.state is ProvisionState.ABORTED
+        assert "undrainable" in op.note
+        assert victim in sm.registered_hosts()
+        assert deployment.cluster.host(victim).state is HostState.HEALTHY
+        assert set(sm.shards_on_host(victim)) == held
+        assert checker.check_all(label="after-undrainable").ok
+        result = deployment.proxy.submit(sum_query())
+        assert float(result.rows[0][-1]) == pytest.approx(expected)
+
+
+class TestProvision:
+    def test_staged_registration_after_warmup(self):
+        deployment, _ = build_deployment()
+        checker = InvariantChecker(deployment)
+        sm = deployment.sm_servers["region0"]
+        before = set(sm.registered_hosts())
+        fleet = FleetController(
+            deployment, FleetSpec(warmup_delay=30.0, register_stagger=5.0)
+        )
+        added = fleet.provision("region0", 2)
+        assert len(added) == 2
+        # Warm-up: in the cluster, invisible to the SM and invariants.
+        for host_id in added:
+            assert deployment.cluster.host(host_id).state is HostState.HEALTHY
+            assert host_id not in sm.registered_hosts()
+        assert checker.check_all(label="mid-warmup").ok
+        deployment.simulator.run_until(deployment.simulator.now + 60.0)
+        assert set(sm.registered_hosts()) == before | set(added)
+        states = [
+            op.state for op in fleet.operations if op.kind == "provision"
+        ]
+        assert states == [ProvisionState.REGISTERED] * 2
+        assert checker.check_all(label="post-warmup").ok
+
+    def test_registration_is_staggered(self):
+        deployment, _ = build_deployment()
+        fleet = FleetController(
+            deployment, FleetSpec(warmup_delay=30.0, register_stagger=10.0)
+        )
+        added = fleet.provision("region0", 2)
+        sm = deployment.sm_servers["region0"]
+        deployment.simulator.run_until(deployment.simulator.now + 35.0)
+        assert added[0] in sm.registered_hosts()
+        assert added[1] not in sm.registered_hosts()
+        deployment.simulator.run_until(deployment.simulator.now + 10.0)
+        assert added[1] in sm.registered_hosts()
+
+    def test_crash_mid_warmup_aborts_provision(self):
+        deployment, _ = build_deployment()
+        checker = InvariantChecker(deployment)
+        fleet = FleetController(deployment, FleetSpec(warmup_delay=30.0))
+        added = fleet.provision("region0", 1)
+        deployment.automation.handle_host_failure(added[0], permanent=False)
+        deployment.simulator.run_until(deployment.simulator.now + 60.0)
+        op = next(o for o in fleet.operations if o.host_id == added[0])
+        assert op.state is ProvisionState.ABORTED
+        assert added[0] not in deployment.sm_servers["region0"].registered_hosts()
+        assert checker.check_safety(label="after-aborted-provision").ok
+
+    def test_pending_lists_in_flight_operations(self):
+        deployment, _ = build_deployment()
+        fleet = FleetController(deployment, FleetSpec(warmup_delay=30.0))
+        fleet.provision("region0", 1)
+        assert [op.kind for op in fleet.pending()] == ["provision"]
+        deployment.simulator.run_until(deployment.simulator.now + 60.0)
+        assert fleet.pending() == []
+
+
+class TestFleetSpecValidation:
+    def test_rejects_bad_timings(self):
+        with pytest.raises(ConfigurationError):
+            FleetSpec(warmup_delay=-1.0)
+        with pytest.raises(ConfigurationError):
+            FleetSpec(drain_retry_interval=0.0)
+        with pytest.raises(ConfigurationError):
+            FleetSpec(drain_max_attempts=0)

@@ -176,6 +176,67 @@ class TestPartitioningPolicy:
         with pytest.raises(ConfigurationError):
             PartitioningPolicy(max_partitions=4)
 
+    def test_growth_clamps_on_overshoot(self):
+        # Doubling 48 would overshoot a cap of 64; the policy must land
+        # exactly on the cap, not at 96.
+        policy = PartitioningPolicy(
+            max_rows_per_partition=100, min_rows_per_partition=10,
+            max_partitions=64,
+        )
+        assert policy.next_partition_count(48, 500, 48 * 500) == 64
+
+    def test_overloaded_at_cap_never_shrinks(self):
+        # Regression: a skewed table at max_partitions whose hottest
+        # partition is over the growth threshold but whose *average*
+        # is under the shrink threshold used to fall through into the
+        # shrink branch and get halved — making the hot partition worse.
+        policy = PartitioningPolicy(
+            max_rows_per_partition=100, min_rows_per_partition=10,
+            max_partitions=64,
+        )
+        # max partition has 5000 rows, but total 320 → avg 5 < min 10.
+        assert policy.next_partition_count(64, 5000, 320) == 64
+
+    def test_shrink_clamps_to_initial_from_odd_count(self):
+        # 12 // 2 = 6 would undershoot initial=8; must clamp at 8.
+        policy = PartitioningPolicy(
+            initial_partitions=8,
+            max_rows_per_partition=1000, min_rows_per_partition=100,
+        )
+        assert policy.next_partition_count(12, 50, 12 * 50) == 8
+
+    def test_below_initial_never_shrinks_further(self):
+        # A table created with fewer partitions than the policy initial
+        # (e.g. policy changed after creation) must not shrink at all.
+        policy = PartitioningPolicy(
+            initial_partitions=8,
+            max_rows_per_partition=1000, min_rows_per_partition=100,
+        )
+        assert policy.next_partition_count(4, 1, 4) == 4
+
+    def test_above_cap_never_grows_further(self):
+        # Likewise a table already above the cap stays put even when
+        # overloaded: growth is gated on current < max_partitions.
+        policy = PartitioningPolicy(
+            max_rows_per_partition=100, min_rows_per_partition=10,
+            max_partitions=64,
+        )
+        assert policy.next_partition_count(128, 5000, 128 * 5000) == 128
+
+    def test_boundary_rows_do_not_trigger(self):
+        # Exactly at the thresholds: no growth at == max rows, no
+        # shrink at average == min rows.
+        policy = PartitioningPolicy(
+            max_rows_per_partition=100, min_rows_per_partition=10,
+        )
+        assert policy.next_partition_count(16, 100, 16 * 100) == 16
+        assert policy.next_partition_count(16, 10, 16 * 10) == 16
+
+    def test_invalid_current_rejected(self):
+        policy = PartitioningPolicy()
+        with pytest.raises(ConfigurationError):
+            policy.next_partition_count(0, 10, 10)
+
 
 class TestRecordAssignment:
     @pytest.fixture

@@ -182,6 +182,71 @@ class TestBalancer:
         proposals = balancer.propose(hosted)
         assert proposals == []
 
+    def test_in_flight_drop_not_double_counted(self):
+        # Regression: during a graceful drop the departing replica keeps
+        # reporting its metric for a grace window while the new owner
+        # already reports provisional load. Raw host_load then counts the
+        # migrating shard on *both* hosts, making the old host look
+        # overloaded and triggering spurious follow-up moves.
+        cluster, spec, metrics = self._balanced_env()
+        hosts = cluster.host_ids()
+        hosted = {}
+        for i, host in enumerate(hosts):
+            metrics.report_shard(i, host, 20.0, now=0.0)
+            hosted[host] = {i}
+        # Shard 99 migrated away from hosts[0] but its metric lingers
+        # there through the drop grace period; SM's assignment table
+        # (hosted) no longer lists it on hosts[0].
+        metrics.report_shard(99, hosts[0], 100.0, now=0.0)
+        metrics.report_shard(99, hosts[1], 100.0, now=0.0)
+        hosted[hosts[1]].add(99)
+        balancer = LoadBalancer(spec, cluster, metrics)
+        proposals = balancer.propose(hosted)
+        # hosts[0] owns only its balanced 20-load shard; nothing should
+        # be proposed away from it on account of the phantom 100.
+        assert all(p.from_host != hosts[0] for p in proposals)
+
+    def test_replicas_do_not_pile_onto_one_destination(self):
+        # Two replicas of shard 7 live on two small overloaded hosts; a
+        # large empty host is the obvious receiver. Only one replica may
+        # move there in a single run — the second proposal targeting the
+        # same destination slot would co-locate both replicas.
+        cluster = Cluster.build(regions=1, racks_per_region=1, hosts_per_rack=3)
+        spec = ServiceSpec(name="t", load_imbalance_tolerance=0.0)
+        metrics = MetricsStore()
+        h0, h1, h2 = cluster.host_ids()
+        metrics.report_capacity(h0, 100.0)
+        metrics.report_capacity(h1, 100.0)
+        metrics.report_capacity(h2, 1000.0)
+        metrics.report_shard(7, h0, 40.0, now=0.0)
+        metrics.report_shard(7, h1, 40.0, now=0.0)
+        hosted = {h0: {7}, h1: {7}}
+        balancer = LoadBalancer(spec, cluster, metrics)
+        proposals = balancer.propose(hosted)
+        assert [p.shard_id for p in proposals] == [7]
+
+    def test_proposed_shard_does_not_chain_within_run(self):
+        # A shard proposed A→B must not be re-proposed B→C later in the
+        # same run: each shard moves at most once per balancing pass.
+        cluster = Cluster.build(regions=1, racks_per_region=1, hosts_per_rack=4)
+        spec = ServiceSpec(name="t", load_imbalance_tolerance=0.0)
+        metrics = MetricsStore()
+        hosts = cluster.host_ids()
+        for host in hosts[:2]:
+            metrics.report_capacity(host, 100.0)
+        for host in hosts[2:]:
+            metrics.report_capacity(host, 1000.0)
+        hosted = {}
+        for i, host in enumerate(hosts[:2]):
+            metrics.report_shard(i, host, 60.0, now=0.0)
+            hosted[host] = {i}
+        balancer = LoadBalancer(spec, cluster, metrics)
+        proposals = balancer.propose(hosted)
+        seen = [p.shard_id for p in proposals]
+        assert len(seen) == len(set(seen))
+        for p in proposals:
+            assert p.from_host in hosts[:2]
+
     def test_imbalance_metric(self):
         cluster, spec, metrics = self._balanced_env()
         hosts = cluster.host_ids()
