@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cubrick.kernels import EncodedColumn
 from repro.errors import CubrickError
 
 DIMENSION_DTYPE = np.int64
@@ -48,6 +49,23 @@ class BrickStats:
     evicted: bool = False
     ssd_bytes: int = 0
     io_reads: int = 0
+    #: Columns with a live per-brick dictionary, and their total entries.
+    encoded_columns: int = 0
+    dictionary_entries: int = 0
+
+
+@dataclass
+class _EncodedCache:
+    """A column's per-brick dictionary encoding, plus coverage row count.
+
+    ``rows`` records how many rows the codes cover; appends don't
+    invalidate the cache — the next :meth:`Brick.encoded` read extends
+    it incrementally (union the tail's values into the dictionary, remap
+    the old codes only when the dictionary actually grew)."""
+
+    codes: np.ndarray
+    dictionary: np.ndarray
+    rows: int
 
 
 class Brick:
@@ -61,10 +79,15 @@ class Brick:
     """
 
     def __init__(self, brick_id: int, dimension_names: tuple[str, ...],
-                 metric_names: tuple[str, ...]):
+                 metric_names: tuple[str, ...],
+                 encoded_dimensions: tuple[str, ...] = ()):
         self.brick_id = brick_id
         self.dimension_names = dimension_names
         self.metric_names = metric_names
+        #: Dimensions that carry a per-brick dictionary (high-cardinality
+        #: entity columns — see ``TableSchema.encoded_dimension_names``).
+        self.encoded_dimensions = tuple(encoded_dimensions)
+        self._encoded: dict[str, _EncodedCache] = {}
         self._column_names = dimension_names + metric_names
         #: Sealed numpy chunks per column (the bulk-load fast path).
         self._chunks: dict[str, list[np.ndarray]] = {
@@ -184,6 +207,42 @@ class Brick:
             self._arrays = arrays
         return self._arrays
 
+    def encoded(self, name: str) -> EncodedColumn:
+        """The column's per-brick dictionary encoding (built lazily).
+
+        Returns ``EncodedColumn(codes, dictionary)`` with ``dictionary``
+        sorted ascending and ``dictionary[codes]`` reconstructing the
+        raw column. The first read after a load pays one ``np.unique``;
+        subsequent appends extend the cache incrementally: the appended
+        tail's values union into the dictionary, and the old codes remap
+        only when the dictionary actually grew. Compression and SSD
+        eviction drop the cache (it's memory the monitor wants back) —
+        the next scan after decompression rebuilds it.
+        """
+        values = self.columns()[name]
+        cached = self._encoded.get(name)
+        if cached is not None and cached.rows == len(values):
+            return EncodedColumn(cached.codes, cached.dictionary)
+        if cached is None or cached.rows > len(values):
+            dictionary, codes = np.unique(values, return_inverse=True)
+            codes = codes.astype(np.int64)
+        else:
+            tail = values[cached.rows:]
+            old_dict = cached.dictionary
+            new_dict = np.union1d(old_dict, tail)
+            tail_codes = np.searchsorted(new_dict, tail)
+            if len(new_dict) == len(old_dict):
+                dictionary = old_dict
+                codes = np.concatenate([cached.codes, tail_codes])
+            else:
+                remap = np.searchsorted(new_dict, old_dict)
+                dictionary = new_dict
+                codes = np.concatenate(
+                    [remap[cached.codes], tail_codes]
+                )
+        self._encoded[name] = _EncodedCache(codes, dictionary, len(values))
+        return EncodedColumn(codes, dictionary)
+
     # ------------------------------------------------------------------
     # Hotness decay (paper §IV-F2)
     # ------------------------------------------------------------------
@@ -224,6 +283,7 @@ class Brick:
         self._arrays = None
         self._chunks = {name: [] for name in self._column_names}
         self._pending = {name: [] for name in self._column_names}
+        self._encoded = {}
 
     def _decompress(self) -> None:
         assert self._compressed is not None
@@ -326,4 +386,8 @@ class Brick:
             evicted=self.is_evicted,
             ssd_bytes=self.ssd_bytes(),
             io_reads=self.io_reads,
+            encoded_columns=len(self._encoded),
+            dictionary_entries=sum(
+                len(c.dictionary) for c in self._encoded.values()
+            ),
         )

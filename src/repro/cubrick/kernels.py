@@ -4,27 +4,36 @@ The scan hot path (``PartitionStorage._scan_brick``) runs one of these
 kernels per aggregate instead of a per-group Python loop:
 
 * Composite group keys are encoded into a single int64 code per row
-  (mixed-radix over the per-column unique values), so grouping needs one
-  1-D ``np.unique`` instead of ``np.unique(stacked, axis=0)``.
+  (mixed-radix over the per-column value dictionaries). Columns that are
+  dictionary-encoded in the brick (:class:`EncodedColumn`) contribute
+  their pre-computed dense codes directly — no per-scan sort at all.
+* The dense group index is recovered from the codes by *dense bincount
+  compaction* when the code space is small enough (one O(n + space)
+  counting pass), falling back to a sort-partitioned ``np.unique`` for
+  huge code spaces.
 * SUM/COUNT/AVG are single ``np.bincount`` passes over the dense group
   index (COUNT without weights, SUM with the metric as weights, AVG as
   the (sum, count) state pair).
-* MIN/MAX sort rows by group index once and segment-reduce with
-  ``np.minimum.reduceat`` / ``np.maximum.reduceat``.
-* COUNT_DISTINCT lexsorts (group, value) pairs and sweeps consecutive
-  duplicates, yielding the per-group distinct-value sets that Cubrick
-  keeps as merge-friendly partial state.
+* MIN/MAX are unbuffered scatter kernels (``np.minimum.at`` /
+  ``np.maximum.at`` into a ±inf-initialised accumulator) — no sort, no
+  reduceat, O(n) regardless of group count.
+* COUNT_DISTINCT produces compact *(group, value)* pair arrays: values
+  are dictionary-coded (integers directly, floats via one
+  ``np.unique``), combined with the group index into composite codes and
+  deduplicated by the same dense-or-sort compaction. The pair arrays are
+  the merge-friendly partial state that crosses node → coordinator (see
+  :class:`repro.cubrick.query.DistinctState` for the scalar form).
 
-Grouped kernels accumulate in row order (``bincount`` adds weights
-sequentially), exactly like a row-at-a-time reference aggregator. The
-ungrouped path (:func:`scalar_state`) uses numpy's standard reductions,
-which are faster but may reassociate additions; on exactly-representable
-inputs every summation order yields identical bits, which is what
-``tests/test_kernels_differential.py`` pins against a pure-Python
-reference aggregator.
+Grouped SUM kernels accumulate in row order (``bincount`` adds weights
+sequentially), exactly like a row-at-a-time reference aggregator. On
+exactly-representable inputs every summation order yields identical
+bits, which is what ``tests/test_kernels_differential.py`` pins against
+a pure-Python reference aggregator.
 """
 
 from __future__ import annotations
+
+from typing import NamedTuple, Sequence, Union
 
 import numpy as np
 
@@ -36,8 +45,70 @@ from repro.errors import QueryError
 _MAX_CODE_SPACE = float(2**62)
 
 
+class EncodedColumn(NamedTuple):
+    """A dictionary-encoded group-key column.
+
+    ``codes[i]`` indexes into ``dictionary`` (sorted ascending), so
+    ``dictionary[codes]`` reconstructs the raw values. Bricks carry one
+    dictionary per encoded dimension; the scan hands the codes straight
+    to :func:`encode_group_keys`, skipping the per-scan ``np.unique``
+    sort a raw column would need.
+    """
+
+    codes: np.ndarray
+    dictionary: np.ndarray
+
+
+GroupColumn = Union[np.ndarray, EncodedColumn]
+
+
+def _dense_ok(space: int, n: int) -> bool:
+    """Whether a code space is small enough for bincount compaction.
+
+    A counting pass allocates ``space`` int64 slots; we allow it while
+    that stays within a small multiple of the row count (or a 64Ki
+    floor, where the allocation is trivially cheap).
+    """
+    return space <= max(4 * n, 1 << 16)
+
+
+def compact_codes(
+    codes: np.ndarray, space: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dense group index from composite codes.
+
+    Returns ``(group_idx, unique_codes)`` with ``unique_codes`` sorted
+    ascending — the radix/sort-partitioned step of the group-by: a dense
+    O(n + space) bincount pass when the code space is small, a
+    sort-partitioned ``np.unique`` above that threshold.
+    """
+    n = len(codes)
+    if n == 0:
+        return codes.astype(np.int64), np.empty(0, dtype=np.int64)
+    if _dense_ok(space, n):
+        counts = np.bincount(codes, minlength=space)
+        unique_codes = np.flatnonzero(counts)
+        lookup = np.zeros(space, dtype=np.int64)
+        lookup[unique_codes] = np.arange(len(unique_codes))
+        return lookup[codes], unique_codes
+    unique_codes, group_idx = np.unique(codes, return_inverse=True)
+    return group_idx, unique_codes
+
+
+def _column_codes(column: GroupColumn) -> tuple[np.ndarray, np.ndarray]:
+    """(codes, dictionary) for one group-key column.
+
+    Encoded columns pass their load-time codes through unchanged; raw
+    columns pay one ``np.unique`` here (the pre-dictionary behaviour).
+    """
+    if isinstance(column, EncodedColumn):
+        return np.asarray(column.codes), np.asarray(column.dictionary)
+    uniques, inverse = np.unique(np.asarray(column), return_inverse=True)
+    return inverse, uniques.astype(np.int64)
+
+
 def encode_group_keys(
-    key_columns: list[np.ndarray],
+    key_columns: Sequence[GroupColumn],
 ) -> tuple[np.ndarray, np.ndarray]:
     """Encode composite group keys into a dense group index per row.
 
@@ -50,42 +121,45 @@ def encode_group_keys(
     """
     if not key_columns:
         raise QueryError("encode_group_keys needs at least one key column")
-    if len(key_columns) == 1:
-        uniques, group_idx = np.unique(
-            np.asarray(key_columns[0]), return_inverse=True
-        )
-        return group_idx, uniques.astype(np.int64).reshape(-1, 1)
+    per_column = [_column_codes(column) for column in key_columns]
+    if len(per_column) == 1:
+        codes, dictionary = per_column[0]
+        group_idx, unique_codes = compact_codes(codes, len(dictionary))
+        return group_idx, dictionary[unique_codes].astype(np.int64).reshape(-1, 1)
 
-    per_column = [
-        np.unique(np.asarray(col), return_inverse=True) for col in key_columns
-    ]
     code_space = 1.0
-    for uniques, __ in per_column:
-        code_space *= max(len(uniques), 1)
+    for __, dictionary in per_column:
+        code_space *= max(len(dictionary), 1)
     if code_space > _MAX_CODE_SPACE:
         # Pathological cardinality product: encode by row instead.
         stacked = np.stack(
-            [np.asarray(col) for col in key_columns], axis=1
+            [
+                col.dictionary[col.codes]
+                if isinstance(col, EncodedColumn)
+                else np.asarray(col)
+                for col in key_columns
+            ],
+            axis=1,
         )
         unique_rows, group_idx = np.unique(
             stacked, axis=0, return_inverse=True
         )
         return group_idx, unique_rows.astype(np.int64)
 
-    codes = np.zeros(len(per_column[0][1]), dtype=np.int64)
-    for uniques, inverse in per_column:
-        codes = codes * len(uniques) + inverse
-    unique_codes, group_idx = np.unique(codes, return_inverse=True)
+    codes = np.zeros(len(per_column[0][0]), dtype=np.int64)
+    for column_codes, dictionary in per_column:
+        codes = codes * len(dictionary) + column_codes
+    group_idx, unique_codes = compact_codes(codes, int(code_space))
 
     # Decode the surviving codes back into key tuples (mixed radix).
     unique_keys = np.empty(
         (len(unique_codes), len(key_columns)), dtype=np.int64
     )
     remainder = unique_codes
-    for j in range(len(key_columns) - 1, -1, -1):
-        uniques = per_column[j][0]
-        unique_keys[:, j] = uniques[remainder % len(uniques)]
-        remainder = remainder // len(uniques)
+    for j in range(len(per_column) - 1, -1, -1):
+        dictionary = per_column[j][1]
+        unique_keys[:, j] = dictionary[remainder % len(dictionary)]
+        remainder = remainder // len(dictionary)
     return group_idx, unique_keys
 
 
@@ -102,103 +176,143 @@ def group_sums(
     return np.bincount(group_idx, weights=values, minlength=n_groups)
 
 
-def _group_extreme(
-    group_idx: np.ndarray, values: np.ndarray, ufunc: np.ufunc
-) -> np.ndarray:
-    order = np.argsort(group_idx, kind="stable")
-    sorted_values = values[order]
-    sorted_idx = group_idx[order]
-    starts = np.flatnonzero(
-        np.r_[True, sorted_idx[1:] != sorted_idx[:-1]]
-    )
-    return ufunc.reduceat(sorted_values, starts)
-
-
-def group_mins(group_idx: np.ndarray, values: np.ndarray) -> np.ndarray:
-    """Per-group minimum via one stable sort + segmented reduce."""
-    return _group_extreme(group_idx, values, np.minimum)
-
-
-def group_maxs(group_idx: np.ndarray, values: np.ndarray) -> np.ndarray:
-    """Per-group maximum via one stable sort + segmented reduce."""
-    return _group_extreme(group_idx, values, np.maximum)
-
-
-def group_distinct_sets(
+def group_mins(
     group_idx: np.ndarray, values: np.ndarray, n_groups: int
-) -> list[frozenset]:
-    """Per-group distinct-value sets via a sorted (group, value) sweep.
+) -> np.ndarray:
+    """Per-group minimum via one ``np.minimum.at`` scatter pass."""
+    out = np.full(n_groups, np.inf)
+    np.minimum.at(out, group_idx, values)
+    return out
 
-    One lexsort orders rows by (group, value); consecutive duplicates
-    are dropped with a shifted comparison, and the survivors are split
-    at group boundaries. The frozensets are the COUNT_DISTINCT partial
-    state (they merge associatively across partitions).
+
+def group_maxs(
+    group_idx: np.ndarray, values: np.ndarray, n_groups: int
+) -> np.ndarray:
+    """Per-group maximum via one ``np.maximum.at`` scatter pass."""
+    out = np.full(n_groups, -np.inf)
+    np.maximum.at(out, group_idx, values)
+    return out
+
+
+def group_distinct_pairs(
+    group_idx: np.ndarray, values: GroupColumn, n_groups: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deduplicated ``(group, value)`` pairs — the COUNT_DISTINCT state.
+
+    Returns ``(owners, distinct_values)`` sorted by (group, value):
+    ``distinct_values[k]`` is one distinct value of group ``owners[k]``.
+    Values are dictionary-coded first (encoded/integer columns use their
+    codes directly, floats pay one ``np.unique``), then the composite
+    ``group * n_values + value_code`` codes are deduplicated by
+    :func:`compact_codes` — no per-group Python objects anywhere.
     """
-    order = np.lexsort((values, group_idx))
-    sorted_idx = group_idx[order]
-    sorted_values = values[order]
-    keep = np.r_[
-        True,
-        (sorted_idx[1:] != sorted_idx[:-1])
-        | (sorted_values[1:] != sorted_values[:-1]),
-    ]
-    deduped_idx = sorted_idx[keep]
-    deduped_values = sorted_values[keep]
-    starts = np.flatnonzero(
-        np.r_[True, deduped_idx[1:] != deduped_idx[:-1]]
+    if isinstance(values, EncodedColumn):
+        value_codes, dictionary = (
+            np.asarray(values.codes),
+            np.asarray(values.dictionary),
+        )
+    else:
+        array = np.asarray(values)
+        if (
+            np.issubdtype(array.dtype, np.integer)
+            and array.size
+            and 0 <= int(array.min())
+            and float(n_groups) * (int(array.max()) + 1) <= _MAX_CODE_SPACE
+        ):
+            # Non-negative integers that fit the composite code space
+            # are their own codes — skip the dictionary sort entirely.
+            value_codes, dictionary = array, None
+        else:
+            dictionary, value_codes = np.unique(array, return_inverse=True)
+    if dictionary is None:
+        n_values = int(value_codes.max()) + 1 if value_codes.size else 0
+    else:
+        n_values = len(dictionary)
+    if value_codes.size == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+    if float(n_groups) * max(n_values, 1) > _MAX_CODE_SPACE:
+        # Composite code would overflow int64: lexsort the pairs instead.
+        raw = dictionary[value_codes] if dictionary is not None else value_codes
+        order = np.lexsort((raw, group_idx))
+        sorted_idx = group_idx[order]
+        sorted_values = raw[order]
+        keep = np.r_[
+            True,
+            (sorted_idx[1:] != sorted_idx[:-1])
+            | (sorted_values[1:] != sorted_values[:-1]),
+        ]
+        return sorted_idx[keep], sorted_values[keep]
+    codes = group_idx * n_values + value_codes
+    __, unique_codes = compact_codes(codes, n_groups * n_values)
+    owners = unique_codes // n_values
+    value_part = unique_codes % n_values
+    distinct = (
+        dictionary[value_part] if dictionary is not None else value_part
     )
-    ends = np.r_[starts[1:], len(deduped_idx)]
-    return [
-        frozenset(deduped_values[start:end].tolist())
-        for start, end in zip(starts, ends)
-    ]
+    return owners, distinct
 
 
-def grouped_states(
+def grouped_state_arrays(
     func: AggFunc,
     group_idx: np.ndarray,
-    values: np.ndarray | None,
+    values: GroupColumn | None,
     n_groups: int,
     counts: np.ndarray | None = None,
-) -> list:
-    """Per-group merge-friendly states for one aggregate.
+):
+    """Array-form per-group states for one aggregate (one brick scan).
 
     ``counts`` is the precomputed :func:`group_counts` output (shared by
     COUNT and AVG — pass it when either appears in the query); ``values``
-    is the masked metric column (``None`` for COUNT). Returns one state
-    per group, in group-index order, using the plain-Python state types
-    of :mod:`repro.cubrick.query`.
+    is the masked metric column (``None`` for COUNT). The return value
+    is the block-state form consumed by
+    :meth:`repro.cubrick.query.PartialResult.accumulate_block`:
+
+    * SUM/COUNT/MIN/MAX → float64 array of length ``n_groups``
+    * AVG → ``(sums, counts)`` array pair
+    * COUNT_DISTINCT → ``(owners, values)`` pair arrays
     """
     if func is AggFunc.COUNT or func is AggFunc.AVG:
         if counts is None:
             counts = group_counts(group_idx, n_groups)
         if func is AggFunc.COUNT:
-            return counts.tolist()
+            return counts
     if values is None:
         raise QueryError(f"aggregate {func} needs a value column")
-    if func is AggFunc.SUM:
-        return group_sums(group_idx, values, n_groups).tolist()
-    if func is AggFunc.MIN:
-        return group_mins(group_idx, values).tolist()
-    if func is AggFunc.MAX:
-        return group_maxs(group_idx, values).tolist()
-    if func is AggFunc.AVG:
-        sums = group_sums(group_idx, values, n_groups)
-        return list(zip(sums.tolist(), counts.tolist()))
     if func is AggFunc.COUNT_DISTINCT:
-        return group_distinct_sets(group_idx, values, n_groups)
+        return group_distinct_pairs(group_idx, values, n_groups)
+    if isinstance(values, EncodedColumn):
+        values = values.dictionary[values.codes]
+    if func is AggFunc.SUM:
+        return group_sums(group_idx, values, n_groups)
+    if func is AggFunc.MIN:
+        return group_mins(group_idx, values, n_groups)
+    if func is AggFunc.MAX:
+        return group_maxs(group_idx, values, n_groups)
+    if func is AggFunc.AVG:
+        return (group_sums(group_idx, values, n_groups), counts)
     raise QueryError(f"unsupported aggregate: {func}")
 
 
-def scalar_state(func: AggFunc, values: np.ndarray, matched: int):
+def scalar_state(func: AggFunc, values: GroupColumn | None, matched: int):
     """Merge-friendly state for one ungrouped aggregate (``matched`` > 0).
 
     Uses numpy's standard reductions: for the single-group case a
     pairwise SIMD sum beats routing through :func:`group_sums`' one-bin
     bincount by ~5x per brick.
     """
+    from repro.cubrick.query import DistinctState
+
     if func is AggFunc.COUNT:
         return float(matched)
+    if isinstance(values, EncodedColumn):
+        if func is AggFunc.COUNT_DISTINCT:
+            # Distinct codes = distinct values; the dictionary is sorted,
+            # so indexing with the sorted unique codes stays sorted.
+            return DistinctState(values.dictionary[np.unique(values.codes)])
+        values = values.dictionary[values.codes]
     if func is AggFunc.SUM:
         return float(values.sum())
     if func is AggFunc.MIN:
@@ -208,5 +322,5 @@ def scalar_state(func: AggFunc, values: np.ndarray, matched: int):
     if func is AggFunc.AVG:
         return (float(values.sum()), float(matched))
     if func is AggFunc.COUNT_DISTINCT:
-        return frozenset(np.unique(values).tolist())
+        return DistinctState(np.unique(values))
     raise QueryError(f"unsupported aggregate: {func}")

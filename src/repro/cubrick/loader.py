@@ -158,7 +158,9 @@ class StreamingLoader:
                     f"shard {shard} in region {sm.region}"
                 )
             node = sm.app_server(owner)
-            node.insert_columns_into_partition(physical, index, columns)
+            node.insert_columns_into_partition(
+                physical, index, columns, validated=True
+            )
             written = len(rows)
         if info.resharding:
             # Dual-write into the staged layout so the online reshard's

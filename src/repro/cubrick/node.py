@@ -65,6 +65,10 @@ class CubrickNode(ApplicationServer):
         self.catalog = catalog
         self.directory = directory
         self.obs = obs if obs is not None else Observability()
+        # Optional multi-core brick scanning (repro.cubrick.parallel).
+        # None = serial scans; the DES simulation leaves it unset so
+        # seeded runs stay byte-identical.
+        self.parallel_scanner = None
         self.memory_bytes = memory_bytes
         self.ssd_bytes = ssd_bytes
         self.exporter = exporter if exporter is not None else DecompressedSizeExporter()
@@ -383,12 +387,22 @@ class CubrickNode(ApplicationServer):
         surfaces routing staleness instead of silently returning partial
         data. Joins to replicated dimension tables are materialised from
         this node's local replicas.
+
+        When a :class:`~repro.cubrick.parallel.ParallelScanner` is
+        attached (``node.parallel_scanner = scanner``), each partition's
+        brick scans fan out across its worker pool; results are
+        bit-identical to the serial path. The DES simulation never
+        attaches one, so seeded runs stay byte-identical.
         """
+        scanner = self.parallel_scanner
         lookups = self._join_lookups(query)
         partial = PartialResult(query=query)
         for index in partition_indexes:
             storage = self.partition(query.table, index)
-            partial.merge(storage.execute(query, lookups))
+            if scanner is not None:
+                partial.merge(scanner.execute(storage, query, lookups))
+            else:
+                partial.merge(storage.execute(query, lookups))
         return partial
 
     def insert_into_partition(self, table: str, index: int,
@@ -397,11 +411,15 @@ class CubrickNode(ApplicationServer):
         return self.partition(table, index).insert_many(rows)
 
     def insert_columns_into_partition(
-        self, table: str, index: int, columns: dict[str, np.ndarray]
+        self, table: str, index: int, columns: dict[str, np.ndarray],
+        *, validated: bool = False
     ) -> int:
         """Bulk-load column arrays into one locally stored partition
-        (the loader's vectorised flush path)."""
-        return self.partition(table, index).insert_columns(columns)
+        (the loader's vectorised flush path). ``validated=True`` skips
+        re-validation for rows already checked at append time."""
+        return self.partition(table, index).insert_columns(
+            columns, validated=validated
+        )
 
     # ------------------------------------------------------------------
     # Background maintenance

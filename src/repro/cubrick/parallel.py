@@ -1,0 +1,118 @@
+"""Multi-core brick scans: fan one partition's scan across processes.
+
+The scan pipeline is embarrassingly parallel at brick granularity: each
+brick produces an independent array-form partial (one
+:class:`~repro.cubrick.query._Block` per brick) and the coordinator-grade
+merge code combines them. :class:`ParallelScanner` exploits that by
+forking a process pool *after* the partition is loaded — workers inherit
+the parent's bricks through copy-on-write memory (the bricks' sealed
+numpy chunks and zlib blobs are never pickled or copied), scan their
+assigned bricks, and ship back only the compact per-brick partials.
+
+Determinism. The parent merges per-brick partials in brick-id order —
+the exact order the serial scan visits them — so the merged
+``PartialResult`` sees the same block sequence, hits the same compaction
+points, and therefore produces *bit-identical* results for any worker
+count, including the serial fallback. That is what lets the DES
+simulation and the seeded test suites run with parallelism disabled
+(the default) while the benchmark harness turns it on.
+
+The serial fallback also engages automatically when the pool cannot
+help: one brick, one worker, a platform without ``fork``, or a nested
+worker process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.cubrick.query import PartialResult, Query
+from repro.cubrick.storage import PartitionStorage
+
+#: Set in the parent immediately before the pool forks; workers read it
+#: from their copy-on-write memory image. Never set in worker processes.
+_SCAN_CONTEXT: Optional[tuple] = None
+
+
+def _scan_one_brick(brick_id: int) -> PartialResult:
+    """Worker entry point: scan a single brick of the inherited storage."""
+    storage, query, lookups = _SCAN_CONTEXT
+    return storage.scan_bricks(query, [brick_id], lookups)
+
+
+def _fork_available() -> bool:
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return False
+    # A daemonic worker (e.g. inside another pool) cannot fork children.
+    return not multiprocessing.current_process().daemon
+
+
+class ParallelScanner:
+    """Fans a partition's brick scans across a fork-based process pool.
+
+    ``workers`` defaults to the machine's core count. The scanner is
+    stateless between queries: each :meth:`execute` forks a fresh pool so
+    workers always see the partition's current bricks (no cache
+    invalidation protocol), and the pool is torn down before returning.
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = int(workers) if workers else (os.cpu_count() or 1)
+
+    def execute(
+        self,
+        storage: PartitionStorage,
+        query: Query,
+        lookups: Optional[dict[str, tuple[str, np.ndarray]]] = None,
+    ) -> PartialResult:
+        """Execute the query over the partition, scanning bricks in
+        parallel; bit-identical to ``storage.execute(query, lookups)``.
+        """
+        global _SCAN_CONTEXT
+        effective_lookups = lookups if lookups is not None else {}
+        storage._validate_query(query, effective_lookups)
+        brick_ids = storage.candidate_brick_ids(query)
+        if (
+            self.workers <= 1
+            or len(brick_ids) <= 1
+            or not _fork_available()
+        ):
+            partial = storage.scan_bricks(
+                query, brick_ids, effective_lookups
+            )
+            storage.record_scan(partial)
+            return partial
+
+        # Materialise every candidate brick (decompress / load from SSD)
+        # in the parent so the COW image workers inherit is scannable
+        # and the restored state persists after the query — a worker's
+        # decompression would die with the worker. Hotness bumps also
+        # happen here: a worker's touch() lands on its private copy.
+        for brick_id in brick_ids:
+            brick = storage.brick(brick_id)
+            brick.columns()
+            brick.touch()
+
+        ctx = multiprocessing.get_context("fork")
+        _SCAN_CONTEXT = (storage, query, effective_lookups)
+        try:
+            with ctx.Pool(processes=min(self.workers, len(brick_ids))) as pool:
+                chunksize = max(1, len(brick_ids) // (self.workers * 4))
+                partials = pool.map(
+                    _scan_one_brick, brick_ids, chunksize=chunksize
+                )
+        finally:
+            _SCAN_CONTEXT = None
+
+        # pool.map preserves input order, so merging left to right is the
+        # serial scan's brick-id order: same block sequence, same
+        # compaction points, bit-identical result.
+        merged = PartialResult(query=query)
+        for partial in partials:
+            merged.merge(partial)
+        storage.record_scan(merged)
+        return merged

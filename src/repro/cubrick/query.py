@@ -17,6 +17,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
+import numpy as np
+
 from repro.errors import QueryError
 
 
@@ -228,7 +230,61 @@ class Query:
 #:   MIN   -> float or None
 #:   MAX   -> float or None
 #:   AVG   -> (sum, count)
+#:   COUNT_DISTINCT -> DistinctState (compact sorted-unique value array)
 AggState = object
+
+
+class DistinctState:
+    """Compact COUNT_DISTINCT partial state: a sorted-unique value array.
+
+    This is what crosses node → coordinator instead of a Python
+    frozenset: one int64/float64 numpy array per group, merged by
+    ``np.union1d``-style concatenate+unique. ``coerce`` accepts legacy
+    frozensets (and any iterable) so hand-written reference aggregators
+    keep working against the same merge machinery.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: np.ndarray):
+        self.values = values
+
+    @classmethod
+    def empty(cls) -> "DistinctState":
+        return cls(np.empty(0, dtype=np.int64))
+
+    @classmethod
+    def coerce(cls, obj) -> "DistinctState":
+        if isinstance(obj, DistinctState):
+            return obj
+        if isinstance(obj, np.ndarray):
+            return cls(np.unique(obj))
+        values = list(obj)
+        if not values:
+            return cls.empty()
+        return cls(np.unique(np.asarray(values)))
+
+    def union(self, other: "DistinctState") -> "DistinctState":
+        if not len(other.values):
+            return self
+        if not len(self.values):
+            return other
+        return DistinctState(np.union1d(self.values, other.values))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __eq__(self, other) -> bool:
+        mine = self.values
+        theirs = (
+            other.values
+            if isinstance(other, DistinctState)
+            else DistinctState.coerce(other).values
+        )
+        return len(mine) == len(theirs) and bool(np.all(mine == theirs))
+
+    def __repr__(self) -> str:
+        return f"DistinctState({self.values.tolist()!r})"
 
 
 def initial_state(func: AggFunc) -> AggState:
@@ -237,7 +293,7 @@ def initial_state(func: AggFunc) -> AggState:
     if func is AggFunc.MIN or func is AggFunc.MAX:
         return None
     if func is AggFunc.COUNT_DISTINCT:
-        return frozenset()
+        return DistinctState.empty()
     return (0.0, 0.0)  # AVG
 
 
@@ -257,7 +313,7 @@ def merge_states(func: AggFunc, a: AggState, b: AggState) -> AggState:
             return a
         return max(a, b)
     if func is AggFunc.COUNT_DISTINCT:
-        return frozenset(a) | frozenset(b)
+        return DistinctState.coerce(a).union(DistinctState.coerce(b))
     return (a[0] + b[0], a[1] + b[1])  # AVG
 
 
@@ -273,21 +329,95 @@ def finalize_state(func: AggFunc, state: AggState) -> Optional[float]:
 
 
 @dataclass
+class _Block:
+    """Array-form per-group states from one brick scan (or a compaction).
+
+    ``keys`` is an ``(n_groups, n_key_cols)`` int64 array of distinct
+    group keys in lexicographic order; ``states`` holds one array-form
+    state per aggregation (see
+    :func:`repro.cubrick.kernels.grouped_state_arrays`). Blocks append
+    in O(1) during scans and merges; they are only consolidated when the
+    block list grows past the compaction threshold, and once more at
+    finalize.
+    """
+
+    keys: np.ndarray
+    states: list
+
+
+#: Consolidate pending blocks whenever this many accumulate, bounding
+#: the memory a long merge chain (node → coordinator) can hold.
+_COMPACT_THRESHOLD = 64
+
+
+@dataclass
 class PartialResult:
-    """Per-group aggregate states from one partition (or a merge)."""
+    """Per-group aggregate states from one partition (or a merge).
+
+    Two accumulation paths coexist:
+
+    * :meth:`accumulate_block` — the vectorised scan path: per-brick
+      group keys and array-form states append as a :class:`_Block`
+      without touching a Python dict. Blocks merge by concatenation and
+      are consolidated lazily (dense re-encode + bincount/scatter
+      kernels), so node→coordinator merges stay O(groups) array work.
+    * :meth:`accumulate` — the row/scalar path: plain-Python states
+      keyed by group tuple, used by ungrouped aggregates and by
+      row-at-a-time reference aggregators in tests.
+    """
 
     query: Query
-    groups: dict[tuple[int, ...], list[AggState]] = field(default_factory=dict)
     rows_scanned: int = 0
     bricks_scanned: int = 0
+    _blocks: list[_Block] = field(default_factory=list, repr=False)
+    _groups: dict[tuple[int, ...], list[AggState]] = field(
+        default_factory=dict, repr=False
+    )
+
+    @property
+    def groups(self) -> dict[tuple[int, ...], list[AggState]]:
+        """All per-group states as plain-Python state objects.
+
+        Consolidates any pending array blocks first; the returned dict
+        is a materialised *view* — mutate states through
+        :meth:`accumulate`, not through this dict.
+        """
+        if not self._blocks:
+            return self._groups
+        out: dict[tuple[int, ...], list[AggState]] = {}
+        block = self._consolidated()
+        if block is not None:
+            keys = [tuple(row) for row in block.keys.tolist()]
+            for i, agg in enumerate(self.query.aggregations):
+                states = _block_states_to_python(
+                    agg.func, block.states[i], len(keys)
+                )
+                for key, state in zip(keys, states):
+                    out.setdefault(key, []).append(state)
+        for key, states in self._groups.items():
+            existing = out.get(key)
+            if existing is None:
+                out[key] = list(states)
+            else:
+                for i, agg in enumerate(self.query.aggregations):
+                    existing[i] = merge_states(
+                        agg.func, existing[i], states[i]
+                    )
+        return out
 
     def accumulate(self, key: tuple[int, ...], states: list[AggState]) -> None:
-        existing = self.groups.get(key)
+        existing = self._groups.get(key)
         if existing is None:
-            self.groups[key] = list(states)
+            self._groups[key] = list(states)
         else:
             for i, agg in enumerate(self.query.aggregations):
                 existing[i] = merge_states(agg.func, existing[i], states[i])
+
+    def accumulate_block(self, keys: np.ndarray, states: list) -> None:
+        """Append one brick scan's array-form states (the fast path)."""
+        self._blocks.append(_Block(keys=keys, states=states))
+        if len(self._blocks) >= _COMPACT_THRESHOLD:
+            self._compact()
 
     def merge(self, other: "PartialResult") -> "PartialResult":
         if other.query.aggregations != self.query.aggregations:
@@ -299,24 +429,69 @@ class PartialResult:
                 "cannot merge partials with different group-bys: "
                 f"{self.query.group_by} vs {other.query.group_by}"
             )
-        for key, states in other.groups.items():
+        self._blocks.extend(other._blocks)
+        if len(self._blocks) >= _COMPACT_THRESHOLD:
+            self._compact()
+        for key, states in other._groups.items():
             self.accumulate(key, states)
         self.rows_scanned += other.rows_scanned
         self.bricks_scanned += other.bricks_scanned
         return self
 
+    # ------------------------------------------------------------------
+    # Block consolidation
+    # ------------------------------------------------------------------
+
+    def _compact(self) -> None:
+        if len(self._blocks) > 1:
+            self._blocks = [_consolidate_blocks(self.query, self._blocks)]
+
+    def _consolidated(self) -> Optional[_Block]:
+        """All pending blocks merged into one canonical block."""
+        if not self._blocks:
+            return None
+        self._compact()
+        return self._blocks[0]
+
+    def _dict_as_block(self) -> Optional[_Block]:
+        """The row-path dict rendered as a block (grouped queries only)."""
+        if not self._groups:
+            return None
+        n_cols = len(self.query.group_by)
+        keys = np.asarray(
+            [list(key) for key in self._groups], dtype=np.int64
+        ).reshape(len(self._groups), n_cols)
+        # Blocks are canonical (lex-sorted by key); dict insertion order
+        # is whatever the row path happened to see first.
+        order = np.lexsort(keys.T[::-1])
+        keys = keys[order]
+        values = list(self._groups.values())
+        all_states = [values[j] for j in order.tolist()]
+        states = [
+            _python_states_to_block(agg.func, [s[i] for s in all_states])
+            for i, agg in enumerate(self.query.aggregations)
+        ]
+        return _Block(keys=keys, states=states)
+
     def finalize(self) -> "QueryResult":
-        rows = []
-        for key in sorted(self.groups):
-            states = self.groups[key]
-            values = [
-                finalize_state(agg.func, state)
-                for agg, state in zip(self.query.aggregations, states)
-            ]
-            rows.append(tuple(key) + tuple(values))
         columns = list(self.query.group_by) + [
             agg.label() for agg in self.query.aggregations
         ]
+        if not self.query.group_by or (
+            not self._blocks and len(self._groups) <= 1
+        ):
+            # Scalar queries (and tiny dict-only partials) take the
+            # plain-Python path.
+            rows = []
+            for key in sorted(self.groups):
+                states = self.groups[key]
+                values = [
+                    finalize_state(agg.func, state)
+                    for agg, state in zip(self.query.aggregations, states)
+                ]
+                rows.append(tuple(key) + tuple(values))
+        else:
+            rows = self._finalize_grouped()
         rows = self._shape_rows(rows, columns)
         return QueryResult(
             columns=tuple(columns),
@@ -324,6 +499,25 @@ class PartialResult:
             rows_scanned=self.rows_scanned,
             bricks_scanned=self.bricks_scanned,
         )
+
+    def _finalize_grouped(self) -> list[tuple]:
+        """Vectorised finalize: one consolidation, then array→row zip."""
+        blocks = list(self._blocks)
+        dict_block = self._dict_as_block()
+        if dict_block is not None:
+            blocks.append(dict_block)
+        if not blocks:
+            return []
+        block = _consolidate_blocks(self.query, blocks)
+        n_groups = len(block.keys)
+        key_columns = [
+            block.keys[:, j].tolist() for j in range(block.keys.shape[1])
+        ]
+        value_columns = [
+            _finalize_block_state(agg.func, state, n_groups)
+            for agg, state in zip(self.query.aggregations, block.states)
+        ]
+        return list(zip(*key_columns, *value_columns))
 
     def _shape_rows(self, rows: list[tuple], columns: list[str]) -> list[tuple]:
         """Apply the query's HAVING / ORDER BY / LIMIT shaping.
@@ -347,6 +541,160 @@ class PartialResult:
         if query.limit is not None:
             rows = rows[: query.limit]
         return rows
+
+
+# ----------------------------------------------------------------------
+# Block-state conversion and consolidation
+# ----------------------------------------------------------------------
+
+
+def _python_states_to_block(func: AggFunc, states: list):
+    """Array-form block state from a list of plain-Python states."""
+    if func is AggFunc.MIN or func is AggFunc.MAX:
+        return np.asarray(
+            [np.nan if s is None else float(s) for s in states],
+            dtype=np.float64,
+        )
+    if func is AggFunc.AVG:
+        return (
+            np.asarray([float(s[0]) for s in states], dtype=np.float64),
+            np.asarray([float(s[1]) for s in states], dtype=np.float64),
+        )
+    if func is AggFunc.COUNT_DISTINCT:
+        owner_parts, value_parts = [], []
+        for i, state in enumerate(states):
+            values = DistinctState.coerce(state).values
+            if len(values):
+                owner_parts.append(np.full(len(values), i, dtype=np.int64))
+                value_parts.append(values)
+        if not owner_parts:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        return np.concatenate(owner_parts), np.concatenate(value_parts)
+    return np.asarray([float(s) for s in states], dtype=np.float64)
+
+
+def _block_states_to_python(func: AggFunc, state, n_groups: int) -> list:
+    """Plain-Python states (one per group) from an array-form block state."""
+    if func is AggFunc.MIN or func is AggFunc.MAX:
+        return [None if np.isnan(v) else v for v in state.tolist()]
+    if func is AggFunc.AVG:
+        sums, counts = state
+        return list(zip(sums.tolist(), counts.tolist()))
+    if func is AggFunc.COUNT_DISTINCT:
+        owners, values = state
+        # owners is sorted ascending; slice each group's run of values
+        # (already sorted-unique within the group).
+        bounds = np.searchsorted(owners, np.arange(n_groups + 1))
+        return [
+            DistinctState(values[bounds[g]:bounds[g + 1]])
+            for g in range(n_groups)
+        ]
+    return state.tolist()
+
+
+def _finalize_block_state(func: AggFunc, state, n_groups: int) -> list:
+    """Final per-group values (column form) from an array-form state."""
+    if func is AggFunc.MIN or func is AggFunc.MAX:
+        return [None if np.isnan(v) else v for v in state.tolist()]
+    if func is AggFunc.AVG:
+        sums, counts = state
+        return [
+            s / c if c else None
+            for s, c in zip(sums.tolist(), counts.tolist())
+        ]
+    if func is AggFunc.COUNT_DISTINCT:
+        owners, __ = state
+        return np.bincount(owners, minlength=n_groups).astype(
+            np.float64
+        ).tolist()
+    return state.tolist()
+
+
+def _empty_block_state(func: AggFunc):
+    if func is AggFunc.AVG:
+        return (np.empty(0, dtype=np.float64), np.empty(0, dtype=np.float64))
+    if func is AggFunc.COUNT_DISTINCT:
+        return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+    return np.empty(0, dtype=np.float64)
+
+
+def _consolidate_blocks(query: Query, blocks: list[_Block]) -> _Block:
+    """Merge blocks into one canonical lex-sorted block.
+
+    All block keys concatenate into one array, re-encode to a dense
+    global group index, and every state array scatters into its global
+    slots — SUM/COUNT/AVG by indexed add (keys are distinct within a
+    block, so plain fancy-index ``+=`` is exact and runs in block
+    order), MIN/MAX by ``np.fmin``/``np.fmax`` against a NaN-initialised
+    accumulator (NaN = "no value yet", so dict-path ``None`` states pass
+    through), COUNT_DISTINCT by remapping owners and re-deduplicating
+    the pair arrays. Deterministic for a fixed block order.
+    """
+    from repro.cubrick import kernels
+
+    blocks = [b for b in blocks if len(b.keys)]
+    if not blocks:
+        n_cols = max(len(query.group_by), 1)
+        return _Block(
+            keys=np.empty((0, n_cols), dtype=np.int64),
+            states=[
+                _empty_block_state(agg.func) for agg in query.aggregations
+            ],
+        )
+    if len(blocks) == 1:
+        return blocks[0]
+    all_keys = np.concatenate([b.keys for b in blocks], axis=0)
+    group_idx, unique_keys = kernels.encode_group_keys(
+        [all_keys[:, j] for j in range(all_keys.shape[1])]
+    )
+    n_groups = len(unique_keys)
+    offsets = np.cumsum([0] + [len(b.keys) for b in blocks])
+    maps = [
+        group_idx[offsets[i]:offsets[i + 1]] for i in range(len(blocks))
+    ]
+    states = []
+    for i, agg in enumerate(query.aggregations):
+        func = agg.func
+        if func is AggFunc.MIN or func is AggFunc.MAX:
+            combine = np.fmin if func is AggFunc.MIN else np.fmax
+            out = np.full(n_groups, np.nan)
+            for m, b in zip(maps, blocks):
+                out[m] = combine(out[m], b.states[i])
+            states.append(out)
+        elif func is AggFunc.AVG:
+            sums = np.zeros(n_groups)
+            counts = np.zeros(n_groups)
+            for m, b in zip(maps, blocks):
+                s, c = b.states[i]
+                sums[m] += s
+                counts[m] += c
+            states.append((sums, counts))
+        elif func is AggFunc.COUNT_DISTINCT:
+            owner_parts, value_parts = [], []
+            for m, b in zip(maps, blocks):
+                owners, values = b.states[i]
+                if len(owners):
+                    owner_parts.append(m[owners])
+                    value_parts.append(values)
+            if owner_parts:
+                states.append(
+                    kernels.group_distinct_pairs(
+                        np.concatenate(owner_parts),
+                        np.concatenate(value_parts),
+                        n_groups,
+                    )
+                )
+            else:
+                states.append(_empty_block_state(func))
+        else:  # SUM / COUNT
+            out = np.zeros(n_groups)
+            for m, b in zip(maps, blocks):
+                out[m] += b.states[i]
+            states.append(out)
+    return _Block(keys=unique_keys, states=states)
 
 
 @dataclass

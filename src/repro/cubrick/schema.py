@@ -18,6 +18,12 @@ from repro.errors import InvalidTableNameError, SchemaError
 
 PARTITION_SEPARATOR = "#"
 
+#: Dimensions at or above this cardinality default to per-brick
+#: dictionary encoding (entity-style columns: users, devices, ads).
+#: Below it the raw int64 column is already compact enough that the
+#: dictionary would cost more than the per-scan ``np.unique`` it saves.
+DICT_ENCODE_THRESHOLD = 1024
+
 
 def validate_table_name(name: str) -> str:
     """Validate and return a table name (no ``#``, non-empty)."""
@@ -61,6 +67,9 @@ class Dimension:
     name: str
     cardinality: int
     range_size: int = 0  # 0 = one bucket spanning the whole domain
+    #: Per-brick dictionary encoding: True/False forces it on/off, None
+    #: defers to the cardinality heuristic (``DICT_ENCODE_THRESHOLD``).
+    dict_encode: bool | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -74,6 +83,13 @@ class Dimension:
             raise SchemaError(
                 f"dimension {self.name}: range_size must be non-negative"
             )
+
+    @property
+    def should_dict_encode(self) -> bool:
+        """Whether bricks keep a per-brick dictionary for this column."""
+        if self.dict_encode is not None:
+            return self.dict_encode
+        return self.cardinality >= DICT_ENCODE_THRESHOLD
 
     @property
     def effective_range_size(self) -> int:
@@ -145,6 +161,11 @@ class TableSchema:
     def column_names(self) -> tuple[str, ...]:
         return self.dimension_names + self.metric_names
 
+    @property
+    def encoded_dimension_names(self) -> tuple[str, ...]:
+        """Dimensions bricks dictionary-encode (high-cardinality ones)."""
+        return tuple(d.name for d in self.dimensions if d.should_dict_encode)
+
     def dimension(self, name: str) -> Dimension:
         for d in self.dimensions:
             if d.name == name:
@@ -166,6 +187,7 @@ class TableSchema:
                     "name": d.name,
                     "cardinality": d.cardinality,
                     "range_size": d.range_size,
+                    "dict_encode": d.dict_encode,
                 }
                 for d in self.dimensions
             ],
@@ -181,6 +203,7 @@ class TableSchema:
                     name=d["name"],
                     cardinality=int(d["cardinality"]),
                     range_size=int(d.get("range_size", 0)),
+                    dict_encode=d.get("dict_encode"),
                 )
                 for d in payload["dimensions"]
             ]

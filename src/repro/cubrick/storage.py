@@ -19,9 +19,10 @@ import numpy as np
 from repro.cubrick.bricks import DIMENSION_DTYPE, METRIC_DTYPE, Brick
 from repro.cubrick.granular import GranularIndex
 from repro.cubrick.kernels import (
+    EncodedColumn,
     encode_group_keys,
     group_counts,
-    grouped_states,
+    grouped_state_arrays,
     scalar_state,
 )
 from repro.cubrick.query import (
@@ -57,6 +58,7 @@ class PartitionStorage:
         self.partition_index = partition_index
         self.index = GranularIndex(schema)
         self._bricks: dict[int, Brick] = {}
+        self._encoded_dims = frozenset(schema.encoded_dimension_names)
         self._rows = 0
         if obs is not None:
             metrics = obs.metrics
@@ -92,6 +94,7 @@ class PartitionStorage:
                 brick_id,
                 self.schema.dimension_names,
                 self.schema.metric_names,
+                encoded_dimensions=self.schema.encoded_dimension_names,
             )
             self._bricks[brick_id] = brick
         brick.append(row)
@@ -108,12 +111,17 @@ class PartitionStorage:
             count += 1
         return count
 
-    def insert_columns(self, columns: dict[str, np.ndarray]) -> int:
+    def insert_columns(
+        self, columns: dict[str, np.ndarray], *, validated: bool = False
+    ) -> int:
         """Vectorised bulk load from column arrays (the fast path).
 
         All schema columns must be present with equal lengths; dimension
         domains are validated vectorised, rows are routed to bricks in
         one pass (the ingestion-rate story of the Cubrick paper [22]).
+        ``validated=True`` skips the per-column domain checks for callers
+        that already validated every row (the streaming loader validates
+        at append time — re-checking on flush would double the cost).
         """
         lengths = {
             name: len(np.asarray(columns[name]))
@@ -128,10 +136,16 @@ class PartitionStorage:
         n = next(iter(lengths.values()))
         if n == 0:
             return 0
-        dim_arrays = {
-            d.name: self._validated_dimension_column(d, columns[d.name])
-            for d in self.schema.dimensions
-        }
+        if validated:
+            dim_arrays = {
+                d.name: np.asarray(columns[d.name], dtype=DIMENSION_DTYPE)
+                for d in self.schema.dimensions
+            }
+        else:
+            dim_arrays = {
+                d.name: self._validated_dimension_column(d, columns[d.name])
+                for d in self.schema.dimensions
+            }
         metric_arrays = {
             m.name: np.asarray(columns[m.name], dtype=np.float64)
             for m in self.schema.metrics
@@ -150,6 +164,7 @@ class PartitionStorage:
                     brick_id,
                     self.schema.dimension_names,
                     self.schema.metric_names,
+                    encoded_dimensions=self.schema.encoded_dimension_names,
                 )
                 self._bricks[brick_id] = brick
             rows_slice = order[start:end]
@@ -305,19 +320,51 @@ class PartitionStorage:
         """
         effective_lookups = lookups if lookups is not None else {}
         self._validate_query(query, effective_lookups)
-        partial = PartialResult(query=query)
+        partial = self.scan_bricks(
+            query, self.candidate_brick_ids(query), effective_lookups
+        )
+        self.record_scan(partial)
+        return partial
+
+    def candidate_brick_ids(self, query: Query) -> list[int]:
+        """Brick ids surviving Granular Partitioning pruning, in id order.
+
+        The scan unit list for both the serial path and the
+        :class:`~repro.cubrick.parallel.ParallelScanner` fan-out —
+        scanning these in id order is what makes results deterministic
+        regardless of how the list is split across workers.
+        """
         buckets = self._filter_buckets(query.filters)
-        candidate_ids = self.index.prune(buckets, sorted(self._bricks))
-        for brick_id in candidate_ids:
+        return list(self.index.prune(buckets, sorted(self._bricks)))
+
+    def scan_bricks(
+        self,
+        query: Query,
+        brick_ids: Iterable[int],
+        lookups: Optional[dict[str, tuple[str, np.ndarray]]] = None,
+    ) -> PartialResult:
+        """Scan the given bricks (already pruned) into one partial.
+
+        Does not touch observability counters — callers that complete a
+        logical query over this partition call :meth:`record_scan` on
+        the merged partial exactly once.
+        """
+        effective_lookups = lookups if lookups is not None else {}
+        self._validate_query(query, effective_lookups)
+        partial = PartialResult(query=query)
+        for brick_id in brick_ids:
             brick = self._bricks[brick_id]
             brick.touch()
             partial.bricks_scanned += 1
             self._scan_brick(brick, query, partial, effective_lookups)
+        return partial
+
+    def record_scan(self, partial: PartialResult) -> None:
+        """Record one completed partition scan in the obs counters."""
         if self._scanned_counter is not None:
             self._scanned_counter.inc(partial.bricks_scanned)
             self._pruned_counter.inc(len(self._bricks) - partial.bricks_scanned)
             self._rows_scanned_counter.inc(partial.rows_scanned)
-        return partial
 
     def _validate_query(
         self, query: Query, lookups: dict[str, tuple[str, np.ndarray]]
@@ -394,15 +441,21 @@ class PartitionStorage:
             return
         unmasked = matched == brick.rows
 
-        def column(name: str) -> np.ndarray:
+        def column(name: str):
+            # Dictionary-encoded dimensions hand the scan their dense
+            # per-brick codes — no per-scan np.unique sort downstream.
+            if "." not in name and name in self._encoded_dims:
+                enc = brick.encoded(name)
+                codes = enc.codes if unmasked else enc.codes[mask]
+                return EncodedColumn(codes, enc.dictionary)
             values = self._resolve_column(name, arrays, lookups)
             return values if unmasked else values[mask]
 
         # Metric columns are masked at most once even when aggregated
         # several ways.
-        masked_columns: dict[str, np.ndarray] = {}
+        masked_columns: dict = {}
 
-        def agg_values(agg) -> Optional[np.ndarray]:
+        def agg_values(agg):
             if agg.func is AggFunc.COUNT:
                 return None
             values = masked_columns.get(agg.metric)
@@ -421,23 +474,19 @@ class PartitionStorage:
         group_idx, unique_keys = encode_group_keys(
             [column(dim) for dim in query.group_by]
         )
-        keys = [tuple(row) for row in unique_keys.tolist()]
+        n_groups = len(unique_keys)
         counts = (
-            group_counts(group_idx, len(keys))
+            group_counts(group_idx, n_groups)
             if any(agg.func is AggFunc.COUNT or agg.func is AggFunc.AVG
                    for agg in query.aggregations)
             else None
         )
-        states_per_agg = [
-            grouped_states(
-                agg.func, group_idx, agg_values(agg), len(keys), counts
+        partial.accumulate_block(unique_keys, [
+            grouped_state_arrays(
+                agg.func, group_idx, agg_values(agg), n_groups, counts
             )
             for agg in query.aggregations
-        ]
-        for gi, key in enumerate(keys):
-            partial.accumulate(
-                key, [states[gi] for states in states_per_agg]
-            )
+        ])
 
     @staticmethod
     def _resolve_column(

@@ -274,3 +274,189 @@ def test_mixed_brick_states_covered(loaded):
     for brick in storage.bricks():
         brick.columns()  # forces any still-evicted brick through an IO
     assert any(b.io_reads > 0 for b in storage.bricks())
+
+
+# ----------------------------------------------------------------------
+# Dictionary-encoded columns
+# ----------------------------------------------------------------------
+
+ENCODED_SCHEMA = TableSchema.build(
+    "facts_enc",
+    dimensions=[
+        Dimension("day", 30, range_size=5),
+        Dimension("country", 50, range_size=10),
+        # Forced below the cardinality heuristic: every scan of `user`
+        # goes through the per-brick dictionary codes.
+        Dimension("user", 200, range_size=40, dict_encode=True),
+    ],
+    metrics=[Metric("clicks"), Metric("cost")],
+)
+
+
+@pytest.fixture(scope="module")
+def loaded_encoded():
+    rng = np.random.default_rng(4096)
+    storage = PartitionStorage(ENCODED_SCHEMA, 0)
+    columns = {
+        "day": rng.integers(30, size=ROWS),
+        "country": rng.integers(50, size=ROWS),
+        "user": rng.integers(200, size=ROWS),
+        "clicks": rng.integers(0, 100, size=ROWS).astype(np.float64),
+        "cost": rng.integers(0, 800, size=ROWS) / 8.0,
+    }
+    storage.insert_columns(columns)
+    # Row appends after the bulk load: the per-brick dictionaries must
+    # extend incrementally instead of going stale.
+    for __ in range(100):
+        storage.insert(
+            {
+                "day": int(rng.integers(30)),
+                "country": int(rng.integers(50)),
+                "user": int(rng.integers(200)),
+                "clicks": float(rng.integers(0, 100)),
+                "cost": float(rng.integers(0, 800)) / 8.0,
+            }
+        )
+    _cycle_brick_states(storage)
+    return storage, _build_lookups(rng)
+
+
+def test_encoded_dimension_is_actually_encoded(loaded_encoded):
+    storage, lookups = loaded_encoded
+    query = Query.build(
+        "facts_enc", [Aggregation(AggFunc.SUM, "cost")], group_by=["user"]
+    )
+    _assert_identical(storage, query, lookups)
+    # The scan above must have materialised user dictionaries.
+    stats = [b.stats() for b in storage.bricks()]
+    assert any(s.encoded_columns > 0 for s in stats)
+    assert any(s.dictionary_entries > 0 for s in stats)
+
+
+def test_encoded_group_by_and_distinct_match_reference(loaded_encoded):
+    storage, lookups = loaded_encoded
+    queries = [
+        Query.build(
+            "facts_enc",
+            [Aggregation(f, "cost") for f in AggFunc],
+            group_by=["user", "day"],
+        ),
+        Query.build(
+            "facts_enc",
+            # COUNT_DISTINCT over the encoded column itself: distinct
+            # codes are distinct values.
+            [Aggregation(AggFunc.COUNT_DISTINCT, "user")],
+            group_by=["day"],
+        ),
+        Query.build(
+            "facts_enc",
+            [Aggregation(AggFunc.COUNT_DISTINCT, "user")],
+        ),
+        Query.build(
+            "facts_enc",
+            [Aggregation(AggFunc.AVG, "clicks")],
+            group_by=["user"],
+            filters=[Filter.between("day", 5, 20)],
+        ),
+    ]
+    for query in queries:
+        _assert_identical(storage, query, lookups)
+
+
+def test_encoded_randomized_queries_match_reference(loaded_encoded):
+    storage, lookups = loaded_encoded
+    rng = np.random.default_rng(99)
+    for i in range(30):
+        if i % 10 == 0:
+            _cycle_brick_states(storage)
+        query = _random_query(rng)
+        query = Query.build(
+            "facts_enc",
+            list(query.aggregations),
+            group_by=list(query.group_by),
+            filters=list(query.filters),
+            joins=list(query.joins),
+        )
+        _assert_identical(storage, query, lookups)
+
+
+# ----------------------------------------------------------------------
+# High-cardinality group-bys (>= 100k groups)
+# ----------------------------------------------------------------------
+
+HC_SCHEMA = TableSchema.build(
+    "facts_hc",
+    dimensions=[
+        Dimension("day", 4),
+        Dimension("entity", 150_000),  # auto dict-encoded (>= 1024)
+    ],
+    metrics=[Metric("cost")],
+)
+
+
+def test_high_cardinality_group_by_matches_reference():
+    rows = 160_000
+    rng = np.random.default_rng(31)
+    storage = PartitionStorage(HC_SCHEMA, 0)
+    storage.insert_columns({
+        "day": rng.integers(4, size=rows),
+        "entity": rng.integers(150_000, size=rows),
+        "cost": rng.integers(0, 800, size=rows) / 8.0,
+    })
+    query = Query.build(
+        "facts_hc",
+        [
+            Aggregation(AggFunc.SUM, "cost"),
+            Aggregation(AggFunc.MIN, "cost"),
+            Aggregation(AggFunc.COUNT_DISTINCT, "cost"),
+        ],
+        group_by=["entity", "day"],
+    )
+    engine = storage.execute(query, {}).finalize()
+    assert len(engine.rows) >= 100_000, "fixture must exceed 100k groups"
+    reference = reference_execute(storage, query, {}).finalize()
+    assert engine.columns == reference.columns
+    assert engine.rows == reference.rows
+
+
+# ----------------------------------------------------------------------
+# Empty / single-group edge cases
+# ----------------------------------------------------------------------
+
+
+def test_empty_result_matches_reference(loaded):
+    storage, lookups, __ = loaded
+    query = Query.build(
+        "facts",
+        [Aggregation(f, "cost") for f in AggFunc],
+        group_by=["day", "country"],
+        # day is bounded by 30; IN {29} ∧ BETWEEN [0, 5] is empty.
+        filters=[Filter.isin("day", [29]), Filter.between("day", 0, 5)],
+    )
+    engine = storage.execute(query, lookups).finalize()
+    assert engine.rows == []
+    _assert_identical(storage, query, lookups)
+
+
+def test_single_group_matches_reference(loaded):
+    storage, lookups, __ = loaded
+    query = Query.build(
+        "facts",
+        [Aggregation(f, "cost") for f in AggFunc],
+        group_by=["day"],
+        filters=[Filter.eq("day", 7)],
+    )
+    engine = storage.execute(query, lookups).finalize()
+    assert len(engine.rows) == 1
+    _assert_identical(storage, query, lookups)
+
+
+def test_empty_storage_matches_reference():
+    storage = PartitionStorage(SCHEMA, 0)
+    for group_by in ([], ["day"]):
+        query = Query.build(
+            "facts",
+            [Aggregation(f, "cost") for f in AggFunc],
+            group_by=group_by,
+        )
+        _assert_identical(storage, query, {})

@@ -1,0 +1,156 @@
+"""Serial-vs-parallel equivalence: ParallelScanner must be bit-identical.
+
+The parallel scanner's whole contract is that fanning brick scans over a
+process pool changes *nothing* observable: same finalized rows in the
+same order, same ``rows_scanned`` / ``bricks_scanned`` counters, for any
+worker count. These tests pin that contract with exact equality (no
+tolerances — the fixture's metrics are multiples of 1/8, so every
+summation order yields the same float) and also cover the serial
+fallback paths.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.cubrick.parallel import ParallelScanner, _fork_available
+from repro.cubrick.query import AggFunc, Aggregation, Filter, Query
+from repro.cubrick.schema import Dimension, Metric, TableSchema
+from repro.cubrick.storage import PartitionStorage
+
+SCHEMA = TableSchema.build(
+    "facts",
+    dimensions=[
+        Dimension("day", 32, range_size=4),
+        # Auto dict-encoded (cardinality >= 1024): parallel workers must
+        # agree with the serial scan through the encoded path too.
+        Dimension("entity", 10_000, range_size=2_500),
+    ],
+    metrics=[Metric("value")],
+)
+
+ROWS = 40_000
+
+QUERIES = [
+    Query.build(
+        "facts",
+        [Aggregation(f, "value") for f in AggFunc],
+        group_by=["day", "entity"],
+    ),
+    Query.build(
+        "facts",
+        [
+            Aggregation(AggFunc.SUM, "value"),
+            Aggregation(AggFunc.COUNT_DISTINCT, "entity"),
+        ],
+        group_by=["day"],
+    ),
+    Query.build(
+        "facts",
+        [Aggregation(AggFunc.AVG, "value")],
+        group_by=["entity"],
+        filters=[Filter.between("day", 4, 19)],
+    ),
+    Query.build(
+        "facts",
+        [Aggregation(AggFunc.MIN, "value"), Aggregation(AggFunc.MAX, "value")],
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def storage():
+    rng = np.random.default_rng(777)
+    storage = PartitionStorage(SCHEMA, 0)
+    storage.insert_columns({
+        "day": rng.integers(32, size=ROWS),
+        "entity": rng.integers(10_000, size=ROWS),
+        "value": rng.integers(0, 800, size=ROWS) / 8.0,
+    })
+    assert len(list(storage.bricks())) > 1, "fixture must span bricks"
+    return storage
+
+
+def _run_serial(storage, query):
+    return storage.execute(query, {})
+
+
+def _assert_equivalent(serial, parallel):
+    assert parallel.rows_scanned == serial.rows_scanned
+    assert parallel.bricks_scanned == serial.bricks_scanned
+    s, p = serial.finalize(), parallel.finalize()
+    assert p.columns == s.columns
+    assert p.rows == s.rows
+
+
+@pytest.mark.skipif(not _fork_available(), reason="needs fork start method")
+@pytest.mark.parametrize("workers", [2, 4])
+@pytest.mark.parametrize("qi", range(len(QUERIES)))
+def test_parallel_matches_serial(storage, workers, qi):
+    query = QUERIES[qi]
+    serial = _run_serial(storage, query)
+    parallel = ParallelScanner(workers=workers).execute(storage, query, {})
+    _assert_equivalent(serial, parallel)
+
+
+def test_single_worker_takes_serial_path(storage):
+    query = QUERIES[0]
+    serial = _run_serial(storage, query)
+    partial = ParallelScanner(workers=1).execute(storage, query, {})
+    _assert_equivalent(serial, partial)
+
+
+def test_single_brick_takes_serial_path():
+    rng = np.random.default_rng(5)
+    small = PartitionStorage(SCHEMA, 0)
+    small.insert_columns({
+        "day": np.zeros(100, dtype=np.int64),
+        "entity": rng.integers(2_500, size=100),
+        "value": rng.integers(0, 800, size=100) / 8.0,
+    })
+    assert len(list(small.bricks())) == 1
+    query = QUERIES[1]
+    serial = small.execute(query, {})
+    partial = ParallelScanner(workers=4).execute(small, query, {})
+    _assert_equivalent(serial, partial)
+
+
+@pytest.mark.skipif(not _fork_available(), reason="needs fork start method")
+def test_parallel_scan_counts_match_pruned_bricks(storage):
+    """Partition pruning must behave identically under the pool: only
+    candidate bricks are scanned, and the counters say so."""
+    query = QUERIES[2]
+    serial = _run_serial(storage, query)
+    assert serial.bricks_scanned < len(list(storage.bricks()))
+    parallel = ParallelScanner(workers=2).execute(storage, query, {})
+    _assert_equivalent(serial, parallel)
+
+
+@pytest.mark.skipif(not _fork_available(), reason="needs fork start method")
+def test_parallel_preserves_mixed_brick_states(storage):
+    """Compressed + evicted bricks are restored by the parent before the
+    fork, and stay restored afterwards (worker-side work dies with the
+    worker)."""
+    bricks = list(storage.bricks())
+    bricks[0].compress()
+    bricks[1].compress()
+    bricks[1].evict()
+    query = QUERIES[0]
+    parallel = ParallelScanner(workers=2).execute(storage, query, {})
+    serial = _run_serial(storage, query)
+    _assert_equivalent(serial, parallel)
+    assert not bricks[0].is_compressed and not bricks[1].is_compressed
+
+
+def test_scanner_defaults_to_cpu_count():
+    assert ParallelScanner().workers >= 1
+    assert ParallelScanner(workers=3).workers == 3
+
+
+def test_fork_detection_matches_platform():
+    expected = "fork" in multiprocessing.get_all_start_methods()
+    if not expected:
+        assert _fork_available() is False
