@@ -52,6 +52,10 @@ class ControllerSpec:
     scale_out_utilization: float = 0.70
     scale_in_utilization: float = 0.20
     queue_pressure_high: float = 0.80
+    #: Error-budget burn rate (from the SLO engine) above which the
+    #: fleet counts as overloaded and the fan-out cap must not relax.
+    #: 2.0 = burning budget twice as fast as it accrues.
+    burn_rate_high: float = 2.0
     hosts_per_step: int = 2
     min_hosts_per_region: int = 4
     cooldown: float = 120.0  # between fleet actions in one direction
@@ -83,6 +87,7 @@ class ControlDecision:
     queue_pressure: float
     fanout_cap: int
     actions: list[str] = field(default_factory=list)
+    burn_rate: float = 0.0
 
 
 @dataclass
@@ -95,6 +100,9 @@ class WallBreachController:
     spec: ControllerSpec = field(default_factory=ControllerSpec)
     # Optional queue-pressure signal, e.g. WorkloadManager.queue_pressure.
     queue_pressure_fn: Optional[Callable[[], float]] = None
+    # Optional error-budget burn signal, e.g. SloEngine.burn_rate_signal:
+    # sustained burn counts as overload and blocks cap relaxation.
+    burn_rate_fn: Optional[Callable[[], float]] = None
 
     def __post_init__(self) -> None:
         self.planner = SlaPlanner(
@@ -161,6 +169,11 @@ class WallBreachController:
             return 0.0
         return self.queue_pressure_fn()
 
+    def burn_rate(self) -> float:
+        if self.burn_rate_fn is None:
+            return 0.0
+        return self.burn_rate_fn()
+
     @property
     def fanout_cap(self) -> int:
         return self._cap
@@ -175,6 +188,7 @@ class WallBreachController:
         success = self.windowed_success_ratio()
         utilization = self.mean_utilization()
         pressure = self.queue_pressure()
+        burn = self.burn_rate()
         actions: list[str] = []
 
         # 1. Adapt the fan-out cap to the measured success signal. Cap
@@ -182,12 +196,15 @@ class WallBreachController:
         #    is sticky, and reacting to it every tick would let one bad
         #    stretch walk the cap (and every table's fan-out) to 1.
         analytic = max(1, self.planner.max_safe_fanout)
+        hot_burn = burn > self.spec.burn_rate_high
         if now - self._last_cap_change >= self.spec.cooldown:
-            if success < self.spec.sla and self._cap > 1:
+            # Budget burn tightens like an SLA miss — it is the leading
+            # indicator of one — and blocks relaxation while sustained.
+            if (success < self.spec.sla or hot_burn) and self._cap > 1:
                 self._cap -= 1
                 self._last_cap_change = now
                 actions.append(f"tighten fan-out cap to {self._cap}")
-            elif success >= self.spec.sla and self._cap < analytic:
+            elif success >= self.spec.sla and not hot_burn and self._cap < analytic:
                 self._cap += 1
                 self._last_cap_change = now
                 actions.append(f"relax fan-out cap to {self._cap}")
@@ -217,10 +234,12 @@ class WallBreachController:
         overloaded = (
             utilization > self.spec.scale_out_utilization
             or pressure > self.spec.queue_pressure_high
+            or hot_burn
         )
         idle = (
             utilization < self.spec.scale_in_utilization
             and pressure < self.spec.queue_pressure_high
+            and not hot_burn
         )
         if overloaded and now - self._last_scale_out >= self.spec.cooldown:
             for region in deployment.region_names():
@@ -245,6 +264,7 @@ class WallBreachController:
             queue_pressure=pressure,
             fanout_cap=self._cap,
             actions=actions,
+            burn_rate=burn,
         )
         self.decisions.append(decision)
         self._ticks_counter.inc()
@@ -254,6 +274,7 @@ class WallBreachController:
                 success=round(success, 6),
                 utilization=round(utilization, 6),
                 pressure=round(pressure, 6),
+                burn=round(burn, 6),
                 cap=self._cap,
                 actions="; ".join(actions),
             )

@@ -149,6 +149,9 @@ def cmd_obs(args: argparse.Namespace) -> int:
     events = obs.events
     print(f"\n== events ({events.emitted} emitted, "
           f"{events.dropped} dropped) ==")
+    if events.dropped:
+        print(f"  !! ring overflow: {events.dropped} event(s) dropped "
+              "(counted in repro.obs.events_dropped)")
     for line in events.to_jsonl(args.events).splitlines():
         print(f"  {line}")
 
@@ -158,6 +161,95 @@ def cmd_obs(args: argparse.Namespace) -> int:
     if args.json:
         obs.dump(args.json)
         print(f"\ntelemetry written to {args.json}")
+    return 0
+
+
+def _print_stage_table(stages: dict, wall: Optional[float] = None) -> None:
+    """One stage-breakdown table: self time (+share of wall), volumes."""
+    total = wall if wall is not None else sum(
+        s.self_time for s in stages.values()
+    )
+    print(f"    {'stage':<28} {'self':>10}  {'share':>6} "
+          f"{'spans':>6} {'rows':>9}")
+    ordered = sorted(
+        stages.values(), key=lambda s: (-s.self_time, s.stage)
+    )
+    for stats in ordered:
+        share = stats.self_time / total if total > 0 else 0.0
+        print(f"    {stats.stage:<28} {stats.self_time * 1e3:>8.2f}ms "
+              f"{share:>6.1%} {stats.spans:>6} {stats.rows_scanned:>9}")
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile a seeded overload storm end to end.
+
+    Runs the managed overload demo with the SLO engine attached on the
+    DES clock, then prints the top-N queries by wall time with
+    per-stage self-time breakdowns (stage self-times sum to each
+    query's wall time), stage and per-tenant aggregates, the
+    error-budget ledger and the burn-rate alert timeline. Output is
+    byte-identical for identical seeds; ``--flame``/``--prom``/
+    ``--spans`` write the flamegraph collapsed stacks, Prometheus text
+    and OTLP-ish span dump to files.
+    """
+    from repro.obs import Profiler, prometheus_text, spans_jsonl
+    from repro.obs.export import write_text
+    from repro.workloads.loadgen import run_profiled_overload
+
+    report, deployment, __, engine = run_profiled_overload(
+        args.seed,
+        policy=args.policy,
+        saturation=args.saturation,
+        duration=args.duration,
+    )
+    obs = deployment.obs
+    profiler = Profiler(obs)
+    profiles = profiler.profiles()
+
+    print(f"storm: {report.rate:.1f} qps for {report.duration:.1f}s "
+          f"({report.saturation:g}x), admitted success ratio "
+          f"{report.success_ratio:.4f}, drained "
+          f"{'yes' if report.drained else 'NO'}")
+    print(f"\n== query profiles: {len(profiles)} traced queries retained "
+          f"(seed={args.seed} policy={args.policy} "
+          f"saturation={args.saturation:g}x) ==")
+    ranked = sorted(profiles, key=lambda p: (-p.wall_time, p.trace_id))
+    for profile in ranked[:args.top]:
+        print(f"\n  trace {profile.trace_id}: table={profile.table} "
+              f"tenant={profile.tenant} outcome={profile.outcome} "
+              f"wall={profile.wall_time * 1e3:.2f}ms "
+              f"(stages sum to {profile.self_time_total * 1e3:.2f}ms)")
+        _print_stage_table(profile.stages, profile.wall_time)
+
+    print("\n== stage totals (all retained queries) ==")
+    _print_stage_table(profiler.by_stage(profiles))
+
+    print("\n== per-tenant stage totals ==")
+    for tenant, stages in profiler.by_tenant(profiles).items():
+        wall = sum(s.self_time for s in stages.values())
+        print(f"  {tenant} ({wall * 1e3:.2f}ms attributed)")
+        _print_stage_table(stages)
+
+    print("\n== error-budget ledger ==")
+    print(engine.render_ledger(), end="")
+
+    print("\n== burn-rate alerts ==")
+    timeline = engine.alert_timeline()
+    print(timeline if timeline else "  (no alert transitions)\n", end="")
+
+    dropped = obs.events.dropped
+    if dropped:
+        print(f"\n!! event ring overflow: {dropped} event(s) dropped")
+
+    if args.flame:
+        write_text(args.flame, profiler.folded(profiles))
+        print(f"\nflamegraph collapsed stacks written to {args.flame}")
+    if args.prom:
+        write_text(args.prom, prometheus_text(obs.metrics))
+        print(f"prometheus text written to {args.prom}")
+    if args.spans:
+        write_text(args.spans, spans_jsonl(obs))
+        print(f"span dump written to {args.spans}")
     return 0
 
 
@@ -377,6 +469,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the full telemetry export (JSON) to PATH",
     )
     obs.set_defaults(func=cmd_obs)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile a seeded overload storm: per-stage breakdowns, "
+             "SLO error budgets, flamegraph/Prometheus/span exports",
+    )
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--policy", choices=("managed", "legacy"), default="managed"
+    )
+    profile.add_argument("--saturation", type=float, default=5.0,
+                         help="arrival rate as a multiple of capacity")
+    profile.add_argument("--duration", type=float, default=20.0,
+                         help="storm duration in virtual seconds")
+    profile.add_argument("--top", type=int, default=5,
+                         help="queries to break down, slowest first")
+    profile.add_argument("--flame", metavar="PATH", default=None,
+                         help="write flamegraph collapsed stacks to PATH")
+    profile.add_argument("--prom", metavar="PATH", default=None,
+                         help="write the Prometheus text export to PATH")
+    profile.add_argument("--spans", metavar="PATH", default=None,
+                         help="write the OTLP-ish span dump (JSONL) to PATH")
+    profile.set_defaults(func=cmd_profile)
 
     collisions = sub.add_parser(
         "collisions", help="collision census (Fig 4a)"

@@ -268,7 +268,9 @@ class RegionCoordinator:
             # Per-host lane contention: a busy host answers later queries
             # slower. The lane wait counts against per-hop timeouts, like
             # real queueing at the node would.
+            raw_service = service_time
             service_time = self._shape_node_slots(host_id, service_time)
+            lane_wait = service_time - raw_service
             if policy is not None and policy.timeout.is_timeout(service_time):
                 # Unified per-hop timeout semantics: a hop slower than
                 # the bound consumes an attempt exactly like a crash.
@@ -331,7 +333,9 @@ class RegionCoordinator:
                     partitions=len(indexes),
                     bricks_scanned=partial.bricks_scanned,
                     rows_scanned=partial.rows_scanned,
+                    lane_wait=lane_wait,
                 )
+                self._retime_kernels(scan_span, lane_wait)
             execution.per_host_latency[host_id] = service_time
             slowest = max(slowest, service_time)
             answered_partitions += len(indexes)
@@ -355,7 +359,24 @@ class RegionCoordinator:
         self._latency_histogram.observe(latency)
         self._fanout_histogram.observe(execution.fanout)
 
-        result = merged.finalize()
+        # The merge/consolidate pass sits at the tail of the coordinator's
+        # critical path: its cost is the fixed overhead plus topology hop
+        # costs, so the merge span occupies exactly that tail window.
+        merge_cost = (
+            self.COORDINATOR_OVERHEAD
+            + (extra_hops + extra_roundtrips) * self.HOP_COST
+        )
+        with self.obs.tracer.span(
+            "cubrick.coordinator.merge", region=self.region
+        ) as merge_span:
+            result = merged.finalize()
+            merge_span.start = span.start + (latency - merge_cost)
+            merge_span.set_duration(merge_cost)
+            merge_span.annotate(
+                compactions=merged.compactions,
+                blocks_consolidated=merged.blocks_consolidated,
+                groups=len(result.rows),
+            )
         coverage = (
             answered_partitions / total_partitions if total_partitions else 1.0
         )
@@ -412,6 +433,40 @@ class RegionCoordinator:
                 slots = NodeSlots(self.node_slots_per_host)
                 self._node_slots[host_id] = slots
         return slots.occupy(self.sm.simulator.now, service_time)
+
+    @staticmethod
+    def _retime_kernels(scan_span, lane_wait: float) -> None:
+        """Lay kernel child spans along the scan's simulated interval.
+
+        The node's kernel spans open and close at a single clock instant
+        (the DES clock does not advance during execution). The sampled
+        service time minus the lane wait is the scan's compute window;
+        apportion it across the kernel spans proportional to rows
+        scanned (equally when nothing was scanned), so profiler
+        breakdowns charge the compute window to kernel families and the
+        residual head of the scan span to lane queueing.
+        """
+        kernels = [
+            child for child in scan_span.children
+            if child.name == "cubrick.node.kernel"
+        ]
+        if not kernels:
+            return
+        window = max(0.0, scan_span.duration - lane_wait)
+        rows = [
+            int(kernel.annotations.get("rows_scanned", 0))
+            for kernel in kernels
+        ]
+        total = sum(rows)
+        if total > 0:
+            shares = [window * count / total for count in rows]
+        else:
+            shares = [window / len(kernels)] * len(kernels)
+        cursor = scan_span.start + lane_wait
+        for kernel, share in zip(kernels, shares):
+            kernel.shift(cursor - kernel.start)
+            kernel.set_duration(share)
+            cursor += share
 
     def _hedged_service_time(
         self, host_id: str, first: float, policy: ResiliencePolicy

@@ -22,7 +22,7 @@ from repro.cubrick.loadbalance import (
     DecompressedSizeExporter,
     MetricExporter,
 )
-from repro.cubrick.query import PartialResult, Query
+from repro.cubrick.query import PartialResult, Query, kernel_family
 from repro.cubrick.schema import Catalog, partition_name
 from repro.cubrick.sharding import ShardDirectory
 from repro.cubrick.storage import PartitionStorage
@@ -397,12 +397,37 @@ class CubrickNode(ApplicationServer):
         scanner = self.parallel_scanner
         lookups = self._join_lookups(query)
         partial = PartialResult(query=query)
+        # Kernel spans only inside an active query trace: direct calls
+        # (unit tests, maintenance scans) must not mint root traces.
+        tracing = self.obs.tracer.current is not None
+        family = kernel_family(query)
         for index in partition_indexes:
             storage = self.partition(query.table, index)
-            if scanner is not None:
+            before_rows = partial.rows_scanned
+            before_bricks = partial.bricks_scanned
+            if tracing:
+                with self.obs.tracer.span(
+                    "cubrick.node.kernel",
+                    host=self.host_id,
+                    table=query.table,
+                    family=family,
+                ) as kspan:
+                    if scanner is not None:
+                        partial.merge(scanner.execute(storage, query, lookups))
+                    else:
+                        partial.merge(storage.execute(query, lookups))
+                    kspan.annotate(
+                        partition=index,
+                        rows_scanned=partial.rows_scanned - before_rows,
+                        bricks_scanned=partial.bricks_scanned - before_bricks,
+                    )
+            elif scanner is not None:
                 partial.merge(scanner.execute(storage, query, lookups))
             else:
                 partial.merge(storage.execute(query, lookups))
+        self.obs.metrics.counter(
+            "cubrick.node.rows_scanned", host=self.host_id
+        ).inc(partial.rows_scanned)
         return partial
 
     def insert_into_partition(self, table: str, index: int,

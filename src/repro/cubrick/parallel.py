@@ -26,22 +26,36 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Optional
+# Wall-clock timing is deliberate here: the parallel path only runs in
+# the benchmark harness, never inside the seeded DES (which would be
+# non-deterministic if it read real time). TID251 bans these imports
+# exactly to protect the DES paths.
+import time  # noqa: TID251
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.cubrick.query import PartialResult, Query
 from repro.cubrick.storage import PartitionStorage
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
+
 #: Set in the parent immediately before the pool forks; workers read it
 #: from their copy-on-write memory image. Never set in worker processes.
 _SCAN_CONTEXT: Optional[tuple] = None
 
 
-def _scan_one_brick(brick_id: int) -> PartialResult:
-    """Worker entry point: scan a single brick of the inherited storage."""
+def _scan_one_brick(brick_id: int) -> tuple[PartialResult, int, float]:
+    """Worker entry point: scan a single brick of the inherited storage.
+
+    Returns ``(partial, worker_pid, elapsed_seconds)`` so the parent can
+    attribute scan time and row counts per worker.
+    """
     storage, query, lookups = _SCAN_CONTEXT
-    return storage.scan_bricks(query, [brick_id], lookups)
+    started = time.perf_counter()  # noqa: TID251
+    partial = storage.scan_bricks(query, [brick_id], lookups)
+    return partial, os.getpid(), time.perf_counter() - started  # noqa: TID251
 
 
 def _fork_available() -> bool:
@@ -58,10 +72,40 @@ class ParallelScanner:
     stateless between queries: each :meth:`execute` forks a fresh pool so
     workers always see the partition's current bricks (no cache
     invalidation protocol), and the pool is torn down before returning.
+
+    When an ``obs`` registry is attached, every scan records per-worker
+    brick-scan timings (``cubrick.parallel.brick_scan_seconds``) and
+    rows/bricks-scanned counters into the parent's registry; pool worker
+    pids are mapped to dense ``w0..wN`` labels (sorted by pid) so label
+    cardinality stays bounded and label *sets* are stable run to run.
+    The serial fallback records under ``worker="serial"``.
     """
 
-    def __init__(self, workers: Optional[int] = None):
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        obs: Optional["Observability"] = None,
+    ):
         self.workers = int(workers) if workers else (os.cpu_count() or 1)
+        self.obs = obs
+
+    def _record_worker_scans(
+        self, scans: list[tuple[str, float, int, int]]
+    ) -> None:
+        """Merge per-worker scan telemetry into the parent registry."""
+        if self.obs is None:
+            return
+        metrics = self.obs.metrics
+        for worker, elapsed, rows, bricks in scans:
+            metrics.histogram(
+                "cubrick.parallel.brick_scan_seconds", worker=worker
+            ).observe(elapsed)
+            metrics.counter(
+                "cubrick.parallel.rows_scanned", worker=worker
+            ).inc(rows)
+            metrics.counter(
+                "cubrick.parallel.bricks_scanned", worker=worker
+            ).inc(bricks)
 
     def execute(
         self,
@@ -81,9 +125,16 @@ class ParallelScanner:
             or len(brick_ids) <= 1
             or not _fork_available()
         ):
+            started = time.perf_counter()  # noqa: TID251
             partial = storage.scan_bricks(
                 query, brick_ids, effective_lookups
             )
+            self._record_worker_scans([(
+                "serial",
+                time.perf_counter() - started,  # noqa: TID251
+                partial.rows_scanned,
+                partial.bricks_scanned,
+            )])
             storage.record_scan(partial)
             return partial
 
@@ -102,17 +153,33 @@ class ParallelScanner:
         try:
             with ctx.Pool(processes=min(self.workers, len(brick_ids))) as pool:
                 chunksize = max(1, len(brick_ids) // (self.workers * 4))
-                partials = pool.map(
+                results = pool.map(
                     _scan_one_brick, brick_ids, chunksize=chunksize
                 )
         finally:
             _SCAN_CONTEXT = None
 
+        # Dense per-worker labels: sorted pids → w0..wN, so label
+        # cardinality is bounded by the pool size, not by pid churn.
+        worker_label = {
+            pid: f"w{i}"
+            for i, pid in enumerate(sorted({pid for _, pid, _ in results}))
+        }
+        self._record_worker_scans([
+            (
+                worker_label[pid],
+                elapsed,
+                partial.rows_scanned,
+                partial.bricks_scanned,
+            )
+            for partial, pid, elapsed in results
+        ])
+
         # pool.map preserves input order, so merging left to right is the
         # serial scan's brick-id order: same block sequence, same
         # compaction points, bit-identical result.
         merged = PartialResult(query=query)
-        for partial in partials:
+        for partial, __, __ in results:
             merged.merge(partial)
         storage.record_scan(merged)
         return merged

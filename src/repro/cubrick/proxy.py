@@ -337,6 +337,9 @@ class CubrickProxy:
             choice = self.locator.choose(
                 query.table, info.num_partitions, self._rng
             )
+            # Simulated time already burned on earlier attempts: this
+            # attempt's span starts that far into the proxy span.
+            elapsed = wasted_latency + backoff_total
             try:
                 result = coordinator.execute(
                     query,
@@ -348,6 +351,7 @@ class CubrickProxy:
                     policy=policy,
                 )
             except QueryFailedError as exc:
+                self._shift_last_child(elapsed)
                 last_error = exc
                 if exc.host is not None:
                     self.blacklist_host(exc.host)
@@ -364,6 +368,7 @@ class CubrickProxy:
                         attempt, self._rng
                     )
                 continue  # transparently retry (next candidate region)
+            self._shift_last_child(elapsed)
             latency = result.metadata.get("latency", 0.0)
             if deadline is not None and latency > deadline:
                 # Too slow: abandon this answer at the deadline and hedge
@@ -485,7 +490,9 @@ class CubrickProxy:
                     policy=policy,
                 )
             except QueryFailedError:
+                self._shift_last_child(wasted_latency)
                 continue  # e.g. unresolved shard mapping: try elsewhere
+            self._shift_last_child(wasted_latency)
             coverage = result.metadata.get("coverage", 0.0)
             if coverage < policy.degradation.min_completeness:
                 continue
@@ -515,6 +522,20 @@ class CubrickProxy:
             result.metadata["latency_total"] = wasted_latency + latency
             return result
         return None
+
+    def _shift_last_child(self, offset: float) -> None:
+        """Shift the just-finished coordinator attempt onto the timeline.
+
+        The DES clock does not advance inside a submission, so every
+        coordinator attempt's span opens at the proxy span's start; on
+        the simulated schedule attempt N starts after the latency wasted
+        on earlier attempts plus backoff. Shifting the finished subtree
+        restores that timeline, so profiler stage self-times line up
+        with ``latency_total``.
+        """
+        span = self.obs.tracer.current
+        if offset > 0.0 and span is not None and span.children:
+            span.children[-1].shift(offset)
 
     # ------------------------------------------------------------------
     # SLA accounting

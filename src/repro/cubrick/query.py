@@ -220,6 +220,19 @@ class Query:
         return {n for n in names if "." in n}
 
 
+def kernel_family(query: Query) -> str:
+    """The scan-kernel family a query dispatches to, as a stable label.
+
+    ``grouped:sum+count`` / ``scalar:avg`` — shape (grouped vs scalar
+    rollup) plus the sorted set of aggregate functions. This is the
+    ``family`` label on ``cubrick.node.kernel`` spans, so profiler
+    breakdowns attribute scan time per kernel family.
+    """
+    shape = "grouped" if query.group_by else "scalar"
+    funcs = sorted({agg.func.value for agg in query.aggregations})
+    return f"{shape}:{'+'.join(funcs)}" if funcs else shape
+
+
 # ----------------------------------------------------------------------
 # Aggregation state machinery
 # ----------------------------------------------------------------------
@@ -369,6 +382,11 @@ class PartialResult:
     query: Query
     rows_scanned: int = 0
     bricks_scanned: int = 0
+    #: Merge/consolidate telemetry: lazy consolidation passes run and
+    #: array blocks folded by them, accumulated across merges so the
+    #: coordinator's merge span can report the whole chain's work.
+    compactions: int = 0
+    blocks_consolidated: int = 0
     _blocks: list[_Block] = field(default_factory=list, repr=False)
     _groups: dict[tuple[int, ...], list[AggState]] = field(
         default_factory=dict, repr=False
@@ -436,6 +454,8 @@ class PartialResult:
             self.accumulate(key, states)
         self.rows_scanned += other.rows_scanned
         self.bricks_scanned += other.bricks_scanned
+        self.compactions += other.compactions
+        self.blocks_consolidated += other.blocks_consolidated
         return self
 
     # ------------------------------------------------------------------
@@ -444,6 +464,8 @@ class PartialResult:
 
     def _compact(self) -> None:
         if len(self._blocks) > 1:
+            self.compactions += 1
+            self.blocks_consolidated += len(self._blocks)
             self._blocks = [_consolidate_blocks(self.query, self._blocks)]
 
     def _consolidated(self) -> Optional[_Block]:
@@ -508,6 +530,9 @@ class PartialResult:
             blocks.append(dict_block)
         if not blocks:
             return []
+        if len(blocks) > 1:
+            self.compactions += 1
+            self.blocks_consolidated += len(blocks)
         block = _consolidate_blocks(self.query, blocks)
         n_groups = len(block.keys)
         key_columns = [

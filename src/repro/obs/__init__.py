@@ -34,6 +34,9 @@ from repro.obs.metrics import (
     interpolated_percentiles,
 )
 from repro.obs.trace import Span, Tracer
+from repro.obs.export import prometheus_text, spans_jsonl
+from repro.obs.profiler import Profiler
+from repro.obs.slo import SLObjective, SloEngine
 
 __all__ = [
     "Counter",
@@ -43,11 +46,21 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "Observability",
+    "Profiler",
+    "SLObjective",
+    "SloEngine",
     "Span",
     "Tracer",
     "interpolated_percentile",
     "interpolated_percentiles",
+    "prometheus_text",
+    "spans_jsonl",
 ]
+
+#: Counter name incremented each time the event ring buffer overflows;
+#: created lazily on the first drop so overflow-free snapshots are
+#: unchanged, but a lossy run can never look clean.
+EVENTS_DROPPED_COUNTER = "repro.obs.events_dropped"
 
 
 class Observability:
@@ -68,7 +81,13 @@ class Observability:
             keep_recent=keep_recent_traces,
             keep_slowest=keep_slowest_traces,
         )
-        self.events = EventLog(self.clock, capacity=event_capacity)
+        self.events = EventLog(
+            self.clock,
+            capacity=event_capacity,
+            on_drop=lambda n: self.metrics.counter(
+                EVENTS_DROPPED_COUNTER
+            ).inc(n),
+        )
 
     def export(self, *, slowest_traces: Optional[int] = None,
                events: Optional[int] = None) -> dict:

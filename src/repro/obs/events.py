@@ -24,6 +24,7 @@ class EventLog:
         clock: Callable[[], float] = lambda: 0.0,
         *,
         capacity: int = 4096,
+        on_drop: Optional[Callable[[int], None]] = None,
     ):
         if capacity <= 0:
             raise ValueError(f"event log capacity must be positive: {capacity}")
@@ -32,6 +33,10 @@ class EventLog:
         self._events: deque[dict] = deque(maxlen=capacity)
         self._seq = 0
         self.emitted = 0
+        #: Called with the number of events scrolled off (always 1) each
+        #: time the ring overflows; Observability wires a metrics counter
+        #: in so overflow shows up in snapshots, not just post-mortems.
+        self.on_drop = on_drop
 
     def emit(self, kind: str, **fields: object) -> dict:
         """Record one event; reserved keys: ``time``, ``seq``, ``kind``."""
@@ -41,8 +46,11 @@ class EventLog:
         self._seq += 1
         event = {"time": self.clock(), "seq": self._seq, "kind": kind}
         event.update(sorted(fields.items()))
+        overflowing = len(self._events) == self.capacity
         self._events.append(event)
         self.emitted += 1
+        if overflowing and self.on_drop is not None:
+            self.on_drop(1)
         return event
 
     @property

@@ -1,0 +1,140 @@
+"""Exporters: Prometheus text format and an OTLP-ish span dump.
+
+Both formats are byte-deterministic under a fixed seed: instruments are
+emitted in ``(name, labels)`` order, spans in trace/tree order, floats
+through Python's shortest-repr formatting, and every timestamp comes
+from the DES virtual clock. Two identically-seeded runs therefore
+``cmp`` equal — the CI obs-profile job relies on that.
+
+* :func:`prometheus_text` — the Prometheus exposition format
+  (``# TYPE`` headers, cumulative ``_bucket{le=...}`` series with a
+  ``+Inf`` bucket, ``_sum``/``_count``). Metric names keep the repo's
+  dotted convention internally and are sanitised to ``_`` here.
+* :func:`spans_jsonl` — one JSON object per span (flattened, with
+  ``parentSpanId``), OTLP-flavoured field names, one line each: the
+  shape OTLP collectors and trace viewers ingest.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import TYPE_CHECKING, Iterable, Optional, Union
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
+
+_NAME_SANITISER = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitise a dotted internal metric name for Prometheus."""
+    sanitised = _NAME_SANITISER.sub("_", name)
+    if sanitised and sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    return sanitised
+
+
+def _format_value(value: float) -> str:
+    """Deterministic sample rendering: integral floats without ``.0``."""
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: Iterable[tuple[str, str]]) -> str:
+    rendered = ",".join(
+        f'{key}="{_escape_label(str(val))}"' for key, val in labels
+    )
+    return f"{{{rendered}}}" if rendered else ""
+
+
+def prometheus_text(metrics: MetricsRegistry) -> str:
+    """The registry in Prometheus exposition format (deterministic)."""
+    by_name: dict[str, list] = {}
+    for (name, __), instrument in sorted(metrics._instruments.items()):
+        by_name.setdefault(name, []).append(instrument)
+    lines: list[str] = []
+    for name in sorted(by_name):
+        instruments = by_name[name]
+        prom = prometheus_name(name)
+        kind = type(instruments[0]).__name__.lower()
+        lines.append(f"# TYPE {prom} {kind}")
+        for instrument in instruments:
+            if isinstance(instrument, (Counter, Gauge)):
+                labels = _format_labels(instrument.labels)
+                lines.append(f"{prom}{labels} {_format_value(instrument.value)}")
+            elif isinstance(instrument, Histogram):
+                cumulative = 0
+                base = list(instrument.labels)
+                for bound, count in zip(instrument.bounds, instrument.counts):
+                    cumulative += count
+                    labels = _format_labels(base + [("le", _format_value(bound))])
+                    lines.append(f"{prom}_bucket{labels} {cumulative}")
+                labels = _format_labels(base + [("le", "+Inf")])
+                lines.append(f"{prom}_bucket{labels} {instrument.count}")
+                labels = _format_labels(base)
+                lines.append(
+                    f"{prom}_sum{labels} {_format_value(instrument.total)}"
+                )
+                lines.append(f"{prom}_count{labels} {instrument.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _span_record(span: Span, parent_id: int) -> dict:
+    attributes: dict[str, object] = {}
+    for key in sorted(span.labels):
+        attributes[key] = span.labels[key]
+    for key in sorted(span.annotations):
+        attributes[key] = span.annotations[key]
+    return {
+        "traceId": span.trace_id,
+        "spanId": span.span_id,
+        "parentSpanId": parent_id,
+        "name": span.name,
+        "kind": "SPAN_KIND_INTERNAL",
+        "startTime": span.start,
+        "endTime": span.end if span.end is not None else span.start,
+        "attributes": attributes,
+    }
+
+
+def spans_jsonl(
+    source: Union["Observability", Tracer],
+    *,
+    roots: Optional[Iterable[Span]] = None,
+) -> str:
+    """OTLP-ish JSON-lines dump of span trees (flattened, deterministic).
+
+    Defaults to every trace still in the tracer's ``recent`` ring,
+    oldest first; each tree is emitted depth-first with explicit
+    ``parentSpanId`` links (0 = root).
+    """
+    tracer: Tracer = getattr(source, "tracer", source)
+    spans = list(roots) if roots is not None else list(tracer.recent)
+    lines: list[str] = []
+
+    def visit(span: Span, parent_id: int) -> None:
+        lines.append(json.dumps(_span_record(span, parent_id), sort_keys=True))
+        for child in span.children:
+            visit(child, span.span_id)
+
+    for root in spans:
+        visit(root, 0)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_text(path: str, text: str) -> None:
+    """Write an export to ``path`` exactly as rendered (byte-stable)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

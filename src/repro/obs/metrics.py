@@ -39,6 +39,33 @@ def _canonical_labels(labels: dict[str, LabelValue]) -> Labels:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _interpolation_rank(count: int, q: float) -> float:
+    """The fractional order-statistic rank for percentile ``q``.
+
+    One definition for the whole codebase: rank = ``(n - 1) * q / 100``
+    (the "linear" method). Every percentile readout — raw samples,
+    retained histogram samples, bucket interpolation — derives from this
+    rank, so the CLI, experiments and exporters always agree on what
+    "p99" means. Raises on out-of-range ``q`` and on empty data.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile out of range [0, 100]: {q}")
+    if count == 0:
+        raise ValueError("no samples")
+    return (count - 1) * (q / 100.0)
+
+
+def _percentile_from_sorted(data: np.ndarray, q: float) -> float:
+    """Interpolated percentile of an already-sorted sample array."""
+    rank = _interpolation_rank(int(data.size), q)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(data[int(rank)])
+    fraction = rank - lo
+    return float(data[lo] * (1.0 - fraction) + data[hi] * fraction)
+
+
 def interpolated_percentile(
     samples: Union[Sequence[float], np.ndarray], q: float
 ) -> float:
@@ -49,18 +76,10 @@ def interpolated_percentile(
     order statistics), so small sample sets yield interpolated values
     instead of collapsing high percentiles to the sample maximum.
     """
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile out of range [0, 100]: {q}")
     data = np.sort(np.asarray(samples, dtype=np.float64))
     if data.size == 0:
         raise ValueError("no samples")
-    rank = (data.size - 1) * (q / 100.0)
-    lo = math.floor(rank)
-    hi = math.ceil(rank)
-    if lo == hi:
-        return float(data[int(rank)])
-    fraction = rank - lo
-    return float(data[lo] * (1.0 - fraction) + data[hi] * fraction)
+    return _percentile_from_sorted(data, q)
 
 
 def interpolated_percentiles(
@@ -70,19 +89,7 @@ def interpolated_percentiles(
     data = np.sort(np.asarray(samples, dtype=np.float64))
     if data.size == 0:
         raise ValueError("no samples")
-    out = []
-    for q in qs:
-        if not 0.0 <= q <= 100.0:
-            raise ValueError(f"percentile out of range [0, 100]: {q}")
-        rank = (data.size - 1) * (q / 100.0)
-        lo = math.floor(rank)
-        hi = math.ceil(rank)
-        if lo == hi:
-            out.append(float(data[int(rank)]))
-        else:
-            fraction = rank - lo
-            out.append(float(data[lo] * (1.0 - fraction) + data[hi] * fraction))
-    return out
+    return [_percentile_from_sorted(data, q) for q in qs]
 
 
 @dataclass
@@ -190,18 +197,28 @@ class Histogram:
 
     def percentile(self, q: float) -> float:
         """Interpolated percentile — exact when samples are retained."""
+        return self.percentiles((q,))[0]
+
+    def percentiles(self, qs: Iterable[float]) -> list[float]:
+        """Several percentiles at once; sorts retained samples once.
+
+        Both readout paths share the interpolation math in
+        :func:`_interpolation_rank` / :func:`_percentile_from_sorted`:
+        with retained samples the rank interpolates between order
+        statistics; without, the same rank is located in the cumulative
+        bucket counts and interpolated within that bucket.
+        """
         if self.count == 0:
             raise ValueError(f"histogram {self.name}: no observations")
         if self._samples is not None:
-            return interpolated_percentile(self._samples, q)
-        return self._bucket_percentile(q)
+            data = np.sort(np.asarray(self._samples, dtype=np.float64))
+            return [_percentile_from_sorted(data, q) for q in qs]
+        return [self._bucket_percentile(q) for q in qs]
 
     def _bucket_percentile(self, q: float) -> float:
         """Percentile estimated by interpolating within one bucket."""
-        if not 0.0 <= q <= 100.0:
-            raise ValueError(f"percentile out of range [0, 100]: {q}")
         assert self.min is not None and self.max is not None
-        rank = (self.count - 1) * (q / 100.0)
+        rank = _interpolation_rank(self.count, q)
         cumulative = 0
         for index, bucket_count in enumerate(self.counts):
             if bucket_count == 0:
@@ -224,15 +241,16 @@ class Histogram:
         """Summary for snapshots: count/sum/min/max/mean/p50/p95/p99."""
         if self.count == 0:
             return {"count": 0, "sum": 0.0}
+        p50, p95, p99 = self.percentiles((50.0, 95.0, 99.0))
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
-            "p50": self.percentile(50.0),
-            "p95": self.percentile(95.0),
-            "p99": self.percentile(99.0),
+            "p50": p50,
+            "p95": p95,
+            "p99": p99,
         }
 
     def to_dict(self) -> dict:

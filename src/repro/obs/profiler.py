@@ -1,0 +1,257 @@
+"""Query profiler: span trees → per-stage self-time/rows breakdowns.
+
+The tracer records *what happened* (one span tree per query); this
+module answers *where the time went*. Each span maps to a pipeline
+stage — scheduler queue wait → admission → proxy retry/backoff →
+coordinator fan-out → per-node brick scan → kernel family →
+merge/consolidate — and the profiler attributes the root span's wall
+time across stages by an interval sweep over the trace's simulated
+timeline:
+
+* every span covers an interval (clamped to its parent's — the
+  instrumentation reconstructs the simulated schedule with
+  :meth:`~repro.obs.trace.Span.shift` and explicit durations);
+* each instant of the root interval is charged to the **deepest** span
+  covering it (ties break deterministically by latest start, then
+  span id — parallel sibling scans share a stage, so the tie rarely
+  matters);
+* a stage's *self time* is the total length of the instants charged to
+  it.
+
+Because the elementary segments partition the root interval exactly,
+stage self-times always sum to the root span's wall time — the
+invariant the acceptance tests assert to within one DES tick.
+
+Aggregation is per query (one :class:`QueryProfile` per trace), per
+stage and per tenant, plus a folded-stack export in the flamegraph
+collapsed format (``stage;stage;stage <microseconds>``), which common
+flamegraph renderers consume directly. All inputs are virtual-clock
+spans, so identically-seeded runs fold to byte-identical files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional, Union
+
+from repro.obs.trace import Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
+
+#: Span-name → stage mapping for the known pipeline stages; unknown
+#: span names profile under their own name so new instrumentation is
+#: never silently dropped.
+STAGE_BY_SPAN = {
+    "repro.sched.query": "sched",
+    "repro.sched.queue.wait": "queue_wait",
+    "repro.sched.admission": "admission",
+    "cubrick.proxy.query": "proxy",
+    "cubrick.coordinator.execute": "coordinator",
+    "cubrick.node.scan": "scan",
+    "cubrick.coordinator.merge": "merge",
+}
+
+#: Root span names that start a query trace (managed submissions are
+#: rooted at the scheduler, direct proxy submissions at the proxy).
+QUERY_ROOTS = ("repro.sched.query", "cubrick.proxy.query")
+
+
+def stage_of(span: Span) -> str:
+    """The pipeline stage a span belongs to."""
+    if span.name == "cubrick.node.kernel":
+        return f"kernel:{span.labels.get('family', 'unknown')}"
+    return STAGE_BY_SPAN.get(span.name, span.name)
+
+
+@dataclass
+class StageStats:
+    """Self-time and scan-volume totals for one stage."""
+
+    stage: str
+    self_time: float = 0.0
+    spans: int = 0
+    rows_scanned: int = 0
+    bricks_scanned: int = 0
+
+    def add(self, other: "StageStats") -> None:
+        self.self_time += other.self_time
+        self.spans += other.spans
+        self.rows_scanned += other.rows_scanned
+        self.bricks_scanned += other.bricks_scanned
+
+
+@dataclass
+class QueryProfile:
+    """One profiled query trace: wall time attributed across stages."""
+
+    trace_id: int
+    root_name: str
+    table: str
+    tenant: str
+    wall_time: float
+    stages: dict[str, StageStats] = field(default_factory=dict)
+    #: Folded stack path → attributed seconds, for flamegraph export.
+    folded: dict[str, float] = field(default_factory=dict)
+    rows_scanned: int = 0
+    bricks_scanned: int = 0
+    outcome: str = "ok"
+
+    @property
+    def self_time_total(self) -> float:
+        """Sum of stage self-times; equals ``wall_time`` by construction."""
+        return sum(stats.self_time for stats in self.stages.values())
+
+
+@dataclass
+class _Node:
+    """One span flattened for the sweep: clamped interval + lineage."""
+
+    span: Span
+    depth: int
+    start: float
+    end: float
+    stage: str
+    path: str  # ";"-joined stage chain from the root
+
+
+def _flatten(root: Span) -> list[_Node]:
+    nodes: list[_Node] = []
+
+    def visit(span: Span, depth: int, lo: float, hi: float, prefix: str) -> None:
+        end = span.end if span.end is not None else span.start
+        start = min(max(span.start, lo), hi)
+        end = min(max(end, lo), hi)
+        stage = stage_of(span)
+        path = f"{prefix};{stage}" if prefix else stage
+        nodes.append(_Node(span, depth, start, end, stage, path))
+        for child in span.children:
+            visit(child, depth + 1, start, end, path)
+
+    visit(root, 0, root.start, root.end if root.end is not None else root.start, "")
+    return nodes
+
+
+def profile_trace(root: Span) -> QueryProfile:
+    """Attribute one trace's wall time across stages by interval sweep."""
+    nodes = _flatten(root)
+    profile = QueryProfile(
+        trace_id=root.trace_id,
+        root_name=root.name,
+        table=str(root.labels.get("table", "?")),
+        tenant=str(root.labels.get("tenant", "-")),
+        wall_time=root.duration,
+        outcome=str(root.annotations.get("outcome", "ok")),
+    )
+    for node in nodes:
+        stats = profile.stages.setdefault(node.stage, StageStats(node.stage))
+        stats.spans += 1
+        stats.rows_scanned += int(node.span.annotations.get("rows_scanned", 0))
+        stats.bricks_scanned += int(
+            node.span.annotations.get("bricks_scanned", 0)
+        )
+        if node.span.name == "cubrick.node.scan":
+            profile.rows_scanned += int(
+                node.span.annotations.get("rows_scanned", 0)
+            )
+            profile.bricks_scanned += int(
+                node.span.annotations.get("bricks_scanned", 0)
+            )
+
+    boundaries = sorted({b for n in nodes for b in (n.start, n.end)})
+    for lo, hi in zip(boundaries, boundaries[1:]):
+        length = hi - lo
+        if length <= 0.0:
+            continue
+        # The deepest span covering this segment owns it; among equal
+        # depths the latest-starting (then highest span id) wins — a
+        # deterministic choice, and parallel siblings share a stage.
+        owner = max(
+            (n for n in nodes if n.start <= lo and n.end >= hi),
+            key=lambda n: (n.depth, n.start, n.span.span_id),
+        )
+        profile.stages[owner.stage].self_time += length
+        profile.folded[owner.path] = profile.folded.get(owner.path, 0.0) + length
+    return profile
+
+
+class Profiler:
+    """Profiles the query traces a tracer retained.
+
+    Works over the tracer's ``recent`` ring (every completed trace the
+    buffer still holds) rather than only the slowest top-K, so per-stage
+    and per-tenant totals describe the retained workload window.
+    """
+
+    def __init__(self, source: Union["Observability", Tracer]):
+        self.tracer: Tracer = getattr(source, "tracer", source)
+
+    def query_roots(self) -> list[Span]:
+        """Retained query-trace roots, oldest first."""
+        return [
+            span for span in self.tracer.recent if span.name in QUERY_ROOTS
+        ]
+
+    def profiles(
+        self, roots: Optional[Iterable[Span]] = None
+    ) -> list[QueryProfile]:
+        spans = list(roots) if roots is not None else self.query_roots()
+        return [profile_trace(span) for span in spans]
+
+    def top(
+        self, n: int, roots: Optional[Iterable[Span]] = None
+    ) -> list[QueryProfile]:
+        """The ``n`` profiled queries with the most wall time."""
+        ranked = sorted(
+            self.profiles(roots),
+            key=lambda p: (-p.wall_time, p.trace_id),
+        )
+        return ranked[:n]
+
+    def by_stage(
+        self, profiles: Optional[list[QueryProfile]] = None
+    ) -> dict[str, StageStats]:
+        """Stage totals across the profiled queries (sorted by stage)."""
+        if profiles is None:
+            profiles = self.profiles()
+        out: dict[str, StageStats] = {}
+        for profile in profiles:
+            for stage, stats in profile.stages.items():
+                out.setdefault(stage, StageStats(stage)).add(stats)
+        return {stage: out[stage] for stage in sorted(out)}
+
+    def by_tenant(
+        self, profiles: Optional[list[QueryProfile]] = None
+    ) -> dict[str, dict[str, StageStats]]:
+        """Per-tenant stage totals (tenants and stages sorted)."""
+        if profiles is None:
+            profiles = self.profiles()
+        out: dict[str, dict[str, StageStats]] = {}
+        for profile in profiles:
+            bucket = out.setdefault(profile.tenant, {})
+            for stage, stats in profile.stages.items():
+                bucket.setdefault(stage, StageStats(stage)).add(stats)
+        return {
+            tenant: {stage: out[tenant][stage] for stage in sorted(out[tenant])}
+            for tenant in sorted(out)
+        }
+
+    def folded(self, profiles: Optional[list[QueryProfile]] = None) -> str:
+        """Flamegraph collapsed-stack export (integer microseconds).
+
+        One line per distinct stage path, sorted, values summed across
+        the profiled queries. Zero-weight paths are dropped. Integer
+        microsecond values keep the file byte-deterministic.
+        """
+        if profiles is None:
+            profiles = self.profiles()
+        weights: dict[str, float] = {}
+        for profile in profiles:
+            for path, seconds in profile.folded.items():
+                weights[path] = weights.get(path, 0.0) + seconds
+        lines = []
+        for path in sorted(weights):
+            micros = round(weights[path] * 1e6)
+            if micros > 0:
+                lines.append(f"{path} {micros}")
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,349 @@
+"""SLO engine: declarative objectives, burn-rate alerts, budget ledger.
+
+The paper's interactive-latency claim is an SLO story: the wall is
+breached only if p99 stays interactive while the fleet scales. This
+module closes the loop from the metrics registry to decisions:
+
+* :class:`SLObjective` — a declarative objective over registry metrics.
+  ``availability`` objectives classify a labelled counter family's
+  increments into good/bad (e.g. ``repro.sched.sla{outcome=ok|miss}``);
+  ``latency`` objectives count histogram observations at or below a
+  threshold bucket bound as good.
+* :class:`SloEngine` — sampled on the DES clock (wire :meth:`tick` into
+  ``Simulator.schedule_periodic``). Each tick snapshots every
+  objective's cumulative good/total counts; burn rates are windowed
+  deltas over those samples. Multi-window burn-rate rules (the SRE
+  page/ticket pattern) raise an alert only when both the short and the
+  long window burn faster than the rule's threshold, and resolve it
+  when the short window recovers — the alert timeline is a
+  deterministic function of the seed.
+* an **error-budget ledger**: over the budget window, the allowed bad
+  fraction is ``1 - target``; the ledger reports how much of that
+  budget the measured bad events consumed.
+
+:meth:`SloEngine.burn_rate_signal` is the hook
+:class:`~repro.autoscale.controller.WallBreachController` consumes
+(``burn_rate_fn=engine.burn_rate_signal``): sustained burn above the
+controller's threshold counts as overload alongside utilization and
+queue pressure.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
+    from repro.sim.engine import Simulator
+
+#: Default multi-window burn-rate rules: (name, short, long, threshold).
+#: A burn rate of 1.0 consumes exactly the error budget over the budget
+#: window; the classic fast-burn page fires at 14.4x, the slow-burn
+#: ticket at 6x (Google SRE workbook numbers, scaled to DES seconds).
+DEFAULT_BURN_RULES: tuple[tuple[str, float, float, float], ...] = (
+    ("fast_burn", 60.0, 600.0, 14.4),
+    ("slow_burn", 300.0, 3600.0, 6.0),
+)
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One declarative objective over registry metrics.
+
+    ``kind="availability"``: ``metric`` names a counter family; counters
+    whose ``class_label`` value is in ``good_values`` count as good,
+    every other counter of the family as bad. ``labels`` restricts the
+    family to counters carrying those label values.
+
+    ``kind="latency"``: ``metric`` names a histogram; observations in
+    buckets with upper bound <= ``threshold`` count as good.
+    """
+
+    name: str
+    target: float
+    kind: str = "availability"
+    metric: str = "repro.sched.sla"
+    labels: tuple[tuple[str, str], ...] = ()
+    class_label: str = "outcome"
+    good_values: tuple[str, ...] = ("ok",)
+    threshold: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"SLO target must be in (0, 1): {self.target}")
+        if self.kind not in ("availability", "latency"):
+            raise ValueError(f"unknown SLO kind: {self.kind}")
+        if self.kind == "latency" and self.threshold is None:
+            raise ValueError(f"latency SLO {self.name} needs a threshold")
+
+    def sample(self, metrics: MetricsRegistry) -> tuple[float, float]:
+        """Cumulative (good, total) event counts right now."""
+        if self.kind == "latency":
+            return self._sample_latency(metrics)
+        return self._sample_availability(metrics)
+
+    def _sample_availability(
+        self, metrics: MetricsRegistry
+    ) -> tuple[float, float]:
+        required = dict(self.labels)
+        good = total = 0.0
+        for instrument in metrics.find(self.metric):
+            if instrument.name != self.metric or not isinstance(
+                instrument, Counter
+            ):
+                continue
+            labels = dict(instrument.labels)
+            if any(labels.get(k) != v for k, v in required.items()):
+                continue
+            total += instrument.value
+            if labels.get(self.class_label) in self.good_values:
+                good += instrument.value
+        return good, total
+
+    def _sample_latency(self, metrics: MetricsRegistry) -> tuple[float, float]:
+        histogram = metrics.get(self.metric, **dict(self.labels))
+        if not isinstance(histogram, Histogram) or histogram.count == 0:
+            return 0.0, 0.0
+        # Buckets are upper bounds; everything at or below the threshold
+        # bound is a good observation.
+        cutoff = bisect.bisect_right(histogram.bounds, self.threshold)
+        good = float(sum(histogram.counts[:cutoff]))
+        return good, float(histogram.count)
+
+
+@dataclass(frozen=True)
+class BurnAlert:
+    """One alert-state transition on the DES clock."""
+
+    time: float
+    objective: str
+    rule: str
+    state: str  # "firing" | "resolved"
+    burn_short: float
+    burn_long: float
+
+    def render(self) -> str:
+        return (
+            f"{self.time:12.3f}s  {self.objective:<24} {self.rule:<10} "
+            f"{self.state:<9} short={self.burn_short:.4f} "
+            f"long={self.burn_long:.4f}"
+        )
+
+
+class SloEngine:
+    """Evaluates objectives on the DES clock; keeps budgets and alerts."""
+
+    def __init__(
+        self,
+        obs: "Observability",
+        *,
+        budget_window: float = 3600.0,
+        burn_rules: tuple[tuple[str, float, float, float], ...] = (
+            DEFAULT_BURN_RULES
+        ),
+        signal_window: float = 300.0,
+    ):
+        if budget_window <= 0:
+            raise ValueError(f"budget window must be positive: {budget_window}")
+        self.obs = obs
+        self.budget_window = budget_window
+        self.burn_rules = tuple(burn_rules)
+        self.signal_window = signal_window
+        self.objectives: dict[str, SLObjective] = {}
+        #: Per objective: (time, good, total) cumulative samples, one per
+        #: tick, pruned beyond the longest window anyone can ask about.
+        self._samples: dict[str, list[tuple[float, float, float]]] = {}
+        self._firing: set[tuple[str, str]] = set()
+        self.alerts: list[BurnAlert] = []
+        self.ticks = 0
+        self._keep = max(
+            [budget_window, signal_window]
+            + [rule[2] for rule in self.burn_rules]
+        )
+
+    # ------------------------------------------------------------------
+    # Registration & lifecycle
+    # ------------------------------------------------------------------
+
+    def register(self, objective: SLObjective) -> SLObjective:
+        if objective.name in self.objectives:
+            raise ValueError(f"objective {objective.name!r} already registered")
+        self.objectives[objective.name] = objective
+        now = self.obs.clock()
+        # Baseline sample: windowed deltas measure burn *since
+        # registration*, not counts accumulated before the SLO existed.
+        self._samples[objective.name] = [
+            (now, *objective.sample(self.obs.metrics))
+        ]
+        return objective
+
+    def attach(
+        self,
+        simulator: "Simulator",
+        *,
+        interval: float = 5.0,
+        until: Optional[float] = None,
+    ) -> Callable[[], None]:
+        """Schedule periodic ticks; returns the cancel function."""
+        return simulator.schedule_periodic(interval, self.tick, until=until)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Snapshot every objective and update alert states."""
+        now = self.obs.clock()
+        self.ticks += 1
+        for name, objective in sorted(self.objectives.items()):
+            good, total = objective.sample(self.obs.metrics)
+            samples = self._samples[name]
+            samples.append((now, good, total))
+            while len(samples) > 2 and samples[1][0] <= now - self._keep:
+                samples.pop(0)
+            self._update_alerts(now, objective)
+
+    def _window_delta(
+        self, name: str, window: float
+    ) -> tuple[float, float]:
+        """(bad, total) event deltas over the trailing ``window`` seconds."""
+        samples = self._samples[name]
+        now, good_now, total_now = samples[-1]
+        cut = now - window
+        base = samples[0]
+        for sample in samples:
+            if sample[0] > cut:
+                break
+            base = sample
+        bad = (total_now - base[2]) - (good_now - base[1])
+        total = total_now - base[2]
+        return max(0.0, bad), max(0.0, total)
+
+    def burn_rate(self, name: str, window: float) -> float:
+        """Error-budget burn rate over the window; 1.0 = exactly on budget.
+
+        Burn = measured bad fraction divided by the allowed bad fraction
+        (``1 - target``). No traffic in the window burns nothing.
+        """
+        objective = self.objectives[name]
+        bad, total = self._window_delta(name, window)
+        if total <= 0.0:
+            return 0.0
+        return (bad / total) / (1.0 - objective.target)
+
+    def burn_rate_signal(self) -> float:
+        """Worst sustained burn across objectives (the controller hook)."""
+        if not self.objectives:
+            return 0.0
+        return max(
+            self.burn_rate(name, self.signal_window)
+            for name in self.objectives
+        )
+
+    # ------------------------------------------------------------------
+    # Alerts
+    # ------------------------------------------------------------------
+
+    def _update_alerts(self, now: float, objective: SLObjective) -> None:
+        for rule, short, long_, threshold in self.burn_rules:
+            burn_short = self.burn_rate(objective.name, short)
+            burn_long = self.burn_rate(objective.name, long_)
+            key = (objective.name, rule)
+            firing = key in self._firing
+            # Fire on both windows hot (fast reaction, long-window
+            # confirmation); resolve as soon as the short window cools.
+            if not firing and burn_short >= threshold and burn_long >= threshold:
+                self._firing.add(key)
+                self._record_alert(
+                    now, objective.name, rule, "firing", burn_short, burn_long
+                )
+            elif firing and burn_short < threshold:
+                self._firing.discard(key)
+                self._record_alert(
+                    now, objective.name, rule, "resolved", burn_short, burn_long
+                )
+
+    def _record_alert(
+        self,
+        now: float,
+        objective: str,
+        rule: str,
+        state: str,
+        burn_short: float,
+        burn_long: float,
+    ) -> None:
+        alert = BurnAlert(
+            time=now,
+            objective=objective,
+            rule=rule,
+            state=state,
+            burn_short=burn_short,
+            burn_long=burn_long,
+        )
+        self.alerts.append(alert)
+        self.obs.events.emit(
+            "obs.slo.alert",
+            objective=objective,
+            rule=rule,
+            state=state,
+            burn_short=round(burn_short, 6),
+            burn_long=round(burn_long, 6),
+        )
+
+    def alert_timeline(self) -> str:
+        """Deterministic text rendering of every alert transition."""
+        return "\n".join(alert.render() for alert in self.alerts) + (
+            "\n" if self.alerts else ""
+        )
+
+    # ------------------------------------------------------------------
+    # Error budgets
+    # ------------------------------------------------------------------
+
+    def ledger(self) -> list[dict]:
+        """Per-objective error-budget accounting over the budget window."""
+        rows = []
+        for name in sorted(self.objectives):
+            objective = self.objectives[name]
+            bad, total = self._window_delta(name, self.budget_window)
+            allowed = (1.0 - objective.target) * total
+            if allowed > 0.0:
+                consumed = bad / allowed
+            else:
+                consumed = 1.0 if bad > 0.0 else 0.0
+            compliance = 1.0 - (bad / total) if total > 0.0 else 1.0
+            rows.append(
+                {
+                    "objective": name,
+                    "kind": objective.kind,
+                    "target": objective.target,
+                    "window": self.budget_window,
+                    "good": total - bad,
+                    "total": total,
+                    "bad": bad,
+                    "compliance": compliance,
+                    "budget_consumed": consumed,
+                    "budget_remaining": 1.0 - consumed,
+                    "met": compliance >= objective.target,
+                }
+            )
+        return rows
+
+    def render_ledger(self) -> str:
+        """Deterministic text table of the error-budget ledger."""
+        lines = [
+            f"{'objective':<24} {'target':>8} {'compliance':>11} "
+            f"{'bad':>8} {'total':>8} {'budget used':>12}  met"
+        ]
+        for row in self.ledger():
+            lines.append(
+                f"{row['objective']:<24} {row['target']:>8.4f} "
+                f"{row['compliance']:>11.6f} {row['bad']:>8.0f} "
+                f"{row['total']:>8.0f} {row['budget_consumed']:>11.1%}  "
+                f"{'yes' if row['met'] else 'NO'}"
+            )
+        return "\n".join(lines) + "\n"

@@ -36,18 +36,19 @@ class Span:
     def __init__(
         self,
         name: str,
-        trace_id: int,
-        span_id: int,
-        start: float,
-        labels: dict[str, object],
+        trace_id: int = 0,
+        span_id: int = 0,
+        start: float = 0.0,
+        labels: Optional[dict[str, object]] = None,
+        annotations: Optional[dict[str, object]] = None,
     ):
         self.name = name
         self.trace_id = trace_id
         self.span_id = span_id
         self.start = start
         self.end: Optional[float] = None
-        self.labels = labels
-        self.annotations: dict[str, object] = {}
+        self.labels = labels if labels is not None else {}
+        self.annotations = annotations if annotations is not None else {}
         self.children: list[Span] = []
 
     @property
@@ -64,6 +65,24 @@ class Span:
     def annotate(self, **fields: object) -> "Span":
         """Attach key/value diagnostics (row counts, outcomes...)."""
         self.annotations.update(fields)
+        return self
+
+    def shift(self, offset: float) -> "Span":
+        """Translate this span and its whole subtree later by ``offset``.
+
+        The simulated clock does not advance while a query executes, so
+        sequential work (retry attempts, backoff, post-scan merges) is
+        initially stamped at the same instant. Callers that know the
+        simulated schedule shift sub-spans onto it, which is what lets
+        the profiler attribute wall time by interval sweep.
+        """
+        if offset == 0.0:
+            return self
+        self.start += offset
+        if self.end is not None:
+            self.end += offset
+        for child in self.children:
+            child.shift(offset)
         return self
 
     def walk(self) -> Iterator["Span"]:

@@ -267,7 +267,7 @@ class WorkloadManager:
             label=f"{tenant or 'anon'}:{query.table}",
             priority=priority,
             deadline=deadline,
-            execute=lambda: self._execute(query),
+            execute=lambda: self._execute(query, record),
             on_complete=lambda job: self._finish(record, job, on_done),
         )
         self._outstanding += 1
@@ -278,14 +278,44 @@ class WorkloadManager:
     # Internals
     # ------------------------------------------------------------------
 
-    def _execute(self, query: "Query") -> float:
+    def _execute(self, query: "Query", record: JobRecord) -> float:
         """Run one query through the proxy; returns its total latency.
 
         The manager already consulted the cache, so lookup is skipped;
         the proxy still *stores* the fresh answer for future hits.
+
+        A managed query's trace is rooted here: the root span is
+        backdated to the job's arrival with an explicit queue-wait child
+        covering [submitted, dispatch], then the proxy's span (and the
+        whole coordinator/scan subtree) nests beneath it, so profiles
+        attribute end-to-end wall time from submission to completion.
         """
-        result = self.deployment.proxy.submit(query, cache_lookup=False)
-        return float(result.metadata.get("latency_total", 0.0))
+        now = self.deployment.simulator.now
+        queue_wait = max(0.0, now - record.submitted)
+        with self.obs.tracer.span(
+            "repro.sched.query",
+            table=query.table,
+            tenant=str(record.tenant),
+            priority=record.priority.name.lower(),
+        ) as root:
+            root.start = record.submitted
+            with self.obs.tracer.span("repro.sched.queue.wait") as wait_span:
+                wait_span.start = record.submitted
+                wait_span.set_duration(queue_wait)
+                wait_span.annotate(queue=str(record.node))
+            with self.obs.tracer.span("repro.sched.admission") as adm_span:
+                adm_span.set_duration(0.0)
+                adm_span.annotate(reason=REASON_OK)
+            try:
+                result = self.deployment.proxy.submit(query, cache_lookup=False)
+            except Exception as exc:
+                root.set_duration(queue_wait)
+                root.annotate(outcome="failed", error=str(exc))
+                raise
+            latency = float(result.metadata.get("latency_total", 0.0))
+            root.set_duration(queue_wait + latency)
+            root.annotate(outcome="ok", queue_wait=queue_wait)
+        return latency
 
     def _finish(
         self,

@@ -329,29 +329,18 @@ def _build_overload_deployment(seed: int):
     return deployment
 
 
-def run_overload_experiment(
-    seed: int = 0,
+def _build_overload_report(
+    manager: WorkloadManager,
+    traffic: TrafficGenerator,
     *,
-    policy: str = "managed",
-    saturation: float = 5.0,
-    duration: float = 20.0,
-    tenants: int = 6,
+    policy: str,
+    seed: int,
+    saturation: float,
+    rate: float,
+    duration: float,
+    drained: bool,
 ) -> OverloadReport:
-    """One seeded overload storm against one policy; returns its report."""
-    if saturation <= 0:
-        raise ConfigurationError(f"saturation must be positive: {saturation}")
-    deployment = _build_overload_deployment(seed)
-    manager = WorkloadManager(deployment, policy=overload_policy(policy))
-    traffic = TrafficGenerator(
-        manager, tenants=tenants, seed=seed, table="events"
-    )
-    deployment.simulator.run_until(30.0)
-
-    rate = saturation * BASE_RATE
-    traffic.run_open_loop(rate=rate, duration=duration)
-    deployment.simulator.run_until(deployment.simulator.now + duration)
-    drained = manager.drain(max_time=600.0)
-
+    """Fold one finished storm's records into its deterministic report."""
     report = OverloadReport(
         policy=policy,
         seed=seed,
@@ -393,3 +382,106 @@ def run_overload_experiment(
         report.cache_hits = manager.cache.stats.hits
         report.cache_misses = manager.cache.stats.misses
     return report
+
+
+def run_overload_experiment(
+    seed: int = 0,
+    *,
+    policy: str = "managed",
+    saturation: float = 5.0,
+    duration: float = 20.0,
+    tenants: int = 6,
+) -> OverloadReport:
+    """One seeded overload storm against one policy; returns its report."""
+    if saturation <= 0:
+        raise ConfigurationError(f"saturation must be positive: {saturation}")
+    deployment = _build_overload_deployment(seed)
+    manager = WorkloadManager(deployment, policy=overload_policy(policy))
+    traffic = TrafficGenerator(
+        manager, tenants=tenants, seed=seed, table="events"
+    )
+    deployment.simulator.run_until(30.0)
+
+    rate = saturation * BASE_RATE
+    traffic.run_open_loop(rate=rate, duration=duration)
+    deployment.simulator.run_until(deployment.simulator.now + duration)
+    drained = manager.drain(max_time=600.0)
+    return _build_overload_report(
+        manager,
+        traffic,
+        policy=policy,
+        seed=seed,
+        saturation=saturation,
+        rate=rate,
+        duration=duration,
+        drained=drained,
+    )
+
+
+def run_profiled_overload(
+    seed: int = 0,
+    *,
+    policy: str = "managed",
+    saturation: float = 5.0,
+    duration: float = 20.0,
+    tenants: int = 6,
+    slo_interval: float = 5.0,
+):
+    """The overload storm with the observability loop closed.
+
+    Same seeded storm as :func:`run_overload_experiment`, but with an
+    :class:`~repro.obs.slo.SloEngine` ticking on the DES clock
+    throughout: an availability objective over the scheduler's SLA
+    counters and an interactive-latency objective over the proxy's
+    latency histogram. Returns ``(report, deployment, manager, engine)``
+    so callers (the ``repro profile`` CLI, tests) can profile the traces
+    and read the error-budget ledger after the storm.
+    """
+    from repro.obs.slo import SLObjective, SloEngine
+
+    if saturation <= 0:
+        raise ConfigurationError(f"saturation must be positive: {saturation}")
+    deployment = _build_overload_deployment(seed)
+    manager = WorkloadManager(deployment, policy=overload_policy(policy))
+    traffic = TrafficGenerator(
+        manager, tenants=tenants, seed=seed, table="events"
+    )
+    deployment.simulator.run_until(30.0)
+
+    engine = SloEngine(deployment.obs, budget_window=3600.0)
+    engine.register(
+        SLObjective(
+            name="sched-sla-availability",
+            target=0.99,
+            kind="availability",
+            metric="repro.sched.sla",
+        )
+    )
+    engine.register(
+        SLObjective(
+            name="proxy-interactive-latency",
+            target=0.95,
+            kind="latency",
+            metric="cubrick.proxy.latency_seconds",
+            threshold=1.0,
+        )
+    )
+    cancel = engine.attach(deployment.simulator, interval=slo_interval)
+
+    rate = saturation * BASE_RATE
+    traffic.run_open_loop(rate=rate, duration=duration)
+    deployment.simulator.run_until(deployment.simulator.now + duration)
+    drained = manager.drain(max_time=600.0)
+    cancel()
+    engine.tick()  # final sample so the ledger covers the drain tail
+    report = _build_overload_report(
+        manager,
+        traffic,
+        policy=policy,
+        seed=seed,
+        saturation=saturation,
+        rate=rate,
+        duration=duration,
+        drained=drained,
+    )
+    return report, deployment, manager, engine

@@ -1,0 +1,177 @@
+"""Exporter tests: Prometheus text, span JSONL, seeded byte-determinism.
+
+The determinism class is the acceptance criterion made executable: two
+identically-seeded profiled overload runs must produce byte-identical
+Prometheus text, flamegraph folds, burn-alert timelines and span dumps.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, Observability, Profiler
+from repro.obs.export import (
+    prometheus_name,
+    prometheus_text,
+    spans_jsonl,
+    write_text,
+)
+
+
+class TestPrometheusNames:
+    def test_dots_become_underscores(self):
+        assert (
+            prometheus_name("cubrick.proxy.latency_seconds")
+            == "cubrick_proxy_latency_seconds"
+        )
+
+    def test_leading_digit_is_guarded(self):
+        assert prometheus_name("9lives") == "_9lives"
+
+    def test_colons_survive(self):
+        assert prometheus_name("ns:sub.metric") == "ns:sub_metric"
+
+
+class TestPrometheusText:
+    def test_counters_and_gauges_render_with_type_headers(self):
+        metrics = MetricsRegistry()
+        metrics.counter("q.count", region="r0").inc(5)
+        metrics.gauge("q.depth").set(2.5)
+        text = prometheus_text(metrics)
+        assert "# TYPE q_count counter" in text
+        assert 'q_count{region="r0"} 5' in text
+        assert "# TYPE q_depth gauge" in text
+        assert "q_depth 2.5" in text
+
+    def test_histogram_renders_cumulative_buckets(self):
+        metrics = MetricsRegistry()
+        histogram = metrics.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 2.0):
+            histogram.observe(value)
+        lines = prometheus_text(metrics).splitlines()
+        assert lines == [
+            "# TYPE lat histogram",
+            'lat_bucket{le="0.1"} 1',
+            'lat_bucket{le="1"} 2',
+            'lat_bucket{le="+Inf"} 3',
+            "lat_sum 2.55",
+            "lat_count 3",
+        ]
+
+    def test_label_values_are_escaped(self):
+        metrics = MetricsRegistry()
+        metrics.counter("c", path='a"b\\c').inc()
+        text = prometheus_text(metrics)
+        assert 'path="a\\"b\\\\c"' in text
+
+    def test_instruments_emit_in_sorted_order(self):
+        metrics = MetricsRegistry()
+        metrics.counter("b.count").inc()
+        metrics.counter("a.count", z="2").inc()
+        metrics.counter("a.count", z="1").inc()
+        lines = prometheus_text(metrics).splitlines()
+        assert lines.index("# TYPE a_count counter") < lines.index(
+            "# TYPE b_count counter"
+        )
+        assert lines.index('a_count{z="1"} 1') < lines.index(
+            'a_count{z="2"} 1'
+        )
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+
+class TestSpansJsonl:
+    def test_tree_flattens_with_parent_links(self):
+        obs = Observability()
+        with obs.tracer.span("root", table="t") as root:
+            with obs.tracer.span("child") as child:
+                child.annotate(rows=3)
+                child.set_duration(0.5)
+            root.set_duration(1.0)
+        records = [
+            json.loads(line) for line in spans_jsonl(obs).splitlines()
+        ]
+        assert len(records) == 2
+        parent, child = records
+        assert parent["parentSpanId"] == 0
+        assert child["parentSpanId"] == parent["spanId"]
+        assert parent["attributes"] == {"table": "t"}
+        assert child["attributes"] == {"rows": 3}
+        assert child["endTime"] == pytest.approx(0.5)
+        assert parent["kind"] == "SPAN_KIND_INTERNAL"
+
+    def test_lines_are_sorted_key_json(self):
+        obs = Observability()
+        with obs.tracer.span("root"):
+            pass
+        (line,) = spans_jsonl(obs).splitlines()
+        assert line == json.dumps(json.loads(line), sort_keys=True)
+
+    def test_write_text_round_trips_bytes(self, tmp_path):
+        path = tmp_path / "out.txt"
+        write_text(str(path), "alpha 1\nbeta 2\n")
+        assert path.read_text() == "alpha 1\nbeta 2\n"
+
+
+@pytest.fixture(scope="module")
+def profiled_pair():
+    """The same seeded profiled overload run, executed twice."""
+    from repro.workloads.loadgen import run_profiled_overload
+
+    return (
+        run_profiled_overload(seed=7, duration=4.0),
+        run_profiled_overload(seed=7, duration=4.0),
+    )
+
+
+class TestSeededDeterminism:
+    def test_reports_are_identical(self, profiled_pair):
+        (report_a, *_), (report_b, *_) = profiled_pair
+        assert report_a.render() == report_b.render()
+
+    def test_prometheus_text_is_byte_identical(self, profiled_pair):
+        (_, deploy_a, __, ___), (_, deploy_b, __, ___) = profiled_pair
+        text_a = prometheus_text(deploy_a.obs.metrics)
+        assert text_a == prometheus_text(deploy_b.obs.metrics)
+        assert text_a  # the run produced metrics
+
+    def test_flamegraph_folds_are_byte_identical(self, profiled_pair):
+        (_, deploy_a, __, ___), (_, deploy_b, __, ___) = profiled_pair
+        folds_a = Profiler(deploy_a.obs).folded()
+        assert folds_a == Profiler(deploy_b.obs).folded()
+        assert folds_a
+
+    def test_span_dumps_are_byte_identical(self, profiled_pair):
+        (_, deploy_a, __, ___), (_, deploy_b, __, ___) = profiled_pair
+        dump_a = spans_jsonl(deploy_a.obs)
+        assert dump_a == spans_jsonl(deploy_b.obs)
+        assert dump_a
+
+    def test_alert_timelines_and_ledgers_are_identical(self, profiled_pair):
+        (*_, engine_a), (*_, engine_b) = profiled_pair
+        assert engine_a.alert_timeline() == engine_b.alert_timeline()
+        assert engine_a.render_ledger() == engine_b.render_ledger()
+        assert engine_a.ledger() == engine_b.ledger()
+
+
+class TestProfileCli:
+    def test_profile_command_runs_and_writes_exports(self, tmp_path, capsys):
+        from repro.cli import main
+
+        flame = tmp_path / "flame.folded"
+        prom = tmp_path / "metrics.prom"
+        spans = tmp_path / "spans.jsonl"
+        code = main([
+            "profile", "--seed", "0", "--duration", "2", "--top", "1",
+            "--flame", str(flame), "--prom", str(prom),
+            "--spans", str(spans),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== query profiles:" in out
+        assert "error-budget ledger" in out
+        assert "stages sum to" in out
+        assert flame.read_text()
+        assert prom.read_text().startswith("# TYPE")
+        assert spans.read_text()

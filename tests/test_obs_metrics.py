@@ -186,3 +186,71 @@ class TestHistogram:
         assert as_dict["sum"] == 4.0
         assert as_dict["mean"] == 2.0
         assert as_dict["p50"] == pytest.approx(2.0)
+
+
+class TestPercentileReadoutUnification:
+    """Every percentile readout shares one interpolation code path."""
+
+    def samples(self):
+        return [0.5 * i for i in range(1, 21)]  # 0.5 .. 10.0
+
+    def tracked(self):
+        histogram = MetricsRegistry().histogram("h", track_samples=True)
+        for value in self.samples():
+            histogram.observe(value)
+        return histogram
+
+    def test_q0_and_q100_are_min_and_max(self):
+        histogram = self.tracked()
+        assert histogram.percentile(0) == 0.5
+        assert histogram.percentile(100) == 10.0
+
+    def test_q1_interpolates_like_the_list_form(self):
+        histogram = self.tracked()
+        assert histogram.percentile(1) == pytest.approx(
+            interpolated_percentile(self.samples(), 1)
+        )
+
+    def test_single_sample_answers_every_quantile(self):
+        histogram = MetricsRegistry().histogram("h", track_samples=True)
+        histogram.observe(3.5)
+        for q in (0, 1, 50, 99, 100):
+            assert histogram.percentile(q) == 3.5
+
+    def test_empty_histogram_raises_on_both_paths(self):
+        tracked = MetricsRegistry().histogram("h", track_samples=True)
+        bucketed = MetricsRegistry().histogram("b", buckets=(1.0, 2.0))
+        for histogram in (tracked, bucketed):
+            with pytest.raises(ValueError):
+                histogram.percentile(50)
+            with pytest.raises(ValueError):
+                histogram.percentiles((50,))
+
+    def test_out_of_range_quantile_rejected_everywhere(self):
+        histogram = self.tracked()
+        with pytest.raises(ValueError):
+            histogram.percentile(-1)
+        with pytest.raises(ValueError):
+            histogram.percentile(100.5)
+
+    def test_vector_percentiles_match_scalar_calls(self):
+        histogram = self.tracked()
+        qs = (0.0, 1.0, 50.0, 95.0, 100.0)
+        assert histogram.percentiles(qs) == [
+            histogram.percentile(q) for q in qs
+        ]
+
+    def test_bucket_path_boundaries(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 10.0))
+        for value in (2.0, 3.0, 4.0):
+            histogram.observe(value)
+        assert histogram.percentile(0) <= histogram.percentile(100)
+        assert 2.0 <= histogram.percentile(0)
+        assert histogram.percentile(100) <= 4.0
+
+    def test_readout_percentiles_match_percentile_calls(self):
+        histogram = self.tracked()
+        readout = histogram.readout()
+        assert readout["p50"] == histogram.percentile(50)
+        assert readout["p95"] == histogram.percentile(95)
+        assert readout["p99"] == histogram.percentile(99)

@@ -1,0 +1,243 @@
+"""Profiler tests: stage attribution, the sum invariant, folded export.
+
+The profiler's contract is exactness: stage self-times partition the
+root span's interval, so they sum to its wall time — asserted here both
+on hand-built span trees (where the right answer is computable by eye)
+and on real traces from the seeded overload demo.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import Observability, Profiler
+from repro.obs.profiler import profile_trace, stage_of
+from repro.obs.trace import Span, Tracer
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def build_query_trace(tracer: Tracer) -> Span:
+    """proxy [0, 1.0] > coordinator [0, 0.6] > scan [0, 0.5]."""
+    with tracer.span("cubrick.proxy.query", table="events") as root:
+        with tracer.span("cubrick.coordinator.execute", region="r0") as coord:
+            with tracer.span("cubrick.node.scan", host="h0") as scan:
+                scan.set_duration(0.5)
+                scan.annotate(rows_scanned=100, bricks_scanned=4)
+            coord.set_duration(0.6)
+        root.set_duration(1.0)
+    return tracer.recent[-1]
+
+
+class TestStageMapping:
+    def test_known_span_names_map_to_stages(self):
+        assert stage_of(Span("cubrick.proxy.query")) == "proxy"
+        assert stage_of(Span("cubrick.node.scan")) == "scan"
+        assert stage_of(Span("repro.sched.queue.wait")) == "queue_wait"
+        assert stage_of(Span("cubrick.coordinator.merge")) == "merge"
+
+    def test_kernel_spans_profile_per_family(self):
+        span = Span("cubrick.node.kernel", labels={"family": "grouped:sum"})
+        assert stage_of(span) == "kernel:grouped:sum"
+        assert stage_of(Span("cubrick.node.kernel")) == "kernel:unknown"
+
+    def test_unknown_names_profile_under_themselves(self):
+        assert stage_of(Span("smc.propagate")) == "smc.propagate"
+
+
+class TestSpanShift:
+    def test_shift_translates_whole_subtree(self):
+        tracer = Tracer(FakeClock())
+        root = build_query_trace(tracer)
+        child = root.children[0]
+        child.shift(0.25)
+        assert child.start == pytest.approx(0.25)
+        assert child.end == pytest.approx(0.85)
+        assert child.children[0].start == pytest.approx(0.25)
+
+    def test_zero_shift_is_identity(self):
+        span = Span("x", start=1.0)
+        span.end = 2.0
+        assert span.shift(0.0) is span
+        assert (span.start, span.end) == (1.0, 2.0)
+
+
+class TestProfileTrace:
+    def test_self_times_partition_the_root_interval(self):
+        tracer = Tracer(FakeClock())
+        profile = profile_trace(build_query_trace(tracer))
+        assert profile.wall_time == pytest.approx(1.0)
+        assert profile.stages["scan"].self_time == pytest.approx(0.5)
+        assert profile.stages["coordinator"].self_time == pytest.approx(0.1)
+        assert profile.stages["proxy"].self_time == pytest.approx(0.4)
+        assert profile.self_time_total == pytest.approx(profile.wall_time)
+
+    def test_parallel_siblings_share_their_stage(self):
+        tracer = Tracer(FakeClock())
+        with tracer.span("cubrick.proxy.query", table="events") as root:
+            with tracer.span("cubrick.coordinator.execute") as coord:
+                with tracer.span("cubrick.node.scan", host="h0") as a:
+                    a.set_duration(0.3)
+                with tracer.span("cubrick.node.scan", host="h1") as b:
+                    b.set_duration(0.4)
+                coord.set_duration(0.5)
+            root.set_duration(0.5)
+        profile = profile_trace(tracer.recent[-1])
+        # [0, 0.4] belongs to the scans, [0.4, 0.5] to the coordinator.
+        assert profile.stages["scan"].self_time == pytest.approx(0.4)
+        assert profile.stages["coordinator"].self_time == pytest.approx(0.1)
+        assert profile.self_time_total == pytest.approx(0.5)
+
+    def test_children_are_clamped_to_their_parent(self):
+        tracer = Tracer(FakeClock())
+        with tracer.span("cubrick.proxy.query") as root:
+            with tracer.span("cubrick.node.scan") as scan:
+                scan.set_duration(5.0)  # longer than the root
+            root.set_duration(1.0)
+        profile = profile_trace(tracer.recent[-1])
+        assert profile.self_time_total == pytest.approx(1.0)
+        assert profile.stages["scan"].self_time == pytest.approx(1.0)
+
+    def test_scan_volumes_and_identity_fields(self):
+        tracer = Tracer(FakeClock())
+        profile = profile_trace(build_query_trace(tracer))
+        assert profile.rows_scanned == 100
+        assert profile.bricks_scanned == 4
+        assert profile.table == "events"
+        assert profile.root_name == "cubrick.proxy.query"
+
+    def test_folded_paths_follow_the_stage_chain(self):
+        tracer = Tracer(FakeClock())
+        profile = profile_trace(build_query_trace(tracer))
+        assert profile.folded["proxy;coordinator;scan"] == pytest.approx(0.5)
+        assert profile.folded["proxy;coordinator"] == pytest.approx(0.1)
+        assert profile.folded["proxy"] == pytest.approx(0.4)
+
+
+class TestProfilerAggregation:
+    def build(self, n: int = 3) -> Profiler:
+        tracer = Tracer(FakeClock())
+        for __ in range(n):
+            build_query_trace(tracer)
+        return Profiler(tracer)
+
+    def test_accepts_observability_or_tracer(self):
+        obs = Observability()
+        assert Profiler(obs).tracer is obs.tracer
+        assert Profiler(obs.tracer).tracer is obs.tracer
+
+    def test_only_query_roots_are_profiled(self):
+        tracer = Tracer(FakeClock())
+        build_query_trace(tracer)
+        with tracer.span("smc.propagate"):
+            pass
+        assert len(Profiler(tracer).profiles()) == 1
+
+    def test_top_ranks_by_wall_time_then_trace_id(self):
+        tracer = Tracer(FakeClock())
+        with tracer.span("cubrick.proxy.query") as span:
+            span.set_duration(0.2)
+        with tracer.span("cubrick.proxy.query") as span:
+            span.set_duration(0.9)
+        top = Profiler(tracer).top(1)
+        assert len(top) == 1
+        assert top[0].wall_time == pytest.approx(0.9)
+
+    def test_by_stage_sums_across_queries(self):
+        profiler = self.build(3)
+        totals = profiler.by_stage()
+        assert totals["scan"].self_time == pytest.approx(1.5)
+        assert totals["scan"].rows_scanned == 300
+        assert list(totals) == sorted(totals)
+
+    def test_folded_export_is_sorted_integer_microseconds(self):
+        profiler = self.build(2)
+        lines = profiler.folded().splitlines()
+        assert lines == sorted(lines)
+        assert "proxy;coordinator;scan 1000000" in lines
+        for line in lines:
+            path, value = line.rsplit(" ", 1)
+            assert int(value) > 0
+
+
+def rebuild_spans(jsonl: str) -> list[Span]:
+    """Reconstruct span trees from a spans_jsonl export."""
+    by_id: dict[int, Span] = {}
+    roots: list[Span] = []
+    for line in jsonl.splitlines():
+        record = json.loads(line)
+        span = Span(
+            record["name"],
+            trace_id=record["traceId"],
+            span_id=record["spanId"],
+            start=record["startTime"],
+            labels={
+                k: v for k, v in record["attributes"].items()
+                if isinstance(v, str)
+            },
+            annotations=dict(record["attributes"]),
+        )
+        span.end = record["endTime"]
+        by_id[span.span_id] = span
+        parent = by_id.get(record["parentSpanId"])
+        if parent is None:
+            roots.append(span)
+        else:
+            parent.children.append(span)
+    return roots
+
+
+class TestOverloadRoundTrip:
+    """Real traces from the seeded overload demo hold the invariant."""
+
+    @pytest.fixture(scope="class")
+    def profiled(self):
+        from repro.workloads.loadgen import run_profiled_overload
+
+        return run_profiled_overload(seed=3, duration=4.0)
+
+    def test_every_profile_sums_to_its_wall_time(self, profiled):
+        __, deployment, __, __ = profiled
+        profiles = Profiler(deployment.obs).profiles()
+        assert profiles
+        for profile in profiles:
+            assert profile.self_time_total == pytest.approx(
+                profile.wall_time, abs=1e-9
+            )
+
+    def test_managed_queries_trace_from_the_scheduler(self, profiled):
+        __, deployment, __, __ = profiled
+        profiles = Profiler(deployment.obs).profiles()
+        assert {p.root_name for p in profiles} == {"repro.sched.query"}
+        assert all(p.tenant.startswith("tenant") for p in profiles)
+        assert any("queue_wait" in p.stages for p in profiles)
+        assert any(
+            stage.startswith("kernel:")
+            for p in profiles for stage in p.stages
+        )
+
+    def test_export_roundtrip_preserves_profiles(self, profiled):
+        from repro.obs.export import spans_jsonl
+        from repro.obs.profiler import QUERY_ROOTS
+
+        __, deployment, __, __ = profiled
+        profiler = Profiler(deployment.obs)
+        live = profiler.profiles()
+        rebuilt = rebuild_spans(spans_jsonl(deployment.obs))
+        query_roots = [s for s in rebuilt if s.name in QUERY_ROOTS]
+        round_tripped = profiler.profiles(query_roots)
+        assert len(round_tripped) == len(live)
+        for a, b in zip(live, round_tripped):
+            assert a.trace_id == b.trace_id
+            assert a.wall_time == pytest.approx(b.wall_time)
+            assert set(a.stages) == set(b.stages)
+            for stage in a.stages:
+                assert a.stages[stage].self_time == pytest.approx(
+                    b.stages[stage].self_time
+                )

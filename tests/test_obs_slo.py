@@ -1,0 +1,304 @@
+"""SLO engine tests: burn math, multi-window alerts, budget ledger.
+
+Objectives are driven with hand-incremented counters on a fake clock so
+every burn rate has a by-hand right answer; the controller test closes
+the loop the ISSUE asks for — burn rate in, overload actuation out.
+"""
+
+import pytest
+
+from repro.autoscale.controller import ControllerSpec, WallBreachController
+from repro.autoscale.fleet import FleetController, FleetSpec
+from repro.autoscale.reshard import ReshardPlanner, ReshardSpec
+from repro.core.deployment import CubrickDeployment, DeploymentConfig
+from repro.cubrick.schema import Dimension, Metric, TableSchema
+from repro.obs import Observability
+from repro.obs.slo import DEFAULT_BURN_RULES, SLObjective, SloEngine
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def availability_setup(target: float = 0.9):
+    clock = FakeClock()
+    obs = Observability(clock)
+    ok = obs.metrics.counter("repro.sched.sla", outcome="ok")
+    miss = obs.metrics.counter("repro.sched.sla", outcome="miss")
+    engine = SloEngine(obs)
+    engine.register(SLObjective(name="sla", target=target))
+    return clock, obs, ok, miss, engine
+
+
+class TestObjectiveValidation:
+    def test_target_must_be_a_fraction(self):
+        with pytest.raises(ValueError):
+            SLObjective(name="x", target=1.0)
+        with pytest.raises(ValueError):
+            SLObjective(name="x", target=0.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SLObjective(name="x", target=0.9, kind="throughput")
+
+    def test_latency_needs_threshold(self):
+        with pytest.raises(ValueError):
+            SLObjective(name="x", target=0.9, kind="latency", metric="m")
+
+    def test_duplicate_registration_rejected(self):
+        engine = SloEngine(Observability())
+        engine.register(SLObjective(name="x", target=0.9))
+        with pytest.raises(ValueError):
+            engine.register(SLObjective(name="x", target=0.5))
+
+    def test_budget_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SloEngine(Observability(), budget_window=0.0)
+
+
+class TestSampling:
+    def test_availability_splits_family_by_outcome_label(self):
+        __, obs, ok, miss, engine = availability_setup()
+        ok.inc(8)
+        miss.inc(2)
+        good, total = engine.objectives["sla"].sample(obs.metrics)
+        assert (good, total) == (8.0, 10.0)
+
+    def test_availability_respects_label_restriction(self):
+        obs = Observability()
+        obs.metrics.counter("sla", outcome="ok", region="r0").inc(5)
+        obs.metrics.counter("sla", outcome="ok", region="r1").inc(7)
+        scoped = SLObjective(
+            name="r0", target=0.9, metric="sla",
+            labels=(("region", "r0"),),
+        )
+        assert scoped.sample(obs.metrics) == (5.0, 5.0)
+
+    def test_latency_counts_observations_at_or_below_threshold(self):
+        obs = Observability()
+        histogram = obs.metrics.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.09, 0.5, 2.0):
+            histogram.observe(value)
+        objective = SLObjective(
+            name="lat", target=0.9, kind="latency",
+            metric="lat", threshold=0.1,
+        )
+        assert objective.sample(obs.metrics) == (2.0, 4.0)
+
+    def test_latency_with_no_histogram_sees_no_traffic(self):
+        obs = Observability()
+        objective = SLObjective(
+            name="lat", target=0.9, kind="latency",
+            metric="missing", threshold=0.1,
+        )
+        assert objective.sample(obs.metrics) == (0.0, 0.0)
+
+
+class TestBurnRates:
+    def test_burn_is_bad_fraction_over_allowed_fraction(self):
+        clock, __, ok, miss, engine = availability_setup(target=0.9)
+        ok.inc(90)
+        miss.inc(10)
+        clock.now = 10.0
+        engine.tick()
+        # 10% bad with a 10% budget: burning exactly at the sustainable
+        # rate.
+        assert engine.burn_rate("sla", 60.0) == pytest.approx(1.0)
+
+    def test_no_traffic_burns_nothing(self):
+        clock, __, __, __, engine = availability_setup()
+        clock.now = 10.0
+        engine.tick()
+        assert engine.burn_rate("sla", 60.0) == 0.0
+        assert engine.burn_rate_signal() == 0.0
+
+    def test_windowing_forgets_old_badness(self):
+        clock, __, ok, miss, engine = availability_setup(target=0.9)
+        miss.inc(50)
+        ok.inc(50)
+        clock.now = 10.0
+        engine.tick()
+        ok.inc(200)
+        clock.now = 100.0
+        engine.tick()
+        # Over 20s only the second delta (all good) is visible; over the
+        # full history the bad half-window still counts.
+        assert engine.burn_rate("sla", 20.0) == pytest.approx(0.0)
+        assert engine.burn_rate("sla", 1000.0) == pytest.approx(
+            (50 / 300) / 0.1
+        )
+
+    def test_signal_is_worst_objective(self):
+        clock = FakeClock()
+        obs = Observability(clock)
+        obs.metrics.counter("a", outcome="ok")
+        obs.metrics.counter("b", outcome="ok")
+        engine = SloEngine(obs, signal_window=60.0)
+        engine.register(SLObjective(name="a", target=0.9, metric="a"))
+        engine.register(SLObjective(name="b", target=0.9, metric="b"))
+        obs.metrics.counter("a", outcome="ok").inc(100)
+        obs.metrics.counter("b", outcome="miss").inc(10)
+        obs.metrics.counter("b", outcome="ok").inc(10)
+        clock.now = 10.0
+        engine.tick()
+        assert engine.burn_rate_signal() == pytest.approx((10 / 20) / 0.1)
+
+
+class TestBurnAlerts:
+    def build(self):
+        clock = FakeClock()
+        obs = Observability(clock)
+        ok = obs.metrics.counter("repro.sched.sla", outcome="ok")
+        miss = obs.metrics.counter("repro.sched.sla", outcome="miss")
+        engine = SloEngine(
+            obs, burn_rules=(("fast", 10.0, 20.0, 2.0),)
+        )
+        engine.register(SLObjective(name="sla", target=0.9))
+        return clock, obs, ok, miss, engine
+
+    def test_fires_on_both_windows_hot_and_resolves_on_cool(self):
+        clock, obs, ok, miss, engine = self.build()
+        ok.inc(50)
+        miss.inc(50)
+        clock.now = 5.0
+        engine.tick()  # burn 5.0 on both windows -> fires
+        ok.inc(100)
+        clock.now = 10.0
+        engine.tick()  # short window still sees the bad stretch
+        ok.inc(100)
+        clock.now = 20.0
+        engine.tick()  # short window now clean -> resolves
+        states = [(a.state, a.time) for a in engine.alerts]
+        assert states == [("firing", 5.0), ("resolved", 20.0)]
+        assert engine.alerts[0].burn_short == pytest.approx(5.0)
+
+    def test_alert_transitions_emit_events(self):
+        clock, obs, ok, miss, engine = self.build()
+        miss.inc(100)
+        clock.now = 5.0
+        engine.tick()
+        assert obs.events.of_kind("obs.slo.alert")
+
+    def test_timeline_renders_deterministically(self):
+        clock, __, ok, miss, engine = self.build()
+        miss.inc(100)
+        clock.now = 5.0
+        engine.tick()
+        timeline = engine.alert_timeline()
+        assert "sla" in timeline and "firing" in timeline
+        assert timeline.endswith("\n")
+
+    def test_default_rules_are_the_sre_pair(self):
+        assert DEFAULT_BURN_RULES[0][0] == "fast_burn"
+        assert DEFAULT_BURN_RULES[0][3] == pytest.approx(14.4)
+        assert DEFAULT_BURN_RULES[1][3] == pytest.approx(6.0)
+
+
+class TestLedger:
+    def test_ledger_accounts_budget_consumption(self):
+        clock, __, ok, miss, engine = availability_setup(target=0.9)
+        ok.inc(95)
+        miss.inc(5)
+        clock.now = 10.0
+        engine.tick()
+        (row,) = engine.ledger()
+        assert row["objective"] == "sla"
+        assert row["total"] == pytest.approx(100.0)
+        assert row["bad"] == pytest.approx(5.0)
+        assert row["compliance"] == pytest.approx(0.95)
+        # 5 bad of 10 allowed: half the budget gone.
+        assert row["budget_consumed"] == pytest.approx(0.5)
+        assert row["budget_remaining"] == pytest.approx(0.5)
+        assert row["met"] is True
+
+    def test_busted_budget_is_flagged(self):
+        clock, __, ok, miss, engine = availability_setup(target=0.99)
+        ok.inc(90)
+        miss.inc(10)
+        clock.now = 10.0
+        engine.tick()
+        (row,) = engine.ledger()
+        assert row["met"] is False
+        assert row["budget_consumed"] > 1.0
+
+    def test_render_ledger_is_text(self):
+        clock, __, ok, __, engine = availability_setup()
+        ok.inc(10)
+        clock.now = 5.0
+        engine.tick()
+        text = engine.render_ledger()
+        assert "objective" in text and "sla" in text and "yes" in text
+
+
+class TestSimulatorAttachment:
+    def test_attach_ticks_on_the_des_clock(self):
+        deployment = CubrickDeployment(
+            DeploymentConfig(seed=0, regions=1, racks_per_region=1,
+                             hosts_per_rack=2)
+        )
+        engine = SloEngine(deployment.obs)
+        engine.register(SLObjective(name="sla", target=0.9))
+        cancel = engine.attach(deployment.simulator, interval=5.0)
+        deployment.simulator.run_until(21.0)
+        cancel()
+        assert engine.ticks == 4
+
+
+def build_controller_deployment():
+    deployment = CubrickDeployment(
+        DeploymentConfig(seed=0, regions=1, racks_per_region=2,
+                         hosts_per_rack=3, max_shards=10_000)
+    )
+    schema = TableSchema.build(
+        "events",
+        dimensions=[Dimension("day", 30, range_size=7)],
+        metrics=[Metric("clicks")],
+    )
+    deployment.create_table(schema, num_partitions=2)
+    deployment.load(
+        "events", [{"day": i % 30, "clicks": 1.0} for i in range(200)]
+    )
+    return deployment
+
+
+class TestControllerBurnHook:
+    def build(self, burn: float):
+        deployment = build_controller_deployment()
+        fleet = FleetController(deployment, FleetSpec())
+        reshard = ReshardPlanner(deployment, ReshardSpec())
+        spec = ControllerSpec(failure_probability=1e-3)
+        return WallBreachController(
+            deployment, fleet, reshard, spec,
+            burn_rate_fn=lambda: burn,
+        )
+
+    def test_hot_burn_counts_as_overload_and_tightens(self):
+        controller = self.build(burn=5.0)
+        cap_before = controller.fanout_cap
+        decision = controller.step()
+        assert decision.burn_rate == pytest.approx(5.0)
+        assert controller.fanout_cap == cap_before - 1
+        assert any("provision" in a for a in decision.actions)
+
+    def test_cool_burn_changes_nothing(self):
+        controller = self.build(burn=0.5)
+        cap_before = controller.fanout_cap
+        decision = controller.step()
+        assert decision.burn_rate == pytest.approx(0.5)
+        assert controller.fanout_cap == cap_before
+        assert not any("provision" in a for a in decision.actions)
+
+    def test_default_controller_reads_zero_burn(self):
+        deployment = build_controller_deployment()
+        fleet = FleetController(deployment, FleetSpec())
+        reshard = ReshardPlanner(deployment, ReshardSpec())
+        controller = WallBreachController(
+            deployment, fleet, reshard,
+            ControllerSpec(failure_probability=1e-3),
+        )
+        assert controller.burn_rate() == 0.0
+        assert controller.step().burn_rate == 0.0

@@ -154,3 +154,47 @@ def test_fork_detection_matches_platform():
     expected = "fork" in multiprocessing.get_all_start_methods()
     if not expected:
         assert _fork_available() is False
+
+
+class TestWorkerTelemetry:
+    """Per-worker scan metrics merge into the parent's registry."""
+
+    def test_serial_path_records_under_serial_label(self, storage):
+        from repro.obs import Observability
+
+        obs = Observability()
+        scanner = ParallelScanner(workers=1, obs=obs)
+        partial = scanner.execute(storage, QUERIES[0], {})
+        rows = obs.metrics.get(
+            "cubrick.parallel.rows_scanned", worker="serial"
+        )
+        bricks = obs.metrics.get(
+            "cubrick.parallel.bricks_scanned", worker="serial"
+        )
+        timing = obs.metrics.get(
+            "cubrick.parallel.brick_scan_seconds", worker="serial"
+        )
+        assert rows.value == partial.rows_scanned
+        assert bricks.value == partial.bricks_scanned
+        assert timing.count == 1
+
+    @pytest.mark.skipif(not _fork_available(),
+                        reason="needs fork start method")
+    def test_pool_workers_record_dense_labels(self, storage):
+        from repro.obs import Observability
+
+        obs = Observability()
+        scanner = ParallelScanner(workers=2, obs=obs)
+        partial = scanner.execute(storage, QUERIES[0], {})
+        instruments = obs.metrics.find("cubrick.parallel.rows_scanned")
+        workers = sorted(dict(i.labels)["worker"] for i in instruments)
+        assert workers and all(w.startswith("w") for w in workers)
+        assert workers == [f"w{i}" for i in range(len(workers))]
+        assert sum(i.value for i in instruments) == partial.rows_scanned
+        timings = obs.metrics.find("cubrick.parallel.brick_scan_seconds")
+        assert sum(t.count for t in timings) == partial.bricks_scanned
+
+    def test_without_obs_no_metrics_are_recorded(self, storage):
+        scanner = ParallelScanner(workers=1)
+        scanner.execute(storage, QUERIES[0], {})
+        assert scanner.obs is None
