@@ -7,6 +7,9 @@ Usage::
     python -m repro.cli fanout-experiment --fanouts 1,4,8 --queries 200
     python -m repro.cli collisions --tables 500 --max-shards 300000
     python -m repro.cli smc-delay --samples 100000
+    python -m repro.cli sql "SELECT sum(clicks) FROM events GROUP BY day"
+    python -m repro.cli explain "SELECT count(*) FROM events JOIN \\
+        dim_users ON events.user_id = dim_users.user_id"
 
 Each subcommand prints the corresponding paper figure's series as text.
 """
@@ -277,52 +280,118 @@ def cmd_collisions(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_demo_sql(args: argparse.Namespace) -> int:
-    """Run SQL against a freshly built demo deployment.
+def _sql_demo_deployment(seed: int, rows: int) -> CubrickDeployment:
+    """A seeded demo deployment for the ``sql``/``explain`` commands.
 
-    The demo table is ``events(day[30], country[50], clicks, cost)``
-    with Zipf-skewed synthetic rows — enough to explore the dialect:
-
-        python -m repro.cli demo-sql \\
-            "SELECT sum(clicks) FROM events GROUP BY day LIMIT 5"
+    Three tables exercise every join strategy: ``events(day[30],
+    country[50], user_id[400]; clicks, cost)`` is the sharded fact;
+    ``dim_users(user_id[400], tier[4]; weight)`` is sharded too (so
+    joining it needs a broadcast or partitioned-hash plan); ``dim_geo``
+    is a replicated country attribute table answered node-locally.
     """
     deployment = CubrickDeployment(
-        DeploymentConfig(seed=args.seed, regions=2, racks_per_region=2,
+        DeploymentConfig(seed=seed, regions=2, racks_per_region=2,
                          hosts_per_rack=3)
     )
     from repro.cubrick.schema import Dimension, Metric, TableSchema
 
-    schema = TableSchema.build(
+    deployment.create_table(TableSchema.build(
         "events",
         dimensions=[Dimension("day", 30, range_size=7),
-                    Dimension("country", 50, range_size=10)],
+                    Dimension("country", 50, range_size=10),
+                    Dimension("user_id", 400, range_size=50)],
         metrics=[Metric("clicks"), Metric("cost")],
+    ))
+    deployment.create_table(TableSchema.build(
+        "dim_users",
+        dimensions=[Dimension("user_id", 400, range_size=50),
+                    Dimension("tier", 4, range_size=1)],
+        metrics=[Metric("weight")],
+    ))
+    deployment.create_table(
+        TableSchema.build(
+            "dim_geo",
+            dimensions=[Dimension("country", 50, range_size=10),
+                        Dimension("region", 8, range_size=1)],
+            metrics=[Metric("population")],
+        ),
+        replicated=True,
     )
-    deployment.create_table(schema)
-    rng = np.random.default_rng(args.seed)
+    rng = np.random.default_rng(seed)
     deployment.load(
         "events",
         [{
             "day": int(rng.integers(30)),
             "country": min(int(rng.zipf(1.5)) - 1, 49),
+            "user_id": int(rng.integers(400)),
             "clicks": float(rng.integers(1, 20)),
             "cost": float(rng.exponential(2.0)),
-        } for __ in range(args.rows)],
+        } for __ in range(rows)],
     )
-    deployment.simulator.run_until(30.0)
+    deployment.load(
+        "dim_users",
+        [{
+            "user_id": user_id,
+            "tier": user_id % 4,
+            "weight": 1.0,
+        } for user_id in range(400)],
+    )
+    deployment.load(
+        "dim_geo",
+        [{
+            "country": country,
+            "region": country % 8,
+            "population": float(1000 + country),
+        } for country in range(50)],
+    )
+    deployment.simulator.run_until(60.0)
+    return deployment
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    """Run SQL against a freshly built demo deployment.
+
+    The fact table is ``events(day[30], country[50], user_id[400],
+    clicks, cost)`` with Zipf-skewed synthetic rows, plus a *sharded*
+    ``dim_users`` join table and a *replicated* ``dim_geo`` one —
+    enough to explore the dialect and every join strategy:
+
+        python -m repro.cli sql \\
+            "SELECT sum(clicks) FROM events GROUP BY day LIMIT 5"
+    """
+    deployment = _sql_demo_deployment(args.seed, args.rows)
     result = deployment.sql(args.sql)
     print("  ".join(result.columns))
     for row in result.rows:
         print("  ".join(
             f"{v:.3f}" if isinstance(v, float) else str(v) for v in row
         ))
+    strategies = result.metadata.get("join_strategies")
     print(f"-- {len(result.rows)} row(s), "
           f"latency {result.metadata['latency'] * 1e3:.1f} ms, "
-          f"fan-out {result.metadata['fanout']}, "
-          f"region {result.metadata['region']}")
+          f"fan-out {result.metadata['fanout']}"
+          + (f", region {result.metadata['region']}"
+             if "region" in result.metadata else "")
+          + (f", joins {strategies}" if strategies else ""))
     if args.obs_json:
         deployment.obs.dump(args.obs_json)
         print(f"telemetry written to {args.obs_json}")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Print the deterministic EXPLAIN text for a statement.
+
+    Plans against the same demo deployment as the ``sql`` command
+    without executing anything; byte-identical for identical
+    ``(seed, rows, statement)``.
+
+        python -m repro.cli explain \\
+            "SELECT count(*) FROM events WHERE day < 7"
+    """
+    deployment = _sql_demo_deployment(args.seed, args.rows)
+    print(deployment.explain(args.sql, optimize=not args.no_optimize),
+          end="")
     return 0
 
 
@@ -502,18 +571,35 @@ def build_parser() -> argparse.ArgumentParser:
     collisions.add_argument("--seed", type=int, default=0)
     collisions.set_defaults(func=cmd_collisions)
 
-    demo = sub.add_parser(
-        "demo-sql",
-        help="run SQL against a synthetic demo deployment",
+    for name in ("sql", "demo-sql"):  # demo-sql: backward-compat alias
+        demo = sub.add_parser(
+            name,
+            help="run SQL against a synthetic demo deployment "
+                 "(sharded fact + sharded and replicated join tables)",
+        )
+        demo.add_argument("sql", help="the SQL statement to execute")
+        demo.add_argument("--rows", type=int, default=5000)
+        demo.add_argument("--seed", type=int, default=0)
+        demo.add_argument(
+            "--obs-json", metavar="PATH", default=None,
+            help="write the full telemetry export (JSON) to PATH",
+        )
+        demo.set_defaults(func=cmd_sql)
+
+    explain = sub.add_parser(
+        "explain",
+        help="print the deterministic EXPLAIN for a SQL statement "
+             "against the demo deployment (no execution)",
     )
-    demo.add_argument("sql", help="the SQL statement to execute")
-    demo.add_argument("--rows", type=int, default=5000)
-    demo.add_argument("--seed", type=int, default=0)
-    demo.add_argument(
-        "--obs-json", metavar="PATH", default=None,
-        help="write the full telemetry export (JSON) to PATH",
+    explain.add_argument("sql", help="the SQL statement to explain")
+    explain.add_argument("--rows", type=int, default=5000)
+    explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument(
+        "--no-optimize", action="store_true",
+        help="skip optional rewrite rules (pushdown, pruning, "
+             "hash-join selection)",
     )
-    demo.set_defaults(func=cmd_demo_sql)
+    explain.set_defaults(func=cmd_explain)
 
     chaos = sub.add_parser(
         "chaos",

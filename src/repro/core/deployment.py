@@ -362,14 +362,54 @@ class CubrickDeployment:
                 node = sm.app_server(owner)
                 node.insert_into_partition(physical, index, partition_rows)
 
+    def planner_context(self, *, optimize: bool = True):
+        """A :class:`~repro.sql.PlannerContext` over this catalog.
+
+        The statistics callback reports live total row counts for
+        sharded tables (the broadcast vs. partitioned-hash signal) and
+        ``None`` where counts are unavailable (e.g. replicated tables).
+        """
+        from repro.sql import PlannerContext
+
+        def stats(table: str) -> Optional[int]:
+            try:
+                return self.total_rows(table)
+            except Exception:
+                return None
+
+        return PlannerContext(
+            catalog=self.catalog, stats=stats, optimize=optimize
+        )
+
     def sql(self, statement: str, **query_kwargs) -> QueryResult:
-        """Parse and execute one SQL statement through the proxy.
+        """Plan and execute one SQL statement.
 
         >>> deployment.sql("SELECT sum(clicks) FROM events LIMIT 5")
-        """
-        from repro.cubrick.sql import parse_query
 
-        return self.query(parse_query(statement), **query_kwargs)
+        The statement runs through the full :mod:`repro.sql` pipeline:
+        parse, catalog-aware logical planning with the rewrite-rule
+        pipeline, then physical lowering (proxy fan-out, broadcast join
+        or partitioned-hash join depending on the tables involved).
+        ``query_kwargs`` (``allow_partial``/``straggler_timeout``/
+        ``deadline``) apply to proxy fan-out plans.
+        """
+        from repro.sql import build_physical, execute_plan, parse, plan
+
+        stmt = parse(statement)
+        logical = plan(stmt, self.planner_context(), source=statement)
+        physical = build_physical(logical)
+        return execute_plan(physical, self.proxy, **query_kwargs)
+
+    def explain(self, statement: str, *, optimize: bool = True) -> str:
+        """Deterministic EXPLAIN text for one SQL statement.
+
+        Pure planning — nothing executes. ``optimize=False`` skips the
+        optional rewrite rules (pushdown, pruning, hash-join selection)
+        so their effect can be diffed against the default plan.
+        """
+        from repro.sql import explain as sql_explain
+
+        return sql_explain(statement, self.planner_context(optimize=optimize))
 
     def loader(self, table: str, *, batch_rows: int = 1000):
         """A :class:`~repro.cubrick.loader.StreamingLoader` for a table."""

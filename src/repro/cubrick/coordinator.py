@@ -157,6 +157,7 @@ class RegionCoordinator:
         allow_partial: bool = False,
         straggler_timeout: Optional[float] = None,
         policy: Optional[ResiliencePolicy] = None,
+        extra_lookups: Optional[dict[str, tuple[str, np.ndarray]]] = None,
     ) -> QueryResult:
         """Distribute, execute and merge one query in this region.
 
@@ -178,6 +179,11 @@ class RegionCoordinator:
         same retryable error as a crashed host (or is skipped in partial
         mode) — and hosts slower than the hedge trigger are hedged with
         duplicate requests, the fastest answer winning.
+
+        ``extra_lookups`` passes coordinator-built join lookup arrays
+        (keyed by dotted column name) down to every node scan — the SQL
+        physical plan's broadcast-join step for sharded dimension
+        tables.
         """
         if policy is None:
             policy = self.policy
@@ -194,6 +200,7 @@ class RegionCoordinator:
                     allow_partial=allow_partial,
                     straggler_timeout=straggler_timeout,
                     policy=policy,
+                    extra_lookups=extra_lookups,
                 )
             except QueryFailedError as exc:
                 span.annotate(outcome="failed", error=str(exc))
@@ -219,6 +226,7 @@ class RegionCoordinator:
         allow_partial: bool,
         straggler_timeout: Optional[float],
         policy: Optional[ResiliencePolicy],
+        extra_lookups: Optional[dict[str, tuple[str, np.ndarray]]] = None,
     ) -> QueryResult:
         info = self.catalog.get(query.table)
         execution = QueryExecution(query=query, region=self.region)
@@ -237,6 +245,106 @@ class RegionCoordinator:
         execution.fanout = len(hosts)
         total_partitions = sum(len(v) for v in hosts.values())
 
+        (
+            merged,
+            slowest,
+            answered_partitions,
+            hedges,
+            skipped_hosts,
+        ) = self._fanout_partials(
+            query,
+            exec_query,
+            hosts,
+            execution,
+            allow_partial=allow_partial,
+            straggler_timeout=straggler_timeout,
+            policy=policy,
+            extra_lookups=extra_lookups,
+        )
+
+        latency = (
+            slowest
+            + self.COORDINATOR_OVERHEAD
+            + extra_hops * self.HOP_COST
+            + extra_roundtrips * self.HOP_COST
+        )
+        if allow_partial and straggler_timeout is not None:
+            # The coordinator stopped waiting at the timeout.
+            latency = min(
+                latency,
+                straggler_timeout + self.COORDINATOR_OVERHEAD
+                + (extra_hops + extra_roundtrips) * self.HOP_COST,
+            )
+        execution.latency = latency
+        execution.succeeded = True
+        self._latency_histogram.observe(latency)
+        self._fanout_histogram.observe(execution.fanout)
+
+        # The merge/consolidate pass sits at the tail of the coordinator's
+        # critical path: its cost is the fixed overhead plus topology hop
+        # costs, so the merge span occupies exactly that tail window.
+        merge_cost = (
+            self.COORDINATOR_OVERHEAD
+            + (extra_hops + extra_roundtrips) * self.HOP_COST
+        )
+        with self.obs.tracer.span(
+            "cubrick.coordinator.merge", region=self.region
+        ) as merge_span:
+            result = merged.finalize()
+            merge_span.start = span.start + (latency - merge_cost)
+            merge_span.set_duration(merge_cost)
+            merge_span.annotate(
+                compactions=merged.compactions,
+                blocks_consolidated=merged.blocks_consolidated,
+                groups=len(result.rows),
+            )
+        coverage = (
+            answered_partitions / total_partitions if total_partitions else 1.0
+        )
+        span.set_duration(latency)
+        span.annotate(
+            fanout=execution.fanout,
+            coverage=coverage,
+            extra_hops=extra_hops,
+            extra_roundtrips=extra_roundtrips,
+            hedges=hedges,
+        )
+        result.metadata.update(
+            {
+                "table": query.table,
+                "num_partitions": info.num_partitions,
+                "generation": info.generation,
+                "region": self.region,
+                "latency": latency,
+                "fanout": execution.fanout,
+                "coordinator_partition": coordinator_partition,
+                "partial": bool(skipped_hosts),
+                "coverage": coverage,
+                "skipped_hosts": skipped_hosts,
+                "hedges": hedges,
+            }
+        )
+        return result
+
+    def _fanout_partials(
+        self,
+        query: Query,
+        exec_query: Query,
+        hosts: dict[str, list[int]],
+        execution: QueryExecution,
+        *,
+        allow_partial: bool,
+        straggler_timeout: Optional[float],
+        policy: Optional[ResiliencePolicy],
+        extra_lookups: Optional[dict[str, tuple[str, np.ndarray]]] = None,
+    ) -> tuple[PartialResult, float, int, int, list[str]]:
+        """Run the per-host scan loop and merge node partials.
+
+        Shared by :meth:`_execute` (which finalizes the merge into rows)
+        and :meth:`execute_partials` (which hands the pre-finalize
+        partial to the SQL physical plan's hash-join step). Returns
+        ``(merged, slowest, answered_partitions, hedges, skipped)``.
+        """
         merged = PartialResult(query=query)
         slowest = 0.0
         answered_partitions = 0
@@ -318,7 +426,9 @@ class RegionCoordinator:
                 "cubrick.node.scan", host=host_id, region=self.region
             ) as scan_span:
                 try:
-                    partial = node.execute_local(exec_query, indexes)
+                    partial = node.execute_local(
+                        exec_query, indexes, extra_lookups
+                    )
                 except PartitionNotFoundError as exc:
                     if allow_partial:
                         scan_span.annotate(skipped="partition_missing")
@@ -326,7 +436,7 @@ class RegionCoordinator:
                         continue
                     # Stale SMC mapping: the authoritative owner may differ.
                     partial = self._forwarded_execution(
-                        exec_query, host_id, indexes, exc
+                        exec_query, host_id, indexes, exc, extra_lookups
                     )
                 scan_span.set_duration(service_time)
                 scan_span.annotate(
@@ -340,70 +450,152 @@ class RegionCoordinator:
             slowest = max(slowest, service_time)
             answered_partitions += len(indexes)
             merged.merge(partial)
+        return merged, slowest, answered_partitions, hedges, skipped_hosts
 
-        latency = (
-            slowest
-            + self.COORDINATOR_OVERHEAD
-            + extra_hops * self.HOP_COST
-            + extra_roundtrips * self.HOP_COST
-        )
-        if allow_partial and straggler_timeout is not None:
-            # The coordinator stopped waiting at the timeout.
-            latency = min(
-                latency,
-                straggler_timeout + self.COORDINATOR_OVERHEAD
-                + (extra_hops + extra_roundtrips) * self.HOP_COST,
-            )
-        execution.latency = latency
-        execution.succeeded = True
-        self._latency_histogram.observe(latency)
-        self._fanout_histogram.observe(execution.fanout)
+    def execute_partials(
+        self,
+        query: Query,
+        *,
+        extra_lookups: Optional[dict[str, tuple[str, np.ndarray]]] = None,
+        policy: Optional[ResiliencePolicy] = None,
+    ) -> tuple[PartialResult, dict]:
+        """Fan out a query and return the merged *pre-finalize* partial.
 
-        # The merge/consolidate pass sits at the tail of the coordinator's
-        # critical path: its cost is the fixed overhead plus topology hop
-        # costs, so the merge span occupies exactly that tail window.
-        merge_cost = (
-            self.COORDINATOR_OVERHEAD
-            + (extra_hops + extra_roundtrips) * self.HOP_COST
+        The SQL physical plan's partitioned-hash join fans out the fact
+        scan grouped by the join key, then joins and re-aggregates the
+        raw partial states on the coordinator before finalizing — so it
+        needs the merged partial, not shaped rows. Strict mode only: a
+        failed host raises a retryable :class:`QueryFailedError`.
+        """
+        if policy is None:
+            policy = self.policy
+        info = self.catalog.get(query.table)
+        execution = QueryExecution(query=query, region=self.region)
+        self.executions.append(execution)
+        physical = info.physical_table
+        exec_query = (
+            query if physical == query.table
+            else replace(query, table=physical)
         )
         with self.obs.tracer.span(
-            "cubrick.coordinator.merge", region=self.region
-        ) as merge_span:
-            result = merged.finalize()
-            merge_span.start = span.start + (latency - merge_cost)
-            merge_span.set_duration(merge_cost)
-            merge_span.annotate(
-                compactions=merged.compactions,
-                blocks_consolidated=merged.blocks_consolidated,
-                groups=len(result.rows),
+            "cubrick.coordinator.gather", region=self.region, table=query.table
+        ) as span:
+            hosts = self.partition_hosts(physical)
+            execution.fanout = len(hosts)
+            merged, slowest, _, hedges, _ = self._fanout_partials(
+                query,
+                exec_query,
+                hosts,
+                execution,
+                allow_partial=False,
+                straggler_timeout=None,
+                policy=policy,
+                extra_lookups=extra_lookups,
             )
-        coverage = (
-            answered_partitions / total_partitions if total_partitions else 1.0
-        )
-        span.set_duration(latency)
-        span.annotate(
-            fanout=execution.fanout,
-            coverage=coverage,
-            extra_hops=extra_hops,
-            extra_roundtrips=extra_roundtrips,
-            hedges=hedges,
-        )
-        result.metadata.update(
-            {
-                "table": query.table,
-                "num_partitions": info.num_partitions,
-                "generation": info.generation,
-                "region": self.region,
-                "latency": latency,
-                "fanout": execution.fanout,
-                "coordinator_partition": coordinator_partition,
-                "partial": bool(skipped_hosts),
-                "coverage": coverage,
-                "skipped_hosts": skipped_hosts,
-                "hedges": hedges,
+            latency = slowest + self.COORDINATOR_OVERHEAD
+            execution.latency = latency
+            execution.succeeded = True
+            span.set_duration(latency)
+            span.annotate(fanout=execution.fanout, hedges=hedges)
+        self._latency_histogram.observe(latency)
+        self._fanout_histogram.observe(execution.fanout)
+        return merged, {
+            "region": self.region,
+            "latency": latency,
+            "fanout": execution.fanout,
+            "hedges": hedges,
+        }
+
+    def collect_columns(
+        self,
+        table: str,
+        columns: list[str],
+        filters: tuple = (),
+        *,
+        policy: Optional[ResiliencePolicy] = None,
+    ) -> tuple[dict[str, np.ndarray], float, int]:
+        """Gather raw columns of a sharded table onto the coordinator.
+
+        The SQL physical plan's join strategies pull a sharded dimension
+        table's (filtered) key and attribute columns here — broadcast
+        builds per-fact-row lookup arrays from them, partitioned-hash
+        builds the join hash side. Strict mode only: any unavailable
+        host raises a retryable :class:`QueryFailedError`. Arrays
+        concatenate in sorted host order, partition order within each
+        host, so collection is deterministic for a fixed layout.
+        """
+        if policy is None:
+            policy = self.policy
+        info = self.catalog.tables.get(table)
+        physical = info.physical_table if info is not None else table
+        with self.obs.tracer.span(
+            "cubrick.coordinator.collect", region=self.region, table=table
+        ) as span:
+            hosts = self.partition_hosts(physical)
+            parts: dict[str, list[np.ndarray]] = {name: [] for name in columns}
+            slowest = 0.0
+            for host_id in sorted(hosts):
+                indexes = hosts[host_id]
+                host = self.sm.cluster.host(host_id)
+                failed = not host.is_available
+                if not failed and self.failure_model is not None:
+                    failed = self._rng.random() < self.failure_model.probability
+                if failed:
+                    raise QueryFailedError(
+                        f"host {host_id} unavailable/failed while collecting "
+                        f"{table}",
+                        region=self.region,
+                        host=host_id,
+                    )
+                service_time = self._sample_service_time(host_id)
+                if policy is not None and policy.timeout.is_timeout(
+                    service_time
+                ):
+                    raise QueryFailedError(
+                        f"host {host_id} exceeded {policy.timeout.per_hop}s "
+                        f"per-hop timeout while collecting {table}",
+                        region=self.region,
+                        host=host_id,
+                    )
+                try:
+                    node = self.sm.app_server(host_id)
+                except ConfigurationError as exc:
+                    raise QueryFailedError(
+                        f"host {host_id} is not registered with the shard "
+                        f"manager while collecting {table}",
+                        region=self.region,
+                        host=host_id,
+                    ) from exc
+                try:
+                    projected = node.project_columns(
+                        physical, indexes, list(columns), tuple(filters)
+                    )
+                except PartitionNotFoundError as exc:
+                    raise QueryFailedError(
+                        f"partition of {table} missing on {host_id} during "
+                        f"collection",
+                        region=self.region,
+                        host=host_id,
+                    ) from exc
+                for name in columns:
+                    parts[name].append(projected[name])
+                slowest = max(slowest, service_time)
+            arrays = {
+                name: (
+                    np.concatenate(chunks)
+                    if chunks
+                    else np.empty(0, dtype=np.int64)
+                )
+                for name, chunks in parts.items()
             }
-        )
-        return result
+            collected = next(iter(arrays.values())) if arrays else None
+            latency = slowest + self.COORDINATOR_OVERHEAD
+            span.set_duration(latency)
+            span.annotate(
+                fanout=len(hosts),
+                rows=0 if collected is None else int(collected.shape[0]),
+            )
+        return arrays, latency, len(hosts)
 
     def _sample_service_time(self, host_id: str) -> float:
         """One sampled service time, shaped by the chaos hook if set."""
@@ -491,6 +683,7 @@ class RegionCoordinator:
         stale_host: str,
         indexes: list[int],
         original: PartitionNotFoundError,
+        extra_lookups: Optional[dict[str, tuple[str, np.ndarray]]] = None,
     ) -> PartialResult:
         """Handle stale routing: ask the authoritative owner instead.
 
@@ -517,7 +710,7 @@ class RegionCoordinator:
                     region=self.region,
                     host=owner,
                 ) from exc
-            partial.merge(node.execute_local(query, [index]))
+            partial.merge(node.execute_local(query, [index], extra_lookups))
         return partial
 
     # ------------------------------------------------------------------

@@ -378,15 +378,22 @@ class CubrickNode(ApplicationServer):
     # Local (partial) query execution
     # ------------------------------------------------------------------
 
-    def execute_local(self, query: Query,
-                      partition_indexes: list[int]) -> PartialResult:
+    def execute_local(
+        self,
+        query: Query,
+        partition_indexes: list[int],
+        extra_lookups: Optional[dict[str, tuple[str, np.ndarray]]] = None,
+    ) -> PartialResult:
         """Execute the query over the named partitions of its table.
 
         The caller (query coordinator) names exactly which partitions
         this host is responsible for; missing partitions raise, which
         surfaces routing staleness instead of silently returning partial
         data. Joins to replicated dimension tables are materialised from
-        this node's local replicas.
+        this node's local replicas; ``extra_lookups`` supplies
+        coordinator-built lookups for broadcast joins against *sharded*
+        dimension tables (dotted references the local replicas cannot
+        answer).
 
         When a :class:`~repro.cubrick.parallel.ParallelScanner` is
         attached (``node.parallel_scanner = scanner``), each partition's
@@ -396,6 +403,8 @@ class CubrickNode(ApplicationServer):
         """
         scanner = self.parallel_scanner
         lookups = self._join_lookups(query)
+        if extra_lookups:
+            lookups = {**lookups, **extra_lookups}
         partial = PartialResult(query=query)
         # Kernel spans only inside an active query trace: direct calls
         # (unit tests, maintenance scans) must not mint root traces.
@@ -429,6 +438,35 @@ class CubrickNode(ApplicationServer):
             "cubrick.node.rows_scanned", host=self.host_id
         ).inc(partial.rows_scanned)
         return partial
+
+    def project_columns(
+        self,
+        table: str,
+        partition_indexes: list[int],
+        columns: list[str],
+        filters=(),
+    ) -> dict[str, np.ndarray]:
+        """Materialise columns of the named partitions (join collection).
+
+        The node-side half of the coordinator's dimension-table
+        collection for distributed joins: each partition projects the
+        requested columns (pre-filtered by any pushed-down predicates)
+        and the per-partition arrays concatenate in partition order, so
+        the result is deterministic for a fixed routing.
+        """
+        parts: dict[str, list[np.ndarray]] = {name: [] for name in columns}
+        for index in partition_indexes:
+            storage = self.partition(table, index)
+            projected = storage.project(list(columns), tuple(filters))
+            for name in columns:
+                parts[name].append(projected[name])
+        return {
+            name: (
+                np.concatenate(chunks)
+                if chunks else np.empty(0, dtype=np.int64)
+            )
+            for name, chunks in parts.items()
+        }
 
     def insert_into_partition(self, table: str, index: int,
                               rows: list[dict[str, float]]) -> int:

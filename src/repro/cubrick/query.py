@@ -26,6 +26,11 @@ class FilterOp(enum.Enum):
     EQ = "eq"
     IN = "in"
     BETWEEN = "between"
+    # Complement membership: keep rows whose value is NOT in the set.
+    # Emitted by the SQL planner for != / NOT IN / large OR complements;
+    # contributes no brick pruning (the excluded set says nothing about
+    # which buckets the surviving rows live in).
+    NOT_IN = "not_in"
 
 
 @dataclass(frozen=True)
@@ -41,6 +46,8 @@ class Filter:
             raise QueryError(f"EQ filter needs exactly one value: {self.values}")
         if self.op is FilterOp.IN and not self.values:
             raise QueryError("IN filter needs at least one value")
+        if self.op is FilterOp.NOT_IN and not self.values:
+            raise QueryError("NOT IN filter needs at least one value")
         if self.op is FilterOp.BETWEEN:
             if len(self.values) != 2:
                 raise QueryError(f"BETWEEN filter needs (low, high): {self.values}")
@@ -61,6 +68,12 @@ class Filter:
     def between(cls, dimension: str, low: int, high: int) -> "Filter":
         return cls(dimension=dimension, op=FilterOp.BETWEEN,
                    values=(int(low), int(high)))
+
+    @classmethod
+    def not_in(cls, dimension: str,
+               values: list[int] | tuple[int, ...]) -> "Filter":
+        return cls(dimension=dimension, op=FilterOp.NOT_IN,
+                   values=tuple(int(v) for v in values))
 
 
 class AggFunc(enum.Enum):

@@ -14,258 +14,27 @@ covers exactly what the engine executes:
     ORDER BY sum(clicks) DESC
     LIMIT 5
 
-Supported: ``sum/count/min/max/avg/count_distinct`` aggregates; ``=``,
-``IN (...)`` and ``BETWEEN ... AND ...`` predicates joined by ``AND``;
-one or more ``JOIN ... ON`` clauses against replicated dimension tables;
-``GROUP BY``, ``HAVING`` (``> >= < <= =`` comparisons over result
-columns, joined by ``AND``), ``ORDER BY ... [ASC|DESC]``, ``LIMIT``.
-Keywords are case-insensitive; column names are not.
+This module is the catalog-less compatibility surface over the full
+:mod:`repro.sql` frontend (hand-written lexer, recursive-descent parser,
+typed AST). :func:`parse_query` accepts everything the legacy dialect
+did plus the frontend's richer predicates (``!=``, ``<``, ``<=``, ``>``,
+``>=``, ``NOT IN``); predicates that need schema knowledge to lower
+(``OR``, ``NOT BETWEEN``, general ``NOT``) raise and point the caller at
+the catalog-aware planner behind ``deployment.sql``. All errors are
+:class:`~repro.errors.SqlError`, a :class:`~repro.errors.QueryError`
+subclass, so existing callers keep working unchanged.
+
+``render_query`` is unchanged from the legacy dialect (with a ``NOT
+IN`` spelling added) — the scheduler's result cache keys on its output,
+and ``parse_query(render_query(q)) == q`` holds for every expressible
+query (verified by a property test).
 """
 
 from __future__ import annotations
 
-import re
-
-from repro.cubrick.query import (
-    AggFunc,
-    Aggregation,
-    CompareOp,
-    Filter,
-    FilterOp,
-    Having,
-    Join,
-    Query,
-)
-from repro.errors import QueryError
-
-_TOKEN_RE = re.compile(
-    r"""
-    \s*(
-        \bSELECT\b|\bFROM\b|\bJOIN\b|\bON\b|\bWHERE\b|\bGROUP\s+BY\b|
-        \bHAVING\b|\bORDER\s+BY\b|\bLIMIT\b|\bAND\b|\bBETWEEN\b|\bIN\b|
-        \bASC\b|\bDESC\b|
-        [A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)?  # (dotted) name
-        |-?\d+(?:\.\d+)?   # number
-        |>=|<=|[(),=*<>]
-    )
-    """,
-    re.IGNORECASE | re.VERBOSE,
-)
-
-_KEYWORDS = {
-    "select", "from", "join", "on", "where", "group by", "having",
-    "order by", "limit", "and", "between", "in", "asc", "desc",
-}
-
-
-def _tokenize(text: str) -> list[str]:
-    tokens = []
-    position = 0
-    while position < len(text):
-        match = _TOKEN_RE.match(text, position)
-        if match is None:
-            if text[position:].strip() == "":
-                break
-            raise QueryError(
-                f"SQL syntax error near {text[position:position + 20]!r}"
-            )
-        token = match.group(1)
-        normalized = re.sub(r"\s+", " ", token).lower()
-        tokens.append(normalized if normalized in _KEYWORDS else token)
-        position = match.end()
-    return tokens
-
-
-class _Parser:
-    """Recursive-descent parser over the token stream."""
-
-    def __init__(self, tokens: list[str]):
-        self._tokens = tokens
-        self._index = 0
-
-    # -- token plumbing ---------------------------------------------------
-
-    def _peek(self) -> str | None:
-        if self._index < len(self._tokens):
-            return self._tokens[self._index]
-        return None
-
-    def _next(self) -> str:
-        token = self._peek()
-        if token is None:
-            raise QueryError("unexpected end of SQL input")
-        self._index += 1
-        return token
-
-    def _expect(self, expected: str) -> str:
-        token = self._next()
-        if token != expected:
-            raise QueryError(f"expected {expected!r}, got {token!r}")
-        return token
-
-    def _accept(self, expected: str) -> bool:
-        if self._peek() == expected:
-            self._index += 1
-            return True
-        return False
-
-    # -- grammar ------------------------------------------------------------
-
-    def parse(self) -> Query:
-        self._expect("select")
-        aggregations = self._aggregation_list()
-        self._expect("from")
-        table = self._name()
-        joins = []
-        while self._accept("join"):
-            joins.append(self._join(table))
-        filters = []
-        if self._accept("where"):
-            filters = self._predicates()
-        group_by = []
-        if self._accept("group by"):
-            group_by = self._name_list()
-        having = []
-        if self._accept("having"):
-            having = [self._having_predicate()]
-            while self._accept("and"):
-                having.append(self._having_predicate())
-        order_by = None
-        descending = True
-        if self._accept("order by"):
-            order_by = self._order_target()
-            if self._accept("asc"):
-                descending = False
-            elif self._accept("desc"):
-                descending = True
-        limit = None
-        if self._accept("limit"):
-            limit = int(self._number())
-        if self._peek() is not None:
-            raise QueryError(f"unexpected trailing token {self._peek()!r}")
-        return Query.build(
-            table,
-            aggregations,
-            group_by=group_by,
-            filters=filters,
-            joins=joins,
-            having=having,
-            order_by=order_by,
-            descending=descending,
-            limit=limit,
-        )
-
-    def _aggregation_list(self) -> list[Aggregation]:
-        aggregations = [self._aggregation()]
-        while self._accept(","):
-            aggregations.append(self._aggregation())
-        return aggregations
-
-    def _aggregation(self) -> Aggregation:
-        name = self._next()
-        try:
-            func = AggFunc(name.lower())
-        except ValueError:
-            raise QueryError(f"unknown aggregate function {name!r}") from None
-        self._expect("(")
-        column = self._next()
-        if column == "*":
-            if func is not AggFunc.COUNT:
-                raise QueryError(f"{name}(*) is only valid for count")
-            column = "*"
-        self._expect(")")
-        return Aggregation(func, column)
-
-    def _join(self, fact_table: str) -> Join:
-        dim_table = self._name()
-        self._expect("on")
-        left = self._name()
-        self._expect("=")
-        right = self._name()
-        fact_key = dim_key = None
-        for side in (left, right):
-            table, __, column = side.partition(".")
-            if not column:
-                raise QueryError(
-                    f"join condition must use table.column, got {side!r}"
-                )
-            if table == fact_table:
-                fact_key = column
-            elif table == dim_table:
-                dim_key = column
-            else:
-                raise QueryError(
-                    f"join condition references unknown table {table!r}"
-                )
-        if fact_key is None or dim_key is None:
-            raise QueryError(
-                "join condition must relate the fact and dimension tables"
-            )
-        return Join(table=dim_table, fact_key=fact_key, dim_key=dim_key)
-
-    def _predicates(self) -> list[Filter]:
-        filters = [self._predicate()]
-        while self._accept("and"):
-            filters.append(self._predicate())
-        return filters
-
-    def _predicate(self) -> Filter:
-        column = self._name()
-        token = self._next()
-        if token == "=":
-            return Filter.eq(column, int(self._number()))
-        if token == "between":
-            low = int(self._number())
-            self._expect("and")
-            high = int(self._number())
-            return Filter.between(column, low, high)
-        if token == "in":
-            self._expect("(")
-            values = [int(self._number())]
-            while self._accept(","):
-                values.append(int(self._number()))
-            self._expect(")")
-            return Filter.isin(column, values)
-        raise QueryError(f"unsupported predicate operator {token!r}")
-
-    def _having_predicate(self) -> Having:
-        column = self._order_target()  # same grammar: name or agg label
-        token = self._next()
-        try:
-            op = CompareOp(token)
-        except ValueError:
-            raise QueryError(
-                f"unsupported HAVING operator {token!r}"
-            ) from None
-        return Having(column=column, op=op, value=self._number())
-
-    def _order_target(self) -> str:
-        name = self._next()
-        # Aggregation label form: func ( column )
-        if self._accept("("):
-            column = self._next()
-            self._expect(")")
-            return f"{name.lower()}({column})"
-        return name
-
-    def _name_list(self) -> list[str]:
-        names = [self._name()]
-        while self._accept(","):
-            names.append(self._name())
-        return names
-
-    def _name(self) -> str:
-        token = self._next()
-        if token in _KEYWORDS or not re.match(r"^[A-Za-z_]", token):
-            raise QueryError(f"expected a name, got {token!r}")
-        return token
-
-    def _number(self) -> float:
-        token = self._next()
-        try:
-            return float(token)
-        except ValueError:
-            raise QueryError(f"expected a number, got {token!r}") from None
+from repro.cubrick.query import FilterOp, Query
+from repro.sql.parser import parse
+from repro.sql.planner import compile_statement
 
 
 def render_query(query: Query) -> str:
@@ -294,6 +63,9 @@ def render_query(query: Query) -> str:
                     f"{flt.dimension} BETWEEN {flt.values[0]} AND "
                     f"{flt.values[1]}"
                 )
+            elif flt.op is FilterOp.NOT_IN:
+                values = ", ".join(str(v) for v in flt.values)
+                clauses.append(f"{flt.dimension} NOT IN ({values})")
             else:
                 values = ", ".join(str(v) for v in flt.values)
                 clauses.append(f"{flt.dimension} IN ({values})")
@@ -329,7 +101,4 @@ def parse_query(sql: str) -> Query:
     >>> query.table
     'events'
     """
-    tokens = _tokenize(sql)
-    if not tokens:
-        raise QueryError("empty SQL input")
-    return _Parser(tokens).parse()
+    return compile_statement(parse(sql), source=sql)

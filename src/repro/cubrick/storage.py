@@ -359,6 +359,61 @@ class PartitionStorage:
             self._scan_brick(brick, query, partial, effective_lookups)
         return partial
 
+    def project(
+        self, columns: list[str], filters: tuple[Filter, ...] = ()
+    ) -> dict[str, np.ndarray]:
+        """Materialise the named columns of rows matching the filters.
+
+        The projection path behind distributed joins against *sharded*
+        dimension tables: the coordinator collects each partition's key
+        and attribute columns (optionally pre-filtered — predicate
+        pushdown) and builds join lookups from them. Plain column names
+        only; bucket pruning and hotness accounting apply as in a scan.
+        """
+        for name in columns:
+            if not (self.schema.has_dimension(name)
+                    or self.schema.has_metric(name)):
+                raise QueryError(
+                    f"table {self.schema.name}: unknown column {name!r}"
+                )
+        for flt in filters:
+            if "." in flt.dimension:
+                raise QueryError(
+                    f"table {self.schema.name}: projection filters must "
+                    f"use plain column names, got {flt.dimension!r}"
+                )
+            if not self.schema.has_dimension(flt.dimension):
+                raise QueryError(
+                    f"table {self.schema.name}: unknown filter dimension "
+                    f"{flt.dimension!r}"
+                )
+        buckets = self._filter_buckets(tuple(filters))
+        candidates = self.index.prune(buckets, sorted(self._bricks))
+        parts: dict[str, list[np.ndarray]] = {name: [] for name in columns}
+        for brick_id in candidates:
+            brick = self._bricks[brick_id]
+            if brick.rows == 0:
+                continue
+            brick.touch()
+            arrays = brick.columns()
+            mask = self._build_mask(arrays, tuple(filters), brick.rows, {})
+            unmasked = bool(mask.all())
+            for name in columns:
+                values = arrays[name]
+                parts[name].append(values if unmasked else values[mask])
+        out: dict[str, np.ndarray] = {}
+        for name in columns:
+            if parts[name]:
+                out[name] = np.concatenate(parts[name])
+            else:
+                dtype = (
+                    DIMENSION_DTYPE
+                    if self.schema.has_dimension(name)
+                    else METRIC_DTYPE
+                )
+                out[name] = np.empty(0, dtype=dtype)
+        return out
+
     def record_scan(self, partial: PartialResult) -> None:
         """Record one completed partition scan in the obs counters."""
         if self._scanned_counter is not None:
@@ -410,6 +465,11 @@ class PartitionStorage:
         for flt in filters:
             if "." in flt.dimension:
                 continue  # joined columns cannot prune fact bricks
+            if flt.op is FilterOp.NOT_IN:
+                # Complement filters say nothing about where surviving
+                # rows live (and their excluded values may legitimately
+                # be outside the dimension domain) — no pruning.
+                continue
             if flt.op is FilterOp.BETWEEN:
                 allowed = self.index.candidate_buckets(
                     flt.dimension, None, (flt.values[0], flt.values[1])
@@ -511,6 +571,8 @@ class PartitionStorage:
                 mask &= column == flt.values[0]
             elif flt.op is FilterOp.IN:
                 mask &= np.isin(column, np.asarray(flt.values))
+            elif flt.op is FilterOp.NOT_IN:
+                mask &= ~np.isin(column, np.asarray(flt.values))
             else:  # BETWEEN
                 mask &= (column >= flt.values[0]) & (column <= flt.values[1])
         return mask

@@ -105,6 +105,35 @@ class QueryError(CubrickError):
     """A query is malformed or references unknown columns."""
 
 
+class SqlError(QueryError):
+    """A SQL statement failed to lex, parse or plan.
+
+    Carries the character ``position`` of the offending token and (when
+    known) the ``statement`` text, so frontends can render a caret
+    pointing at the error. Subclasses :class:`QueryError` so existing
+    handlers of malformed programmatic queries keep working.
+    """
+
+    def __init__(self, message: str, *, statement: str | None = None,
+                 position: int | None = None):
+        super().__init__(message)
+        self.message = message
+        self.statement = statement
+        self.position = position
+
+    def context(self) -> str:
+        """The statement with a caret under the offending position."""
+        if self.statement is None or self.position is None:
+            return self.message
+        caret = " " * self.position + "^"
+        return f"{self.message}\n  {self.statement}\n  {caret}"
+
+    def __str__(self) -> str:
+        if self.position is None:
+            return self.message
+        return f"{self.message} (at position {self.position})"
+
+
 class QueryFailedError(CubrickError):
     """Query execution failed at runtime (e.g. a participating host died).
 

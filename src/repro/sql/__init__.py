@@ -1,0 +1,43 @@
+"""repro.sql: SQL frontend and distributed query planner.
+
+Three stages, each importable on its own:
+
+* :mod:`repro.sql.lexer` / :mod:`repro.sql.parser` /
+  :mod:`repro.sql.ast` — hand-written tokenizer and recursive-descent
+  parser producing a typed AST with source positions.
+* :mod:`repro.sql.planner` / :mod:`repro.sql.rules` — catalog-aware
+  name resolution and the ordered rewrite-rule pipeline (predicate
+  normalisation, join-strategy selection, pushdown, pruning,
+  partial-aggregation placement).
+* :mod:`repro.sql.physical` / :mod:`repro.sql.explain` — lowering onto
+  the distributed execution machinery (proxy fan-out, broadcast and
+  partitioned-hash joins) and deterministic EXPLAIN rendering.
+"""
+
+from repro.errors import SqlError
+from repro.sql.ast import SelectStatement, unparse
+from repro.sql.explain import explain, render_explain
+from repro.sql.parser import parse
+from repro.sql.physical import PhysicalPlan, build_physical, execute_plan
+from repro.sql.planner import (
+    LogicalPlan,
+    PlannerContext,
+    compile_statement,
+    plan,
+)
+
+__all__ = [
+    "LogicalPlan",
+    "PhysicalPlan",
+    "PlannerContext",
+    "SelectStatement",
+    "SqlError",
+    "build_physical",
+    "compile_statement",
+    "execute_plan",
+    "explain",
+    "parse",
+    "plan",
+    "render_explain",
+    "unparse",
+]

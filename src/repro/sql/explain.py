@@ -1,0 +1,99 @@
+"""Deterministic EXPLAIN rendering for SQL plans.
+
+The output is a pure function of the parsed statement, the catalog and
+the planner context's statistics callback — no wall clock, no RNG, no
+execution — so a seeded deployment renders byte-identical text across
+runs and the golden files under ``tests/golden/`` can be compared
+byte-for-byte in CI.
+"""
+
+from __future__ import annotations
+
+from repro.cubrick.query import Filter, FilterOp
+from repro.sql.ast import unparse
+from repro.sql.physical import PhysicalPlan, build_physical
+from repro.sql.planner import LogicalPlan, PlannerContext, plan as plan_statement
+from repro.sql.parser import parse
+
+
+def explain(statement: str, context: PlannerContext) -> str:
+    """Parse, plan and render one statement's full EXPLAIN text."""
+    stmt = parse(statement)
+    logical = plan_statement(stmt, context, source=statement)
+    physical = build_physical(logical)
+    return render_explain(logical, physical)
+
+
+def render_explain(logical: LogicalPlan, physical: PhysicalPlan) -> str:
+    lines = [unparse(logical.statement), ""]
+    lines.append("== logical plan ==")
+    lines.extend(_logical_tree(logical))
+    lines.append("")
+    lines.append("== rewrite rules ==")
+    for rule_name, notes in logical.trace:
+        lines.append(f"{rule_name}:")
+        for note in notes:
+            lines.append(f"  - {note}")
+    lines.append("")
+    lines.append(f"== physical plan == [{physical.kind}]")
+    for step in physical.steps:
+        lines.append(f"  - {step}")
+    return "\n".join(lines) + "\n"
+
+
+def _logical_tree(plan: LogicalPlan) -> list[str]:
+    nodes: list[str] = []
+    if plan.limit is not None:
+        nodes.append(f"Limit [{plan.limit}]")
+    if plan.order_by is not None:
+        direction = "DESC" if plan.descending else "ASC"
+        nodes.append(f"Sort [{plan.order_by} {direction}]")
+    if plan.having:
+        rendered = ", ".join(
+            f"{h.column} {h.op.value} {_render_value(h.value)}"
+            for h in plan.having
+        )
+        nodes.append(f"Having [{rendered}]")
+    group = ", ".join(plan.group_by) if plan.group_by else "<scalar>"
+    aggs = ", ".join(a.label() for a in plan.aggregations)
+    nodes.append(f"Aggregate [group: {group}] [{aggs}]")
+    for join in plan.joins:
+        strategy = plan.join_strategies.get(join.table, "?")
+        nodes.append(
+            f"Join [{join.table} ON {plan.fact_table}.{join.fact_key} = "
+            f"{join.table}.{join.dim_key}] [{strategy}]"
+        )
+    if plan.empty:
+        nodes.append(f"Empty [{plan.empty_reason}]")
+    elif plan.filters:
+        rendered = ", ".join(_render_filter(f) for f in plan.filters)
+        nodes.append(f"Filter [{rendered}]")
+    rows = None
+    if plan.context.stats is not None:
+        rows = plan.context.stats(plan.fact_table)
+    rows_text = "?" if rows is None else str(rows)
+    nodes.append(
+        f"Scan [{plan.fact_table}] "
+        f"[partitions={plan.binding.fact.num_partitions}] "
+        f"[rows~{rows_text}]"
+    )
+    return [("  " * depth) + node for depth, node in enumerate(nodes)]
+
+
+def _render_filter(f: Filter) -> str:
+    if f.op is FilterOp.EQ:
+        return f"{f.dimension} = {f.values[0]}"
+    if f.op is FilterOp.IN:
+        return f"{f.dimension} IN ({', '.join(str(v) for v in f.values)})"
+    if f.op is FilterOp.NOT_IN:
+        return (
+            f"{f.dimension} NOT IN "
+            f"({', '.join(str(v) for v in f.values)})"
+        )
+    return f"{f.dimension} BETWEEN {f.values[0]} AND {f.values[1]}"
+
+
+def _render_value(value: float) -> str:
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))

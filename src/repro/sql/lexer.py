@@ -1,0 +1,113 @@
+"""Hand-written tokenizer for the Cubrick SQL dialect.
+
+Every token carries its character offset into the source statement, so
+the parser and planner can raise :class:`~repro.errors.SqlError` with a
+position that frontends render as a caret under the offending text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SqlError
+
+#: Reserved words, matched case-insensitively and normalised to lower.
+KEYWORDS = frozenset({
+    "select", "from", "join", "on", "where", "and", "or", "not",
+    "between", "in", "group", "by", "having", "order", "limit",
+    "asc", "desc",
+})
+
+#: Multi-char symbols must be tried before their single-char prefixes.
+_SYMBOLS = ("<>", "!=", ">=", "<=", "=", "<", ">", "(", ")", ",", "*", "-")
+
+KEYWORD = "keyword"
+NAME = "name"
+NUMBER = "number"
+SYMBOL = "symbol"
+EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexed token: kind, normalised text and source offset."""
+
+    kind: str
+    value: str
+    pos: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == KEYWORD and self.value == word
+
+    def describe(self) -> str:
+        if self.kind == EOF:
+            return "end of input"
+        return repr(self.value)
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex a statement into tokens (ending with one EOF token).
+
+    Raises :class:`SqlError` (with position) on characters the dialect
+    does not know — including string literals, which Cubrick's integer
+    coded dimensions can never compare against.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in "'\"":
+            raise SqlError(
+                "string literals are not supported (dimensions are "
+                "integer coded)", statement=text, position=i,
+            )
+        if _is_name_start(ch):
+            start = i
+            while i < n and _is_name_char(text[i]):
+                i += 1
+            # Dotted references (``dim_users.country``) lex as one name.
+            if i < n and text[i] == "." and i + 1 < n and \
+                    _is_name_start(text[i + 1]):
+                i += 1
+                while i < n and _is_name_char(text[i]):
+                    i += 1
+            word = text[start:i]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(KEYWORD, lowered, start))
+            else:
+                tokens.append(Token(NAME, word, start))
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and text[i].isdigit():
+                i += 1
+            if i < n and text[i] == "." and i + 1 < n and text[i + 1].isdigit():
+                i += 1
+                while i < n and text[i].isdigit():
+                    i += 1
+            tokens.append(Token(NUMBER, text[start:i], start))
+            continue
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, i):
+                tokens.append(Token(SYMBOL, symbol, i))
+                i += len(symbol)
+                break
+        else:
+            raise SqlError(
+                f"unexpected character {ch!r}", statement=text, position=i
+            )
+    tokens.append(Token(EOF, "", n))
+    return tokens

@@ -1,0 +1,369 @@
+"""Recursive-descent parser for the Cubrick SQL dialect.
+
+Grammar (case-insensitive keywords)::
+
+    statement  := SELECT items FROM name join* [WHERE expr]
+                  [GROUP BY names] [HAVING having (AND having)*]
+                  [ORDER BY target [ASC|DESC]] [LIMIT int]
+    items      := item (',' item)*
+    item       := name | func '(' (name | '*') ')'
+    join       := JOIN name ON dotted '=' dotted
+    expr       := term (OR term)*
+    term       := factor (AND factor)*
+    factor     := NOT factor | '(' expr ')' | predicate
+    predicate  := operand cmp number
+                | operand [NOT] IN '(' number (',' number)* ')'
+                | operand [NOT] BETWEEN number AND number
+    operand    := name | func '(' (name | '*') ')'
+    cmp        := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+
+Precedence is OR < AND < NOT; BETWEEN's inner AND binds tighter than the
+boolean AND. All errors are :class:`~repro.errors.SqlError` with the
+offending character position.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SqlError
+from repro.sql import ast
+from repro.sql.lexer import EOF, KEYWORD, NAME, NUMBER, SYMBOL, Token, tokenize
+
+_COMPARISONS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != EOF:
+            self.index += 1
+        return token
+
+    def error(self, message: str, token: Optional[Token] = None) -> SqlError:
+        token = token or self.current
+        return SqlError(message, statement=self.text, position=token.pos)
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise self.error(
+                f"expected {word.upper()}, found {self.current.describe()}"
+            )
+        return self.advance()
+
+    def expect_symbol(self, symbol: str) -> Token:
+        if self.current.kind != SYMBOL or self.current.value != symbol:
+            raise self.error(
+                f"expected {symbol!r}, found {self.current.describe()}"
+            )
+        return self.advance()
+
+    def expect_name(self, what: str = "name") -> Token:
+        if self.current.kind != NAME:
+            raise self.error(
+                f"expected {what}, found {self.current.describe()}"
+            )
+        return self.advance()
+
+    def at_symbol(self, symbol: str) -> bool:
+        return self.current.kind == SYMBOL and self.current.value == symbol
+
+    # -- terminals -----------------------------------------------------
+
+    def parse_number(self) -> ast.Number:
+        start = self.current
+        negative = False
+        if self.at_symbol("-"):
+            self.advance()
+            negative = True
+        if self.current.kind != NUMBER:
+            raise self.error(
+                f"expected number, found {self.current.describe()}"
+            )
+        token = self.advance()
+        is_int = "." not in token.value
+        value = float(token.value)
+        if negative:
+            value = -value
+        return ast.Number(value=value, is_int=is_int, pos=start.pos)
+
+    def parse_operand(self) -> ast.SelectItem:
+        """A column reference or an aggregate call."""
+        token = self.expect_name("column or aggregate")
+        if self.at_symbol("("):
+            func = token.value.lower()
+            if func not in ast.AGGREGATE_FUNCS:
+                raise self.error(
+                    f"unknown aggregate function {token.value!r}", token
+                )
+            self.advance()
+            if self.at_symbol("*"):
+                arg_token = self.advance()
+                if func != "count":
+                    raise self.error(
+                        f"'*' is only valid inside count(), not {func}()",
+                        arg_token,
+                    )
+                argument = "*"
+            else:
+                argument = self.expect_name("column name").value
+            self.expect_symbol(")")
+            return ast.AggregateCall(func=func, argument=argument,
+                                     pos=token.pos)
+        return ast.ColumnRef(name=token.value, pos=token.pos)
+
+    # -- predicates ----------------------------------------------------
+
+    def parse_expr(self) -> ast.Predicate:
+        first = self.parse_term()
+        if not self.current.is_keyword("or"):
+            return first
+        items = [first]
+        pos = first.pos
+        while self.current.is_keyword("or"):
+            self.advance()
+            items.append(self.parse_term())
+        return ast.Or(items=tuple(items), pos=pos)
+
+    def parse_term(self) -> ast.Predicate:
+        first = self.parse_factor()
+        if not self.current.is_keyword("and"):
+            return first
+        items = [first]
+        pos = first.pos
+        while self.current.is_keyword("and"):
+            self.advance()
+            items.append(self.parse_factor())
+        return ast.And(items=tuple(items), pos=pos)
+
+    def parse_factor(self) -> ast.Predicate:
+        if self.current.is_keyword("not"):
+            token = self.advance()
+            operand = self.parse_factor()
+            return ast.Not(operand=operand, pos=token.pos)
+        if self.at_symbol("("):
+            self.advance()
+            inner = self.parse_expr()
+            self.expect_symbol(")")
+            return inner
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> ast.Predicate:
+        operand = self.parse_operand()
+        negated = False
+        if self.current.is_keyword("not"):
+            self.advance()
+            negated = True
+            if not (self.current.is_keyword("in")
+                    or self.current.is_keyword("between")):
+                raise self.error("expected IN or BETWEEN after NOT")
+        if self.current.is_keyword("in"):
+            token = self.advance()
+            self.expect_symbol("(")
+            values = [self.parse_number()]
+            while self.at_symbol(","):
+                self.advance()
+                values.append(self.parse_number())
+            self.expect_symbol(")")
+            return ast.InList(operand=operand, values=tuple(values),
+                              negated=negated, pos=token.pos)
+        if self.current.is_keyword("between"):
+            token = self.advance()
+            low = self.parse_number()
+            self.expect_keyword("and")
+            high = self.parse_number()
+            return ast.BetweenPred(operand=operand, low=low, high=high,
+                                   negated=negated, pos=token.pos)
+        if self.current.kind == SYMBOL and self.current.value in _COMPARISONS:
+            token = self.advance()
+            op = "!=" if token.value == "<>" else token.value
+            value = self.parse_number()
+            return ast.Comparison(operand=operand, op=op, value=value,
+                                  pos=token.pos)
+        raise self.error(
+            f"expected comparison, IN or BETWEEN, found "
+            f"{self.current.describe()}"
+        )
+
+    # -- clauses -------------------------------------------------------
+
+    def parse_select_items(self) -> tuple[ast.SelectItem, ...]:
+        items = [self.parse_operand()]
+        while self.at_symbol(","):
+            self.advance()
+            items.append(self.parse_operand())
+        return tuple(items)
+
+    def parse_join(self, fact_table: str) -> ast.JoinClause:
+        join_token = self.expect_keyword("join")
+        table = self.expect_name("join table name").value
+        self.expect_keyword("on")
+        left_token = self.expect_name("dotted column")
+        self.expect_symbol("=")
+        right_token = self.expect_name("dotted column")
+
+        sides = {}
+        for token in (left_token, right_token):
+            if "." not in token.value:
+                raise self.error(
+                    "join conditions must use dotted table.column names",
+                    token,
+                )
+            prefix, column = token.value.split(".", 1)
+            if prefix not in (fact_table, table):
+                raise self.error(
+                    f"unknown table {prefix!r} in join condition", token
+                )
+            if prefix in sides:
+                raise self.error(
+                    f"join condition references {prefix!r} on both sides",
+                    token,
+                )
+            sides[prefix] = column
+        if fact_table not in sides or table not in sides:
+            raise self.error(
+                "join condition must relate the fact table to the joined "
+                "table",
+                left_token,
+            )
+        return ast.JoinClause(table=table, fact_key=sides[fact_table],
+                              dim_key=sides[table], pos=join_token.pos)
+
+    def parse_having_item(self) -> ast.HavingItem:
+        target = self.parse_order_target("HAVING target")
+        if self.current.kind != SYMBOL or \
+                self.current.value not in ast.HAVING_OPS:
+            raise self.error(
+                f"expected one of {', '.join(ast.HAVING_OPS)}, found "
+                f"{self.current.describe()}"
+            )
+        op_token = self.advance()
+        value = self.parse_number()
+        return ast.HavingItem(target=target.text, op=op_token.value,
+                              value=value, pos=target.pos)
+
+    def parse_order_target(self, what: str) -> "_Target":
+        """A bare column name or an aggregate label like ``sum(clicks)``."""
+        token = self.expect_name(what)
+        if self.at_symbol("("):
+            self.advance()
+            if self.at_symbol("*"):
+                arg = self.advance().value
+            else:
+                arg = self.expect_name("column name").value
+            self.expect_symbol(")")
+            return _Target(f"{token.value.lower()}({arg})", token.pos)
+        return _Target(token.value, token.pos)
+
+    # -- statement -----------------------------------------------------
+
+    def parse_statement(self) -> ast.SelectStatement:
+        start = self.expect_keyword("select")
+        select = self.parse_select_items()
+        self.expect_keyword("from")
+        table_token = self.expect_name("table name")
+        if "." in table_token.value:
+            raise self.error("table names cannot be dotted", table_token)
+        table = table_token.value
+
+        joins = []
+        while self.current.is_keyword("join"):
+            joins.append(self.parse_join(table))
+
+        where = None
+        if self.current.is_keyword("where"):
+            self.advance()
+            where = self.parse_expr()
+
+        group_by: list[ast.ColumnRef] = []
+        if self.current.is_keyword("group"):
+            self.advance()
+            self.expect_keyword("by")
+            token = self.expect_name("column name")
+            group_by.append(ast.ColumnRef(name=token.value, pos=token.pos))
+            while self.at_symbol(","):
+                self.advance()
+                token = self.expect_name("column name")
+                group_by.append(
+                    ast.ColumnRef(name=token.value, pos=token.pos)
+                )
+
+        having: list[ast.HavingItem] = []
+        if self.current.is_keyword("having"):
+            self.advance()
+            having.append(self.parse_having_item())
+            while self.current.is_keyword("and"):
+                self.advance()
+                having.append(self.parse_having_item())
+
+        order = None
+        if self.current.is_keyword("order"):
+            self.advance()
+            self.expect_keyword("by")
+            target = self.parse_order_target("ORDER BY target")
+            # The dialect's legacy default is descending (top-k first).
+            descending = True
+            if self.current.is_keyword("asc"):
+                self.advance()
+                descending = False
+            elif self.current.is_keyword("desc"):
+                self.advance()
+            order = ast.OrderClause(target=target.text,
+                                    descending=descending, pos=target.pos)
+
+        limit = None
+        if self.current.is_keyword("limit"):
+            self.advance()
+            number = self.parse_number()
+            if not number.is_int or number.value <= 0:
+                raise self.error("LIMIT must be a positive integer")
+            limit = int(number.value)
+
+        if self.current.kind != EOF:
+            raise self.error(
+                f"unexpected trailing input {self.current.describe()}"
+            )
+        return ast.SelectStatement(
+            select=select,
+            table=table,
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=tuple(having),
+            order=order,
+            limit=limit,
+            pos=start.pos,
+            table_pos=table_token.pos,
+        )
+
+
+class _Target:
+    """A resolved ORDER BY / HAVING target (text + source position)."""
+
+    __slots__ = ("text", "pos")
+
+    def __init__(self, text: str, pos: int):
+        self.text = text
+        self.pos = pos
+
+
+def parse(text: str) -> ast.SelectStatement:
+    """Parse one SELECT statement into a typed AST.
+
+    Raises :class:`SqlError` (with position info) on any lexical or
+    syntactic problem.
+    """
+    if not text or not text.strip():
+        raise SqlError("empty SQL statement", statement=text, position=0)
+    return _Parser(text).parse_statement()

@@ -14,6 +14,18 @@ from repro.shardmanager.spec import ServiceSpec
 from repro.sim.engine import Simulator
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite golden EXPLAIN snapshots instead of comparing",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

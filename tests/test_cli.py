@@ -70,6 +70,44 @@ class TestCommands:
         with pytest.raises(QueryError):
             main(["demo-sql", "SELEC oops", "--rows", "10"])
 
+    def test_sql_sharded_join(self, capsys):
+        assert main([
+            "sql",
+            "SELECT dim_users.tier, sum(clicks) FROM events "
+            "JOIN dim_users ON events.user_id = dim_users.user_id "
+            "GROUP BY dim_users.tier",
+            "--rows", "300",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "dim_users.tier" in out
+        assert "joins {'dim_users': 'broadcast'}" in out
+
+    def test_explain_deterministic(self, capsys):
+        argv = [
+            "explain",
+            "SELECT count(*) FROM events WHERE day < 7 GROUP BY country",
+            "--rows", "200",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        assert "== physical plan == [fanout]" in first
+
+    def test_explain_no_optimize(self, capsys):
+        statement = (
+            "SELECT count(*) FROM events "
+            "JOIN dim_users ON events.user_id = dim_users.user_id "
+            "WHERE day = 1"
+        )
+        assert main(["explain", statement, "--rows", "200"]) == 0
+        optimized = capsys.readouterr().out
+        assert main(["explain", statement, "--rows", "200",
+                     "--no-optimize"]) == 0
+        unoptimized = capsys.readouterr().out
+        assert optimized != unoptimized
+        assert "partition-pruning" in optimized
+
     def test_fanout_experiment_small(self, capsys):
         assert main(["fanout-experiment", "--fanouts", "1,2",
                      "--queries", "30"]) == 0

@@ -71,9 +71,23 @@ class TestWhere:
         )
         assert len(query.filters) == 3
 
-    def test_unsupported_operator_rejected(self):
+    def test_range_comparison_lowers_to_between(self):
+        query = parse_query("SELECT count(*) FROM events WHERE day < 3")
+        assert query.filters[0].op is FilterOp.BETWEEN
+        assert query.filters[0].values == (0, 2)
+
+    def test_not_in(self):
+        query = parse_query(
+            "SELECT count(*) FROM events WHERE country NOT IN (1, 2)"
+        )
+        assert query.filters[0].op is FilterOp.NOT_IN
+        assert query.filters[0].values == (1, 2)
+
+    def test_catalog_needing_predicate_rejected(self):
         with pytest.raises(QueryError):
-            parse_query("SELECT count(*) FROM events WHERE day < 3")
+            parse_query(
+                "SELECT count(*) FROM events WHERE day = 1 OR country = 2"
+            )
 
 
 class TestClauses:
@@ -155,6 +169,33 @@ class TestErrors:
     def test_garbage_characters(self):
         with pytest.raises(QueryError):
             parse_query("SELECT sum(x) FROM t WHERE a = 'text'")
+
+    def test_aggregate_in_where(self):
+        with pytest.raises(QueryError, match="not allowed in WHERE"):
+            parse_query("SELECT count(*) FROM t WHERE sum(clicks) = 1")
+
+
+class TestRender:
+    def test_not_in_renders_and_round_trips(self):
+        from repro.cubrick.sql import render_query
+
+        query = parse_query(
+            "SELECT count(*) FROM events WHERE user_id NOT IN (3, 9)"
+        )
+        text = render_query(query)
+        assert "user_id NOT IN (3, 9)" in text
+        assert parse_query(text) == query
+
+    def test_float_having_value_renders_exactly(self):
+        from repro.cubrick.sql import render_query
+
+        query = parse_query(
+            "SELECT sum(cost) FROM events GROUP BY day "
+            "HAVING sum(cost) > 1.5"
+        )
+        text = render_query(query)
+        assert "HAVING sum(cost) > 1.5" in text
+        assert parse_query(text) == query
 
 
 class TestEndToEnd:

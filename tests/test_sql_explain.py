@@ -1,0 +1,116 @@
+"""Golden EXPLAIN snapshots, byte-compared.
+
+EXPLAIN is a pure function of (statement, catalog, stats), so the
+rendered text must be byte-identical run over run and across machines.
+The snapshots live in ``tests/golden/`` and are compared exactly; CI
+additionally renders the suite twice and diffs the outputs. Regenerate
+with ``pytest tests/test_sql_explain.py --update-golden`` after an
+intentional planner or renderer change.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.sql import explain
+from tests.test_sql_frontend import make_context
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: name -> (statement, planner-context overrides)
+SNAPSHOTS = {
+    "scalar_scan": (
+        "SELECT count(*) FROM events",
+        {},
+    ),
+    "pruned_range": (
+        "SELECT sum(clicks) FROM events WHERE day < 4 GROUP BY country",
+        {},
+    ),
+    "interval_algebra": (
+        "SELECT sum(cost) FROM events "
+        "WHERE (day = 1 OR day BETWEEN 5 AND 6) AND NOT country = 2",
+        {},
+    ),
+    "not_in_complement": (
+        "SELECT count(*) FROM events WHERE user_id != 42",
+        {},
+    ),
+    "empty_contradiction": (
+        "SELECT sum(clicks) FROM events WHERE day < 2 AND day > 5",
+        {},
+    ),
+    "replicated_join": (
+        "SELECT dim_geo.region, sum(clicks) FROM events "
+        "JOIN dim_geo ON events.country = dim_geo.country "
+        "GROUP BY dim_geo.region",
+        {},
+    ),
+    "broadcast_join": (
+        "SELECT dim_users.tier, sum(clicks) FROM events "
+        "JOIN dim_users ON events.user_id = dim_users.user_id "
+        "GROUP BY dim_users.tier",
+        {},
+    ),
+    "hash_join": (
+        "SELECT dim_users.tier, sum(clicks) FROM events "
+        "JOIN dim_users ON events.user_id = dim_users.user_id "
+        "WHERE dim_users.tier IN (1, 2) GROUP BY dim_users.tier",
+        {"broadcast_threshold": 100},
+    ),
+    "two_joins_topn": (
+        "SELECT dim_geo.region, dim_users.tier, sum(cost) FROM events "
+        "JOIN dim_users ON events.user_id = dim_users.user_id "
+        "JOIN dim_geo ON events.country = dim_geo.country "
+        "WHERE day BETWEEN 0 AND 3 "
+        "GROUP BY dim_geo.region, dim_users.tier "
+        "HAVING sum(cost) > 10 ORDER BY sum(cost) DESC LIMIT 5",
+        {},
+    ),
+    "unoptimized": (
+        "SELECT sum(clicks) FROM events "
+        "JOIN dim_users ON events.user_id = dim_users.user_id "
+        "WHERE day < 4 GROUP BY country",
+        {"broadcast_threshold": 100, "optimize": False},
+    ),
+}
+
+
+def render(name: str) -> str:
+    statement, overrides = SNAPSHOTS[name]
+    return explain(statement, make_context(**overrides))
+
+
+@pytest.mark.parametrize("name", sorted(SNAPSHOTS))
+def test_explain_matches_golden(name, update_golden):
+    golden_path = GOLDEN_DIR / f"explain_{name}.txt"
+    text = render(name)
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(text)
+        pytest.skip(f"golden updated: {golden_path.name}")
+    assert golden_path.exists(), (
+        f"missing {golden_path}; run with --update-golden to create"
+    )
+    assert text == golden_path.read_text()
+
+
+@pytest.mark.parametrize("name", sorted(SNAPSHOTS))
+def test_explain_is_deterministic(name):
+    assert render(name) == render(name)
+
+
+def test_every_golden_file_has_a_snapshot():
+    stale = [
+        path.name for path in GOLDEN_DIR.glob("explain_*.txt")
+        if path.stem[len("explain_"):] not in SNAPSHOTS
+    ]
+    assert stale == [], f"stale golden files: {stale}"
+
+
+def test_explain_sections_present():
+    text = render("two_joins_topn")
+    for section in ("== logical plan ==", "== rewrite rules ==",
+                    "== physical plan =="):
+        assert section in text
+    assert text.endswith("\n")

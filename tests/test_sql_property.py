@@ -1,0 +1,297 @@
+"""Property suite for the SQL frontend (Hypothesis, derandomized).
+
+Three invariants:
+
+* parse → unparse → parse is the identity on ASTs (positions excluded)
+  and unparse(parse(·)) is a fixed point on canonical text;
+* the optimizer never changes answers: every generated statement
+  returns identical rows with the rewrite rules on and off, through
+  real distributed execution;
+* adversarial input (random case, whitespace, parentheses, truncation)
+  never crashes the frontend with anything but a typed SqlError.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.deployment import CubrickDeployment, DeploymentConfig
+from repro.cubrick.schema import Dimension, Metric, TableSchema
+from repro.errors import SqlError
+from repro.sql import parse, unparse
+
+def quiet_settings(**overrides):
+    return settings(
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+        **overrides,
+    )
+
+
+#: Keywords whose case the robustness tests may scramble (column names
+#: are case-sensitive, so only true keywords are fair game).
+_KEYWORDS = (
+    "SELECT", "FROM", "JOIN", "ON", "WHERE", "AND", "OR", "NOT",
+    "BETWEEN", "IN", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "ASC", "DESC",
+)
+
+# ----------------------------------------------------------------------
+# Grammar strategy (free-form: for round-trip and robustness)
+# ----------------------------------------------------------------------
+
+names = st.sampled_from(
+    ["day", "country", "user_id", "clicks", "cost", "dim_users.tier"]
+)
+numbers = st.integers(min_value=0, max_value=99).map(str)
+agg_funcs = st.sampled_from(
+    ["sum", "count", "min", "max", "avg", "count_distinct"]
+)
+
+
+@st.composite
+def aggregate_text(draw):
+    func = draw(agg_funcs)
+    if func == "count" and draw(st.booleans()):
+        return "count(*)"
+    return f"{func}({draw(names)})"
+
+
+@st.composite
+def atom_text(draw, column=None):
+    column = column or draw(names)
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        op = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+        return f"{column} {op} {draw(numbers)}"
+    if kind == 1:
+        values = draw(st.lists(numbers, min_size=1, max_size=4))
+        negated = "NOT " if draw(st.booleans()) else ""
+        return f"{column} {negated}IN ({', '.join(values)})"
+    if kind == 2:
+        low, high = sorted(
+            [draw(st.integers(0, 50)), draw(st.integers(0, 50))]
+        )
+        negated = "NOT " if draw(st.booleans()) else ""
+        return f"{column} {negated}BETWEEN {low} AND {high}"
+    return f"NOT {draw(atom_text(column=column))}"
+
+
+@st.composite
+def predicate_text(draw):
+    clauses = draw(st.lists(atom_text(), min_size=1, max_size=3))
+    joiner = draw(st.sampled_from([" AND ", " OR "]))
+    return joiner.join(clauses)
+
+
+@st.composite
+def statement_text(draw):
+    group = draw(st.lists(
+        st.sampled_from(["day", "country", "dim_users.tier"]),
+        max_size=2, unique=True,
+    ))
+    aggs = draw(st.lists(aggregate_text(), min_size=1, max_size=3))
+    select = list(group) + aggs
+    parts = ["SELECT ", ", ".join(select), " FROM events"]
+    if draw(st.booleans()):
+        parts.append(
+            " JOIN dim_users ON events.user_id = dim_users.user_id"
+        )
+    if draw(st.booleans()):
+        parts.append(f" WHERE {draw(predicate_text())}")
+    if group:
+        parts.append(" GROUP BY " + ", ".join(group))
+        if draw(st.booleans()):
+            op = draw(st.sampled_from(["=", "<", "<=", ">", ">="]))
+            parts.append(f" HAVING {aggs[0]} {op} {draw(numbers)}")
+        if draw(st.booleans()):
+            direction = draw(st.sampled_from([" ASC", " DESC", ""]))
+            parts.append(f" ORDER BY {aggs[0]}{direction}")
+    if draw(st.booleans()):
+        parts.append(f" LIMIT {draw(st.integers(1, 20))}")
+    return "".join(parts)
+
+
+class TestRoundTrip:
+    @quiet_settings(max_examples=300)
+    @given(statement_text())
+    def test_parse_unparse_parse_identity(self, text):
+        stmt = parse(text)
+        canonical = unparse(stmt)
+        assert parse(canonical) == stmt
+        assert unparse(parse(canonical)) == canonical
+
+
+class TestRobustness:
+    @quiet_settings(max_examples=300)
+    @given(statement_text(), st.randoms(use_true_random=False))
+    def test_case_and_whitespace_insensitive(self, text, random):
+        words = []
+        for word in text.split(" "):
+            if word.upper() in _KEYWORDS:
+                word = "".join(
+                    ch.upper() if random.random() < 0.5 else ch.lower()
+                    for ch in word
+                )
+            words.append(word)
+        mangled = (" " * (1 + random.randrange(3))).join(words)
+        assert parse(mangled) == parse(text)
+
+    @quiet_settings(max_examples=300)
+    @given(statement_text(), st.integers(0, 400), st.text(
+        alphabet=" ()',;*<>=!0123456789abcdefWHERE", max_size=12,
+    ))
+    def test_mutations_never_crash(self, text, cut, garbage):
+        mutated = text[: cut % (len(text) + 1)] + garbage
+        try:
+            parse(mutated)
+        except SqlError as exc:
+            assert exc.position is None or 0 <= exc.position <= len(mutated)
+
+    @quiet_settings(max_examples=100)
+    @given(statement_text())
+    def test_redundant_parens_are_transparent(self, text):
+        if " WHERE " not in text:
+            return
+        head, __, tail = text.partition(" WHERE ")
+        for clause in (" GROUP BY", " HAVING", " ORDER BY", " LIMIT"):
+            if clause in tail:
+                where, __, rest = tail.partition(clause)
+                wrapped = f"{head} WHERE ({where}){clause}{rest}"
+                break
+        else:
+            wrapped = f"{head} WHERE ({tail})"
+        assert parse(wrapped) == parse(text)
+
+
+# ----------------------------------------------------------------------
+# Execution equivalence (plannable statements on a live deployment)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def small_star() -> CubrickDeployment:
+    deployment = CubrickDeployment(
+        DeploymentConfig(seed=3, regions=2, racks_per_region=2,
+                         hosts_per_rack=2)
+    )
+    deployment.create_table(TableSchema.build(
+        "events",
+        dimensions=[Dimension("day", 8, range_size=2),
+                    Dimension("country", 6, range_size=2),
+                    Dimension("user_id", 60, range_size=10)],
+        metrics=[Metric("clicks"), Metric("cost")],
+    ))
+    deployment.create_table(TableSchema.build(
+        "dim_users",
+        dimensions=[Dimension("user_id", 60, range_size=10),
+                    Dimension("tier", 4, range_size=1)],
+        metrics=[Metric("weight")],
+    ))
+    generator = np.random.default_rng(3)
+    deployment.load(
+        "events",
+        [{
+            "day": int(generator.integers(8)),
+            "country": int(generator.integers(6)),
+            "user_id": int(generator.integers(60)),
+            "clicks": float(generator.integers(1, 10)),
+            "cost": float(generator.integers(1, 50)),
+        } for __ in range(400)],
+    )
+    deployment.load("dim_users", [
+        {"user_id": u, "tier": u % 4, "weight": 1.0} for u in range(50)
+    ])
+    deployment.simulator.run_until(60.0)
+    return deployment
+
+
+@st.composite
+def plannable_statement(draw):
+    """Statements the catalog planner always accepts: per-column
+    predicate groups (OR only within one column) ANDed together."""
+    columns = {"day": 8, "country": 6, "user_id": 60}
+    group = draw(st.lists(
+        st.sampled_from(["day", "country", "dim_users.tier"]),
+        max_size=2, unique=True,
+    ))
+    agg = draw(st.sampled_from(
+        ["sum(clicks)", "count(*)", "min(cost)", "max(cost)",
+         "avg(cost)", "count_distinct(user_id)"]
+    ))
+    parts = ["SELECT "]
+    parts.append(", ".join(list(group) + [agg]))
+    parts.append(" FROM events")
+    join_needed = any(g.startswith("dim_users.") for g in group)
+    if join_needed or draw(st.booleans()):
+        parts.append(
+            " JOIN dim_users ON events.user_id = dim_users.user_id"
+        )
+    clause_columns = draw(st.lists(
+        st.sampled_from(sorted(columns)), max_size=2, unique=True,
+    ))
+    clauses = []
+    for column in clause_columns:
+        domain = columns[column]
+        first = draw(atom_for(column, domain))
+        if draw(st.booleans()):
+            clauses.append(
+                f"({first} OR {draw(atom_for(column, domain))})"
+            )
+        else:
+            clauses.append(first)
+    if clauses:
+        parts.append(" WHERE " + " AND ".join(clauses))
+    if group:
+        parts.append(" GROUP BY " + ", ".join(group))
+        if draw(st.booleans()):
+            parts.append(f" ORDER BY {agg} DESC")
+            if draw(st.booleans()):
+                parts.append(f" LIMIT {draw(st.integers(1, 5))}")
+    return "".join(parts)
+
+
+@st.composite
+def atom_for(draw, column, domain):
+    kind = draw(st.integers(0, 3))
+    value = draw(st.integers(0, domain - 1))
+    if kind == 0:
+        op = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+        return f"{column} {op} {value}"
+    if kind == 1:
+        size = draw(st.integers(1, 3))
+        values = sorted(
+            draw(st.integers(0, domain - 1)) for __ in range(size)
+        )
+        return f"{column} IN ({', '.join(map(str, values))})"
+    if kind == 2:
+        other = draw(st.integers(0, domain - 1))
+        low, high = min(value, other), max(value, other)
+        return f"{column} BETWEEN {low} AND {high}"
+    return f"NOT {column} = {value}"
+
+
+class TestOptimizerEquivalence:
+    @quiet_settings(max_examples=40)
+    @given(plannable_statement())
+    def test_rows_identical_with_rules_off(self, small_star, statement):
+        from tests.test_sql_differential import run_sql
+
+        optimized, __ = run_sql(small_star, statement)
+        unoptimized, __ = run_sql(small_star, statement, optimize=False)
+        assert optimized.columns == unoptimized.columns
+        assert sorted(optimized.rows) == sorted(unoptimized.rows)
+
+    @quiet_settings(max_examples=15)
+    @given(plannable_statement())
+    def test_hash_join_threshold_never_changes_rows(
+        self, small_star, statement
+    ):
+        from tests.test_sql_differential import run_sql
+
+        default, __ = run_sql(small_star, statement)
+        forced_hash, __ = run_sql(
+            small_star, statement, broadcast_threshold=1
+        )
+        assert sorted(default.rows) == sorted(forced_hash.rows)
