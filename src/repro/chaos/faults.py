@@ -60,6 +60,7 @@ class FaultKind(enum.Enum):
     SM_FAILOVER = "sm_failover"
     MIGRATION_INTERRUPT = "migration_interrupt"
     QUERY_STORM = "query_storm"
+    LEADER_CRASH = "leader_crash"
 
 
 #: Kinds whose ``target`` names a region rather than a host.
@@ -68,6 +69,7 @@ REGION_TARGETED = frozenset({
     FaultKind.NETWORK_PARTITION,
     FaultKind.SM_FAILOVER,
     FaultKind.MIGRATION_INTERRUPT,
+    FaultKind.LEADER_CRASH,
 })
 
 
@@ -81,6 +83,10 @@ class FaultSpec:
     duration: float = 0.0
     factor: float = 1.0  # latency multiplier (SLOW_DISK / TAIL_AMPLIFY)
     permanent: bool = False  # HOST_CRASH: goes to the repair pipeline
+    # NETWORK_PARTITION only: when set, the partition is *asymmetric* —
+    # only traffic from ``src`` to ``target`` is cut; the reverse
+    # direction keeps delivering. None = the classic full partition.
+    src: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.at < 0:
@@ -95,6 +101,14 @@ class FaultSpec:
             )
         if not self.target:
             raise ConfigurationError("fault target must be non-empty")
+        if self.src is not None and self.kind is not FaultKind.NETWORK_PARTITION:
+            raise ConfigurationError(
+                f"src only applies to network_partition faults: {self.kind}"
+            )
+        if self.src == self.target and self.src is not None:
+            raise ConfigurationError(
+                f"asymmetric partition src and target must differ: {self.src}"
+            )
 
     @property
     def clears_at(self) -> Optional[float]:
@@ -105,6 +119,8 @@ class FaultSpec:
 
     def render(self) -> str:
         parts = [f"t={self.at:.3f}", self.kind.value, self.target]
+        if self.src is not None:
+            parts.append(f"src={self.src}")
         if self.duration > 0:
             parts.append(f"duration={self.duration:.1f}")
         if self.factor != 1.0:
@@ -152,6 +168,21 @@ class FaultSchedule:
     def network_partition(self, at: float, region: str,
                           *, duration: float = 300.0) -> "FaultSchedule":
         return self.add(FaultSpec(at=at, kind=FaultKind.NETWORK_PARTITION,
+                                  target=region, duration=duration))
+
+    def asymmetric_partition(self, at: float, src: str, dst: str,
+                             *, duration: float = 300.0) -> "FaultSchedule":
+        """Cut only the ``src → dst`` direction: ``dst`` still reaches
+        ``src``. The half-open failure mode real networks produce —
+        heartbeats arrive one way while replies vanish."""
+        return self.add(FaultSpec(at=at, kind=FaultKind.NETWORK_PARTITION,
+                                  target=dst, src=src, duration=duration))
+
+    def leader_crash(self, at: float, region: str,
+                     *, duration: float = 60.0) -> "FaultSchedule":
+        """Crash the consensus metadata replica in ``region`` (process
+        loss: volatile state gone, log survives)."""
+        return self.add(FaultSpec(at=at, kind=FaultKind.LEADER_CRASH,
                                   target=region, duration=duration))
 
     def session_expiry(self, at: float, host: str,
@@ -278,6 +309,7 @@ class ChaosInjector:
             FaultKind.SM_FAILOVER: self._apply_sm_failover,
             FaultKind.MIGRATION_INTERRUPT: self._apply_migration_interrupt,
             FaultKind.QUERY_STORM: self._apply_query_storm,
+            FaultKind.LEADER_CRASH: self._apply_leader_crash,
         }[spec.kind]
         detail = handler(spec)
         now = self._deployment.simulator.now
@@ -356,13 +388,51 @@ class ChaosInjector:
 
     def _apply_network_partition(self, spec: FaultSpec) -> str:
         cluster = self._deployment.cluster
+        if spec.src is not None:
+            # Asymmetric: only src → target traffic is cut. Queries still
+            # reach the target region (its front door is up); what breaks
+            # is the replication/consensus plane in one direction.
+            cluster.set_region_link(spec.src, spec.target, False)
+
+            def heal() -> None:
+                cluster.set_region_link(spec.src, spec.target, True)
+                self._emit_healed(spec)
+
+            if spec.duration > 0:
+                self._schedule_clear(spec, heal)
+            return f"link {spec.src}->{spec.target} cut"
         cluster.set_region_available(spec.target, False)
+        cluster.isolate_region(spec.target)
+
+        def heal_full() -> None:
+            cluster.set_region_available(spec.target, True)
+            cluster.rejoin_region(spec.target)
+            self._emit_healed(spec)
+
+        if spec.duration > 0:
+            self._schedule_clear(spec, heal_full)
+        return "partitioned"
+
+    def _emit_healed(self, spec: FaultSpec) -> None:
+        """The heal event the invariant checker keys catch-up checks on."""
+        self._deployment.obs.events.emit(
+            "repro.chaos.partition_healed",
+            target=spec.target,
+            src=spec.src if spec.src is not None else "",
+        )
+
+    def _apply_leader_crash(self, spec: FaultSpec) -> str:
+        """Crash the consensus replica in ``target``'s region."""
+        metadata = getattr(self._deployment, "metadata_cluster", None)
+        if metadata is None:
+            return "no metadata cluster"
+        was_leader = metadata.leader() == spec.target
+        metadata.crash_replica(spec.target)
         if spec.duration > 0:
             self._schedule_clear(
-                spec,
-                lambda: cluster.set_region_available(spec.target, True),
+                spec, lambda: metadata.recover_replica(spec.target)
             )
-        return "partitioned"
+        return "leader crashed" if was_leader else "replica crashed"
 
     def _apply_session_expiry(self, spec: FaultSpec) -> str:
         deployment = self._deployment
@@ -383,6 +453,9 @@ class ChaosInjector:
         propagation storm (and stale-read windows) of a real failover."""
         sm = self._deployment.sm_servers[spec.target]
         now = self._deployment.simulator.now
+        # New instance first replays the journaled shard map from the
+        # metadata plane (a no-op when memory already matches it).
+        rebuilt = sm.rebuild_shard_map()
         republished = 0
         for shard_id in sm.shard_ids():
             entry = sm.shard_entry(shard_id)
@@ -393,7 +466,7 @@ class ChaosInjector:
                 continue
             sm.discovery.publish(shard_id, owner.host_id, now)
             republished += 1
-        return f"republished {republished} shards"
+        return f"republished {republished} shards, rebuilt {rebuilt}"
 
     def _apply_migration_interrupt(self, spec: FaultSpec) -> str:
         """Start a graceful migration, then crash its target mid-protocol.

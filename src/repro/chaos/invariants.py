@@ -16,12 +16,30 @@ Safety — checked after **every** injected fault:
 * **SM ↔ datastore agreement** — the set of live datastore sessions
   matches the set of registered application servers.
 
+When the deployment runs a consensus metadata cluster
+(``replicated_metadata=True``), four more safety checks audit it —
+all no-ops (not even counted) on legacy deployments:
+
+* **single leader per term** — no term in the election history was won
+  by two replicas;
+* **no committed-entry loss** — no replica ever applied a different
+  (term, command) at a committed index than the cluster ledger holds,
+  and every retained committed log entry still agrees with the ledger;
+* **monotonic commit index** — no replica ever attempted to move its
+  commit index backwards;
+* **journaled single primary** — the replicated shard-map journal
+  never records two PRIMARY replicas for one shard, across any number
+  of metadata-leader elections.
+
 Convergence — checked once the schedule is exhausted and recovery has
 had time to settle:
 
 * **replica counts re-converge** — every shard has its full replica
   set on registered, available hosts and no failovers remain unplaced;
-* **no orphan shards** — registered servers host only shards SM knows.
+* **no orphan shards** — registered servers host only shards SM knows;
+* **consensus convergence** (replicated metadata only) — after heal,
+  every live replica reachable from the leader has caught up: equal
+  commit index and byte-identical applied state.
 
 Query integrity ("accepted queries never silently drop rows") is
 checked per-result: a non-partial success must carry the full answer;
@@ -93,6 +111,7 @@ class InvariantChecker:
         self._check_discovery_consistency(report)
         self._check_sm_subset_of_apps(report)
         self._check_sessions_match_registration(report)
+        self._check_consensus_safety(report)
         self._emit(report)
         return report
 
@@ -173,6 +192,117 @@ class InvariantChecker:
                 ))
 
     # ------------------------------------------------------------------
+    # Consensus metadata safety (replicated_metadata deployments only)
+    # ------------------------------------------------------------------
+
+    def _check_consensus_safety(self, report: InvariantReport) -> None:
+        cluster = getattr(self._deployment, "metadata_cluster", None)
+        if cluster is None:
+            return
+        self._check_single_leader_per_term(report, cluster)
+        self._check_no_committed_loss(report, cluster)
+        self._check_monotonic_commit(report, cluster)
+        self._check_journal_single_primary(report)
+
+    def _check_single_leader_per_term(
+        self, report: InvariantReport, cluster
+    ) -> None:
+        report.checks_run.append("consensus_single_leader_per_term")
+        for term, winners in sorted(cluster.leader_history().items()):
+            if len(winners) > 1:
+                report.violations.append(InvariantViolation(
+                    "consensus_single_leader_per_term",
+                    f"term {term} won by {sorted(winners)}",
+                ))
+
+    def _check_no_committed_loss(
+        self, report: InvariantReport, cluster
+    ) -> None:
+        report.checks_run.append("consensus_no_committed_loss")
+        for conflict in cluster.commit_conflicts:
+            report.violations.append(InvariantViolation(
+                "consensus_no_committed_loss", conflict
+            ))
+        # Every committed log entry a replica still retains must carry
+        # the term the ledger recorded at apply time — a later overwrite
+        # of a committed index is exactly the loss Raft must prevent.
+        for region in cluster.regions:
+            node = cluster.replica(region)
+            lo = node.log.snapshot_index
+            for index in range(lo + 1, node.commit_index + 1):
+                recorded = cluster.ledger.get(index)
+                term = node.log.term_at(index)
+                if recorded is not None and term is not None \
+                        and term != recorded[0]:
+                    report.violations.append(InvariantViolation(
+                        "consensus_no_committed_loss",
+                        f"{region}: committed index {index} holds term "
+                        f"{term}, ledger recorded term {recorded[0]}",
+                    ))
+
+    def _check_monotonic_commit(
+        self, report: InvariantReport, cluster
+    ) -> None:
+        report.checks_run.append("consensus_monotonic_commit")
+        for region in cluster.regions:
+            regressions = cluster.replica(region).commit_regressions
+            if regressions:
+                report.violations.append(InvariantViolation(
+                    "consensus_monotonic_commit",
+                    f"{region}: {regressions} commit-index regression(s) "
+                    f"attempted",
+                ))
+
+    def _check_journal_single_primary(self, report: InvariantReport) -> None:
+        from repro.shardmanager.server import ReplicaRole
+
+        report.checks_run.append("consensus_journal_single_primary")
+        primary = ReplicaRole.PRIMARY.value
+        for region, sm in sorted(self._deployment.sm_servers.items()):
+            prefix = sm._shardmap_prefix
+            for key in sm.datastore.keys_with_prefix(prefix):
+                value = sm.datastore.get(key)
+                if not value:
+                    continue
+                primaries = [h for h, role in value if role == primary]
+                if len(primaries) > 1:
+                    report.violations.append(InvariantViolation(
+                        "consensus_journal_single_primary",
+                        f"{region}: journal entry {key} records "
+                        f"{len(primaries)} primaries: {sorted(primaries)}",
+                    ))
+
+    def _check_consensus_convergence(self, report: InvariantReport) -> None:
+        cluster = getattr(self._deployment, "metadata_cluster", None)
+        if cluster is None:
+            return
+        report.checks_run.append("consensus_converged")
+        leader = cluster.leader()
+        if leader is None:
+            report.violations.append(InvariantViolation(
+                "consensus_converged",
+                "no metadata leader after faults cleared",
+            ))
+            return
+        reference = cluster.replica(leader)
+        reference_state = cluster.machines[leader].snapshot()
+        for region in cluster.live_regions():
+            if not cluster.can_route(leader, region):
+                continue  # still partitioned off: not expected to converge
+            node = cluster.replica(region)
+            if node.commit_index != reference.commit_index:
+                report.violations.append(InvariantViolation(
+                    "consensus_converged",
+                    f"{region} commit index {node.commit_index} != "
+                    f"leader {leader} at {reference.commit_index}",
+                ))
+            if cluster.machines[region].snapshot() != reference_state:
+                report.violations.append(InvariantViolation(
+                    "consensus_converged",
+                    f"{region} applied state diverges from leader {leader}",
+                ))
+
+    # ------------------------------------------------------------------
     # Convergence (valid once faults cleared and recovery settled)
     # ------------------------------------------------------------------
 
@@ -182,6 +312,7 @@ class InvariantChecker:
         )
         self._check_replicas_converged(report)
         self._check_no_orphan_shards(report)
+        self._check_consensus_convergence(report)
         self._emit(report)
         return report
 

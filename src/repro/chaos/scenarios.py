@@ -51,6 +51,10 @@ class Scenario:
     name: str
     description: str
     build: Callable[["CubrickDeployment", float], FaultSchedule]
+    # Run on a consensus-replicated-metadata deployment (repro.consensus):
+    # the consensus safety invariants activate and the faults may target
+    # the metadata plane itself.
+    replicated: bool = False
 
 
 @dataclass
@@ -222,6 +226,27 @@ def _build_scale_in_crash(deployment, t0: float) -> FaultSchedule:
     return schedule
 
 
+def _build_metadata_leader_crash(deployment, t0: float) -> FaultSchedule:
+    # Kill the bootstrap metadata leader, let a successor win, then kill
+    # the successor's region too: two elections back to back, with the
+    # consensus safety invariants (single leader per term, no committed
+    # loss) checked after each.
+    schedule = FaultSchedule()
+    schedule.leader_crash(t0, "region0", duration=60.0)
+    schedule.leader_crash(t0 + 90.0, "region1", duration=60.0)
+    return schedule
+
+
+def _build_asymmetric_partition(deployment, t0: float) -> FaultSchedule:
+    # Half-open link: region0's messages to region1 vanish while
+    # region1 → region0 still delivers. Queries keep flowing (no region
+    # is down); the metadata plane must replicate around the cut and
+    # catch region1 up after the heal event.
+    return FaultSchedule().asymmetric_partition(
+        t0, "region0", "region1", duration=120.0
+    )
+
+
 def _build_overload_storm(deployment, t0: float) -> FaultSchedule:
     # Overload is the fault: cap the admission window at a realistic
     # serving rate, then storm the front door at ~2.5x that rate. The
@@ -292,6 +317,20 @@ SCENARIOS: dict[str, Scenario] = {
             "a 2.5x-saturation query storm against a capped admission window",
             _build_overload_storm,
         ),
+        Scenario(
+            "metadata-leader-crash",
+            "the consensus metadata leader crashes twice; elections re-form "
+            "a quorum without losing a committed entry",
+            _build_metadata_leader_crash,
+            replicated=True,
+        ),
+        Scenario(
+            "asymmetric-partition",
+            "a one-way region0->region1 link cut; replication routes "
+            "around it and catches up after the heal",
+            _build_asymmetric_partition,
+            replicated=True,
+        ),
     )
 }
 
@@ -318,12 +357,14 @@ def _make_rows(schema, count: int, seed: int) -> list[dict]:
     return rows
 
 
-def build_chaos_deployment(seed: int):
+def build_chaos_deployment(seed: int, *, replicated: bool = False):
     """A small, loaded three-region deployment for chaos runs.
 
     Returns ``(deployment, expected_total)`` where ``expected_total`` is
     the ground-truth ``sum(clicks)`` computed from the loaded rows —
     independent of the query path being chaos-tested.
+    ``replicated=True`` puts the shard maps in the consensus-replicated
+    metadata store (home region region0).
     """
     from repro.core.deployment import CubrickDeployment, DeploymentConfig
     from repro.cubrick.schema import Dimension, Metric, TableSchema
@@ -335,6 +376,8 @@ def build_chaos_deployment(seed: int):
             racks_per_region=2,
             hosts_per_rack=3,
             max_shards=10_000,
+            replicated_metadata=replicated,
+            home_region="region0" if replicated else None,
         )
     )
     schema = TableSchema.build(
@@ -416,7 +459,9 @@ def run_scenario(
     if policy is None:
         policy = ResiliencePolicy.resilient()
 
-    deployment, expected_total = build_chaos_deployment(seed)
+    deployment, expected_total = build_chaos_deployment(
+        seed, replicated=scenario.replicated
+    )
     report = ChaosReport(scenario=name, seed=seed)
     checker = InvariantChecker(deployment)
     injector = ChaosInjector(deployment)

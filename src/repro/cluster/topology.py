@@ -40,6 +40,11 @@ class Cluster:
         self._hosts: dict[str, Host] = {}
         self._racks: dict[str, Rack] = {}
         self._regions: dict[str, Region] = {}
+        # Directional inter-region links that are currently cut. A pair
+        # (src, dst) here means traffic *from* src *to* dst is dropped;
+        # the reverse direction is tracked independently, which is what
+        # makes asymmetric partitions expressible.
+        self._region_links_down: set[tuple[str, str]] = set()
 
     # ------------------------------------------------------------------
     # Construction
@@ -167,3 +172,38 @@ class Cluster:
     def set_region_available(self, region: str, available: bool) -> None:
         """Drain or restore an entire region (disaster exercise, code push)."""
         self.region(region).available = available
+
+    # ------------------------------------------------------------------
+    # Inter-region links (consensus / replication plane)
+    # ------------------------------------------------------------------
+
+    def set_region_link(self, src: str, dst: str, up: bool) -> None:
+        """Cut or restore the directional link ``src → dst``."""
+        self.region(src)
+        self.region(dst)
+        if up:
+            self._region_links_down.discard((src, dst))
+        else:
+            self._region_links_down.add((src, dst))
+
+    def region_link_up(self, src: str, dst: str) -> bool:
+        """Can traffic currently flow from ``src`` to ``dst``?"""
+        return (src, dst) not in self._region_links_down
+
+    def isolate_region(self, region: str) -> None:
+        """Cut both directions of every link touching ``region``."""
+        for other in self._regions:
+            if other != region:
+                self.set_region_link(region, other, False)
+                self.set_region_link(other, region, False)
+
+    def rejoin_region(self, region: str) -> None:
+        """Restore every link touching ``region``."""
+        for other in self._regions:
+            if other != region:
+                self.set_region_link(region, other, True)
+                self.set_region_link(other, region, True)
+
+    def cut_region_links(self) -> list[tuple[str, str]]:
+        """Currently-cut directional links, sorted (for reports)."""
+        return sorted(self._region_links_down)

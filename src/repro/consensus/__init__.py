@@ -1,0 +1,61 @@
+"""Consensus-replicated metadata: a Raft-style log on the DES clock.
+
+The paper's fleet spans three regions; this package gives the shard-map
+metadata the availability story that deployment implies. One replica
+per region runs a Raft-style protocol (seeded randomized elections,
+majority-quorum commit, term-checked leadership, snapshot + log
+compaction) over a partitionable directional-link transport, and
+:class:`ReplicatedDatastore` exposes the familiar Datastore interface
+on top — writes through the log, leased or quorum reads, region-local
+sessions. Everything runs on the simulated clock, so seeded runs are
+byte-identical and chaos faults (region partitions, leader crashes)
+compose with the rest of the harness.
+"""
+
+from repro.consensus.group import KvStateMachine, MetadataCluster
+from repro.consensus.log import LogEntry, RaftLog
+from repro.consensus.node import (
+    CANDIDATE,
+    ELECTION_TIMEOUT,
+    FOLLOWER,
+    HEARTBEAT_INTERVAL,
+    LEADER,
+    LEASE_DURATION,
+    RaftNode,
+)
+from repro.consensus.store import ReplicatedDatastore
+from repro.consensus.transport import (
+    MESSAGE_DELAY,
+    AppendEntries,
+    AppendEntriesReply,
+    InstallSnapshot,
+    InstallSnapshotReply,
+    Message,
+    RequestVote,
+    RequestVoteReply,
+    Transport,
+)
+
+__all__ = [
+    "AppendEntries",
+    "AppendEntriesReply",
+    "CANDIDATE",
+    "ELECTION_TIMEOUT",
+    "FOLLOWER",
+    "HEARTBEAT_INTERVAL",
+    "InstallSnapshot",
+    "InstallSnapshotReply",
+    "KvStateMachine",
+    "LEADER",
+    "LEASE_DURATION",
+    "LogEntry",
+    "MESSAGE_DELAY",
+    "Message",
+    "MetadataCluster",
+    "RaftLog",
+    "RaftNode",
+    "ReplicatedDatastore",
+    "RequestVote",
+    "RequestVoteReply",
+    "Transport",
+]

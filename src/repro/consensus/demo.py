@@ -1,0 +1,368 @@
+"""The region-failure experiment: consensus metadata + cross-region reads.
+
+Two deployments ride the same traffic timeline and the same fault — a
+full partition of the client's home region mid-traffic:
+
+- **managed** — three regions with the consensus-replicated metadata
+  plane (:class:`~repro.consensus.MetadataCluster`) and the proxy's
+  home-region preference. When the home region partitions away, queries
+  fail over to replica regions, the metadata quorum elects a new leader
+  among the survivors, and the windowed success ratio never dips below
+  the SLA.
+- **baseline** — the same system squeezed into a single region. The
+  partition takes its only region away; every query in the window fails
+  and the success ratio flatlines until the heal.
+
+Both arms are pure functions of the seed: identical seeds render
+byte-identical reports (the CI determinism gate diffs two runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chaos.faults import ChaosInjector, FaultSchedule
+from repro.chaos.invariants import InvariantChecker
+from repro.core.deployment import CubrickDeployment, DeploymentConfig
+from repro.cubrick.query import AggFunc, Aggregation, Query
+from repro.cubrick.schema import Dimension, Metric, TableSchema
+from repro.errors import (
+    ConfigurationError,
+    QueryFailedError,
+    RegionUnavailableError,
+)
+
+#: The windowed success SLA the managed arm must hold through the fault.
+SLA = 0.99
+#: Success-ratio window width (seconds of virtual time).
+WINDOW = 30.0
+#: Virtual time both arms settle before traffic starts (bootstrap
+#: election, SM heartbeats, first maintenance pass).
+WARMUP = 30.0
+#: Virtual time after traffic ends for catch-up replication to settle
+#: before the convergence invariants are checked.
+SETTLE = 120.0
+
+
+@dataclass
+class WindowStats:
+    """One success-ratio window of one arm."""
+
+    index: int
+    start: float
+    queries: int = 0
+    succeeded: int = 0
+    partitioned: bool = False  # overlaps the injected partition
+
+    @property
+    def success_ratio(self) -> float:
+        return self.succeeded / self.queries if self.queries else 1.0
+
+
+@dataclass
+class RegionFailReport:
+    """Deterministically renderable outcome of one regionfail run."""
+
+    seed: int
+    sla: float
+    window: float
+    partition_start: float  # absolute virtual time
+    partition_duration: float
+    home_region: str = "region0"
+    managed_windows: list[WindowStats] = field(default_factory=list)
+    baseline_windows: list[WindowStats] = field(default_factory=list)
+    leader_timeline: list[str] = field(default_factory=list)
+    invariant_lines: list[str] = field(default_factory=list)
+    invariants_ok: bool = True
+    cross_region_served: int = 0
+    elections_won: int = 0
+    log_commits: int = 0
+    parked_writes: int = 0
+    quorum_read_fallbacks: int = 0
+
+    @staticmethod
+    def _min_window(windows: list[WindowStats]) -> float:
+        ratios = [w.success_ratio for w in windows if w.queries]
+        return min(ratios) if ratios else 1.0
+
+    @property
+    def managed_min_window(self) -> float:
+        return self._min_window(self.managed_windows)
+
+    @property
+    def baseline_min_window(self) -> float:
+        return self._min_window(self.baseline_windows)
+
+    @property
+    def sla_met(self) -> bool:
+        return self.managed_min_window >= self.sla
+
+    @property
+    def baseline_collapsed(self) -> bool:
+        return self.baseline_min_window < self.sla
+
+    @property
+    def ok(self) -> bool:
+        return self.sla_met and self.baseline_collapsed and self.invariants_ok
+
+    def _window_lines(self, windows: list[WindowStats]) -> list[str]:
+        lines = []
+        for w in windows:
+            flag = " [partitioned]" if w.partitioned else ""
+            lines.append(
+                f"    window {w.index:2d} [t={w.start:7.1f}] "
+                f"success={w.success_ratio:.4f} "
+                f"({w.succeeded}/{w.queries}){flag}"
+            )
+        return lines
+
+    def render(self) -> str:
+        lines = [
+            f"regionfail experiment: seed={self.seed}",
+            f"  sla={self.sla:.2f} window={self.window:.0f}s "
+            f"partition=[{self.partition_start:.1f},"
+            f"{self.partition_start + self.partition_duration:.1f}) "
+            f"region={self.home_region}",
+            f"  managed (3 regions, consensus metadata, "
+            f"home={self.home_region}):",
+        ]
+        lines.extend(self._window_lines(self.managed_windows))
+        lines.append(
+            f"  managed: min-window={self.managed_min_window:.4f} "
+            f"cross_region={self.cross_region_served} "
+            f"elections_won={self.elections_won} "
+            f"commits={self.log_commits} "
+            f"parked_writes={self.parked_writes} "
+            f"quorum_fallbacks={self.quorum_read_fallbacks}"
+        )
+        lines.append("  metadata leader timeline:")
+        for entry in self.leader_timeline:
+            lines.append(f"    {entry}")
+        lines.append("  invariants:")
+        lines.extend(f"    {line}" for line in self.invariant_lines)
+        lines.append("  baseline (1 region):")
+        lines.extend(self._window_lines(self.baseline_windows))
+        lines.append(f"  baseline: min-window={self.baseline_min_window:.4f}")
+        managed_verdict = "SLA HELD" if self.sla_met else "SLA BROKEN"
+        baseline_verdict = (
+            "COLLAPSED" if self.baseline_collapsed else "survived"
+        )
+        lines.append(
+            f"  verdict: managed {managed_verdict} at "
+            f"{self.managed_min_window:.4f}; baseline {baseline_verdict} at "
+            f"{self.baseline_min_window:.4f}; invariants "
+            f"{'PASS' if self.invariants_ok else 'FAIL'}"
+        )
+        return "\n".join(lines) + "\n"
+
+
+_SCHEMA = TableSchema.build(
+    "events",
+    dimensions=[Dimension("day", 30, range_size=7)],
+    metrics=[Metric("clicks")],
+)
+
+
+def _rows(seed: int, count: int) -> list[dict[str, float]]:
+    rng = np.random.default_rng((seed, 1))
+    return [
+        {"day": int(rng.integers(30)), "clicks": float(rng.integers(1, 100))}
+        for __ in range(count)
+    ]
+
+
+def _build(seed: int, *, regions: int, replicated: bool) -> CubrickDeployment:
+    deployment = CubrickDeployment(
+        DeploymentConfig(
+            seed=seed,
+            regions=regions,
+            racks_per_region=2,
+            hosts_per_rack=2,
+            max_shards=10_000,
+            replicated_metadata=replicated,
+            home_region="region0",
+        )
+    )
+    deployment.create_table(_SCHEMA, num_partitions=3)
+    deployment.load("events", _rows(seed, 300))
+    return deployment
+
+
+def _run_traffic(
+    deployment: CubrickDeployment,
+    *,
+    start: float,
+    duration: float,
+    queries: int,
+    partition_at: float,
+    partition_duration: float,
+) -> list[WindowStats]:
+    """Submit evenly spaced queries; bucket outcomes into windows."""
+    query = Query.build("events", [Aggregation(AggFunc.SUM, "clicks")])
+    count = int(np.ceil(duration / WINDOW))
+    windows = [
+        WindowStats(index=i, start=start + i * WINDOW) for i in range(count)
+    ]
+    for w in windows:
+        w.partitioned = (
+            w.start < partition_at + partition_duration
+            and w.start + WINDOW > partition_at
+        )
+
+    def submit_one() -> None:
+        now = deployment.simulator.now
+        index = min(int((now - start) / WINDOW), count - 1)
+        windows[index].queries += 1
+        try:
+            deployment.proxy.submit(query)
+        except (QueryFailedError, RegionUnavailableError):
+            pass
+        else:
+            windows[index].succeeded += 1
+
+    spacing = duration / (queries + 1)
+    for i in range(queries):
+        deployment.simulator.call_later(
+            start + (i + 1) * spacing - deployment.simulator.now, submit_one
+        )
+    return windows
+
+
+def _sum_counter(deployment: CubrickDeployment, name: str,
+                 label: str, values: list[str]) -> int:
+    metrics = deployment.obs.metrics
+    return int(sum(
+        metrics.counter(name, **{label: value}).value for value in values
+    ))
+
+
+def _run_managed(
+    seed: int, report: RegionFailReport,
+    *, duration: float, queries: int,
+) -> None:
+    deployment = _build(seed, regions=3, replicated=True)
+    horizon = WARMUP + duration + SETTLE
+    deployment.start_background_maintenance(
+        collect_interval=30.0, balance_interval=60.0, until=horizon
+    )
+    checker = InvariantChecker(deployment)
+    injector = ChaosInjector(deployment)
+    schedule = FaultSchedule().network_partition(
+        report.partition_start, report.home_region,
+        duration=report.partition_duration,
+    )
+    injector.install(schedule)
+    deployment.simulator.run_until(WARMUP)
+    report.managed_windows = _run_traffic(
+        deployment,
+        start=WARMUP, duration=duration, queries=queries,
+        partition_at=report.partition_start,
+        partition_duration=report.partition_duration,
+    )
+
+    invariants = []
+    mid = report.partition_start + report.partition_duration / 2.0
+    heal = report.partition_start + report.partition_duration
+    deployment.simulator.run_until(mid)
+    invariants.append(checker.check_safety(label="mid-partition"))
+    deployment.simulator.run_until(heal + 5.0)
+    invariants.append(checker.check_safety(label="after-heal"))
+    deployment.simulator.run_until(WARMUP + duration + SETTLE)
+    invariants.append(checker.check_all(label="converged"))
+
+    report.invariant_lines = [
+        line for inv in invariants for line in inv.render().splitlines()
+    ]
+    report.invariants_ok = all(inv.ok for inv in invariants)
+
+    cluster = deployment.metadata_cluster
+    report.leader_timeline = [
+        f"term {term}: {', '.join(sorted(winners))}"
+        for term, winners in sorted(cluster.leader_history().items())
+    ]
+    regions = deployment.region_names()
+    report.cross_region_served = int(
+        deployment.obs.metrics.counter(
+            "cubrick.proxy.cross_region_served"
+        ).value
+    )
+    report.elections_won = _sum_counter(
+        deployment, "consensus.elections.won", "replica", regions
+    )
+    report.log_commits = _sum_counter(
+        deployment, "consensus.log.commits", "replica", regions
+    )
+    report.parked_writes = _sum_counter(
+        deployment, "consensus.store.parked_writes", "region", regions
+    )
+    report.quorum_read_fallbacks = _sum_counter(
+        deployment, "consensus.quorum_read_fallbacks", "region", regions
+    )
+
+
+def _run_baseline(
+    seed: int, report: RegionFailReport,
+    *, duration: float, queries: int,
+) -> None:
+    """One region, no failover path: the partition takes everything."""
+    deployment = _build(seed, regions=1, replicated=False)
+    horizon = WARMUP + duration + SETTLE
+    deployment.start_background_maintenance(
+        collect_interval=30.0, balance_interval=60.0, until=horizon
+    )
+    injector = ChaosInjector(deployment)
+    schedule = FaultSchedule().network_partition(
+        report.partition_start, report.home_region,
+        duration=report.partition_duration,
+    )
+    injector.install(schedule)
+    deployment.simulator.run_until(WARMUP)
+    report.baseline_windows = _run_traffic(
+        deployment,
+        start=WARMUP, duration=duration, queries=queries,
+        partition_at=report.partition_start,
+        partition_duration=report.partition_duration,
+    )
+    deployment.simulator.run_until(WARMUP + duration + SETTLE)
+
+
+def run_regionfail_experiment(
+    seed: int = 0,
+    *,
+    duration: float = 600.0,
+    queries: int = 600,
+    partition_at: float = 150.0,
+    partition_duration: float = 240.0,
+) -> RegionFailReport:
+    """Run both arms of the region-failure experiment; return the report.
+
+    ``partition_at`` is relative to traffic start (after warm-up); the
+    partition must begin and end inside the traffic window so both the
+    failover and the recovery are measured.
+    """
+    if duration <= 0:
+        raise ConfigurationError(f"duration must be positive: {duration}")
+    if queries <= 0:
+        raise ConfigurationError(f"queries must be positive: {queries}")
+    if not 0 < partition_at < duration:
+        raise ConfigurationError(
+            f"partition_at must fall inside (0, {duration}): {partition_at}"
+        )
+    if partition_duration <= 0 or partition_at + partition_duration >= duration:
+        raise ConfigurationError(
+            f"partition [{partition_at}, "
+            f"{partition_at + partition_duration}) must end before "
+            f"traffic does ({duration})"
+        )
+    report = RegionFailReport(
+        seed=seed,
+        sla=SLA,
+        window=WINDOW,
+        partition_start=WARMUP + partition_at,
+        partition_duration=partition_duration,
+    )
+    _run_managed(seed, report, duration=duration, queries=queries)
+    _run_baseline(seed, report, duration=duration, queries=queries)
+    return report

@@ -1,0 +1,531 @@
+"""One consensus replica: Raft roles, elections, replication, leases.
+
+Each region runs one :class:`RaftNode` on the shared DES clock. The
+protocol is Raft as published: randomized election timeouts (drawn from
+a seeded per-replica RNG stream, so elections are deterministic for a
+given seed), term-checked RequestVote/AppendEntries, majority-quorum
+commit with the leader-term restriction (§5.4.2 — a leader only counts
+replicas for entries of its own term), a no-op entry appended on
+election so the new leader's commit index advances immediately, and
+snapshot shipping for followers that fell behind the compaction
+horizon.
+
+Two things are deliberately simulation-grade:
+
+* **Leader leases** gate local reads: the leader serves a read from its
+  applied state only while a majority acked an AppendEntries within
+  ``lease_duration`` (< minimum election timeout, so a deposed leader's
+  lease always expires before a successor can win).
+* **Crash/restart** models a process loss: volatile state (role, vote
+  tallies, commit index) resets; the persistent state (term, vote, log,
+  snapshot) survives, exactly the durability contract of Raft's stable
+  storage.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.obs import Observability
+from repro.sim.engine import Simulator
+
+from repro.consensus.log import LogEntry, RaftLog
+from repro.consensus.transport import (
+    AppendEntries,
+    AppendEntriesReply,
+    InstallSnapshot,
+    InstallSnapshotReply,
+    Message,
+    RequestVote,
+    RequestVoteReply,
+    Transport,
+)
+
+HEARTBEAT_INTERVAL = 1.0
+ELECTION_TIMEOUT = (3.0, 6.0)
+#: Leader lease must expire before any successor can be elected.
+LEASE_DURATION = 2.5
+#: Compact once this many applied entries are retained in the log.
+COMPACTION_THRESHOLD = 64
+#: Max entries shipped per AppendEntries (bounds catch-up burst size).
+MAX_BATCH = 50
+
+FOLLOWER = "follower"
+CANDIDATE = "candidate"
+LEADER = "leader"
+
+
+class RaftNode:
+    """A single replica of the replicated metadata log."""
+
+    def __init__(
+        self,
+        node_id: str,
+        peers: list[str],
+        simulator: Simulator,
+        transport: Transport,
+        rng: np.random.Generator,
+        *,
+        apply_fn: Callable[[LogEntry], None],
+        snapshot_fn: Callable[[], object],
+        install_fn: Callable[[object], None],
+        obs: Optional[Observability] = None,
+        heartbeat_interval: float = HEARTBEAT_INTERVAL,
+        election_timeout: tuple[float, float] = ELECTION_TIMEOUT,
+        lease_duration: float = LEASE_DURATION,
+        compaction_threshold: int = COMPACTION_THRESHOLD,
+        first_timeout: Optional[float] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.peers = sorted(p for p in peers if p != node_id)
+        self.majority = (len(self.peers) + 1) // 2 + 1
+        self._simulator = simulator
+        self._transport = transport
+        self._rng = rng
+        self._apply_fn = apply_fn
+        self._snapshot_fn = snapshot_fn
+        self._install_fn = install_fn
+        self.obs = obs if obs is not None else Observability()
+        self._heartbeat_interval = heartbeat_interval
+        self._election_timeout = election_timeout
+        self.lease_duration = lease_duration
+        self._compaction_threshold = compaction_threshold
+        self._first_timeout = first_timeout
+
+        # Persistent state (survives crash/restart).
+        self.current_term = 0
+        self.voted_for: Optional[str] = None
+        self.log = RaftLog()
+
+        # Volatile state.
+        self.role = FOLLOWER
+        self.leader_hint: Optional[str] = None
+        self.commit_index = 0
+        self.last_applied = 0
+        self.crashed = False
+        self._votes: set[str] = set()
+        self._next_index: dict[str, int] = {}
+        self._match_index: dict[str, int] = {}
+        self._ack_times: dict[str, float] = {}
+        self._election_event = None
+        self._heartbeat_event = None
+
+        # Safety bookkeeping surfaced to the invariant checker.
+        self.commit_regressions = 0
+        self.terms_won: list[int] = []
+
+        transport.register(node_id, self.handle)
+        labels = {"replica": node_id}
+        metrics = self.obs.metrics
+        self._appends_counter = metrics.counter("consensus.log.appends", **labels)
+        self._commits_counter = metrics.counter("consensus.log.commits", **labels)
+        self._elections_counter = metrics.counter(
+            "consensus.elections.started", **labels
+        )
+        self._wins_counter = metrics.counter("consensus.elections.won", **labels)
+        self._term_counter = metrics.counter("consensus.term_changes", **labels)
+        self._snapshot_counter = metrics.counter(
+            "consensus.snapshots.installed", **labels
+        )
+        self._compactions_counter = metrics.counter(
+            "consensus.log.compactions", **labels
+        )
+        self._reset_election_timer(first=True)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+
+    def _draw_timeout(self) -> float:
+        lo, hi = self._election_timeout
+        return float(self._rng.uniform(lo, hi))
+
+    def _reset_election_timer(self, *, first: bool = False) -> None:
+        if self._election_event is not None:
+            self._election_event.cancel()
+        if first and self._first_timeout is not None:
+            timeout = self._first_timeout
+        else:
+            timeout = self._draw_timeout()
+        self._election_event = self._simulator.call_later(
+            timeout, self._on_election_timeout
+        )
+
+    def _stop_heartbeat(self) -> None:
+        if self._heartbeat_event is not None:
+            self._heartbeat_event.cancel()
+            self._heartbeat_event = None
+
+    def _on_election_timeout(self) -> None:
+        if self.crashed or self.role == LEADER:
+            return
+        self._start_election()
+
+    def _heartbeat_tick(self) -> None:
+        if self.crashed or self.role != LEADER:
+            return
+        self._broadcast_entries()
+        self._heartbeat_event = self._simulator.call_later(
+            self._heartbeat_interval, self._heartbeat_tick
+        )
+
+    # ------------------------------------------------------------------
+    # Role transitions
+    # ------------------------------------------------------------------
+
+    def _bump_term(self, term: int) -> None:
+        if term > self.current_term:
+            self.current_term = term
+            self.voted_for = None
+            self._term_counter.inc()
+            self.obs.events.emit(
+                "consensus.term_change", replica=self.node_id, term=term
+            )
+
+    def _step_down(self, term: int) -> None:
+        self._bump_term(term)
+        if self.role != FOLLOWER:
+            self.role = FOLLOWER
+            self._stop_heartbeat()
+        self._votes.clear()
+        self._reset_election_timer()
+
+    def _start_election(self) -> None:
+        self.role = CANDIDATE
+        self._bump_term(self.current_term + 1)
+        self.voted_for = self.node_id
+        self._votes = {self.node_id}
+        self.leader_hint = None
+        self._elections_counter.inc()
+        self.obs.events.emit(
+            "consensus.election.started",
+            replica=self.node_id,
+            term=self.current_term,
+        )
+        self._reset_election_timer()
+        if self.majority == 1:
+            self._become_leader()
+            return
+        for peer in self.peers:
+            self._transport.send(RequestVote(
+                src=self.node_id,
+                dst=peer,
+                term=self.current_term,
+                last_log_index=self.log.last_index,
+                last_log_term=self.log.last_term,
+            ))
+
+    def _become_leader(self) -> None:
+        self.role = LEADER
+        self.leader_hint = self.node_id
+        self.terms_won.append(self.current_term)
+        self._wins_counter.inc()
+        self.obs.events.emit(
+            "consensus.election.won",
+            replica=self.node_id,
+            term=self.current_term,
+        )
+        next_index = self.log.last_index + 1
+        self._next_index = {p: next_index for p in self.peers}
+        self._match_index = {p: 0 for p in self.peers}
+        self._ack_times = {}
+        # The no-op commits the new leader's term immediately (§5.4.2:
+        # entries from prior terms only commit transitively through it).
+        self.log.append_new(self.current_term, ("noop",))
+        self._appends_counter.inc()
+        self._advance_commit()
+        self._broadcast_entries()
+        self._stop_heartbeat()
+        self._heartbeat_event = self._simulator.call_later(
+            self._heartbeat_interval, self._heartbeat_tick
+        )
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+
+    def propose(self, command: tuple) -> Optional[int]:
+        """Append ``command`` if leader; returns its log index, else None."""
+        if self.crashed or self.role != LEADER:
+            return None
+        entry = self.log.append_new(self.current_term, command)
+        self._appends_counter.inc()
+        self._advance_commit()  # single-replica groups commit instantly
+        self._broadcast_entries()
+        return entry.index
+
+    def has_lease(self, now: float) -> bool:
+        """Can this leader serve a local read without a quorum round-trip?"""
+        if self.crashed or self.role != LEADER:
+            return False
+        if self.majority == 1:
+            return True
+        acks = sorted(
+            (self._ack_times.get(p, -float("inf")) for p in self.peers),
+            reverse=True,
+        )
+        # Self counts as one ack "now"; the (majority-1)-th freshest peer
+        # ack closes the quorum.
+        quorum_ack = acks[self.majority - 2]
+        return now - quorum_ack <= self.lease_duration
+
+    def crash(self) -> None:
+        """Lose the process: volatile state gone, persistent state kept."""
+        self.crashed = True
+        self.role = FOLLOWER
+        self.leader_hint = None
+        self._votes.clear()
+        self._next_index = {}
+        self._match_index = {}
+        self._ack_times = {}
+        self._stop_heartbeat()
+        if self._election_event is not None:
+            self._election_event.cancel()
+            self._election_event = None
+
+    def restart(self) -> None:
+        """Come back as a follower; state machine resets to the snapshot
+        and re-applies as the commit index re-advances."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.role = FOLLOWER
+        self.commit_index = self.log.snapshot_index
+        self.last_applied = self.log.snapshot_index
+        self._install_fn(self.log.snapshot_state)
+        self._reset_election_timer()
+
+    # ------------------------------------------------------------------
+    # Replication (leader side)
+    # ------------------------------------------------------------------
+
+    def _broadcast_entries(self) -> None:
+        for peer in self.peers:
+            self._replicate_to(peer)
+
+    def _replicate_to(self, peer: str) -> None:
+        next_index = self._next_index.get(peer, self.log.last_index + 1)
+        if next_index <= self.log.snapshot_index:
+            self._transport.send(InstallSnapshot(
+                src=self.node_id,
+                dst=peer,
+                term=self.current_term,
+                snapshot_index=self.log.snapshot_index,
+                snapshot_term=self.log.snapshot_term,
+                snapshot_state=self.log.snapshot_state,
+            ))
+            return
+        prev_index = next_index - 1
+        prev_term = self.log.term_at(prev_index) or 0
+        entries = tuple(self.log.entries_from(next_index)[:MAX_BATCH])
+        self._transport.send(AppendEntries(
+            src=self.node_id,
+            dst=peer,
+            term=self.current_term,
+            prev_log_index=prev_index,
+            prev_log_term=prev_term,
+            entries=entries,
+            leader_commit=self.commit_index,
+        ))
+
+    def _advance_commit(self) -> None:
+        """Commit the highest current-term index a majority stores."""
+        new_commit = self.commit_index
+        for index in range(self.commit_index + 1, self.log.last_index + 1):
+            if self.log.term_at(index) != self.current_term:
+                continue
+            stored = 1 + sum(
+                1 for p in self.peers if self._match_index.get(p, 0) >= index
+            )
+            if stored >= self.majority:
+                new_commit = index
+        if new_commit > self.commit_index:
+            self._set_commit(new_commit)
+
+    def _set_commit(self, commit: int) -> None:
+        if commit < self.commit_index:
+            # Never regress; count the attempt for the invariant checker.
+            self.commit_regressions += 1
+            return
+        self.commit_index = commit
+        self._apply_committed()
+
+    def _apply_committed(self) -> None:
+        while self.last_applied < self.commit_index:
+            index = self.last_applied + 1
+            if index <= self.log.snapshot_index:
+                # Covered by an installed snapshot; state already reset.
+                self.last_applied = self.log.snapshot_index
+                continue
+            entry = self.log.entry(index)
+            self._apply_fn(entry)
+            self.last_applied = index
+            self._commits_counter.inc()
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        retained = self.last_applied - self.log.snapshot_index
+        if retained >= self._compaction_threshold:
+            self.log.compact(self.last_applied, self._snapshot_fn())
+            self._compactions_counter.inc()
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+
+    def handle(self, message: Message) -> None:
+        if self.crashed:
+            return
+        if message.term > self.current_term:
+            self._step_down(message.term)
+        if isinstance(message, RequestVote):
+            self._on_request_vote(message)
+        elif isinstance(message, RequestVoteReply):
+            self._on_vote_reply(message)
+        elif isinstance(message, AppendEntries):
+            self._on_append_entries(message)
+        elif isinstance(message, AppendEntriesReply):
+            self._on_append_reply(message)
+        elif isinstance(message, InstallSnapshot):
+            self._on_install_snapshot(message)
+        elif isinstance(message, InstallSnapshotReply):
+            self._on_snapshot_reply(message)
+
+    def _log_up_to_date(self, message: RequestVote) -> bool:
+        if message.last_log_term != self.log.last_term:
+            return message.last_log_term > self.log.last_term
+        return message.last_log_index >= self.log.last_index
+
+    def _on_request_vote(self, message: RequestVote) -> None:
+        granted = (
+            message.term == self.current_term
+            and self.voted_for in (None, message.src)
+            and self._log_up_to_date(message)
+        )
+        if granted:
+            self.voted_for = message.src
+            self._reset_election_timer()
+        self._transport.send(RequestVoteReply(
+            src=self.node_id,
+            dst=message.src,
+            term=self.current_term,
+            granted=granted,
+        ))
+
+    def _on_vote_reply(self, message: RequestVoteReply) -> None:
+        if (
+            self.role != CANDIDATE
+            or message.term != self.current_term
+            or not message.granted
+        ):
+            return
+        self._votes.add(message.src)
+        if len(self._votes) >= self.majority:
+            self._become_leader()
+
+    def _on_append_entries(self, message: AppendEntries) -> None:
+        if message.term < self.current_term:
+            self._transport.send(AppendEntriesReply(
+                src=self.node_id,
+                dst=message.src,
+                term=self.current_term,
+                success=False,
+                match_index=0,
+            ))
+            return
+        # Valid leader for this term: follow it.
+        if self.role != FOLLOWER:
+            self._step_down(message.term)
+        self.leader_hint = message.src
+        self._reset_election_timer()
+
+        prev = message.prev_log_index
+        if prev > self.log.snapshot_index and self.log.term_at(prev) != message.prev_log_term:
+            # Log mismatch: ask the leader to back off. The hint is the
+            # highest index we could possibly match.
+            hint = min(prev - 1, self.log.last_index)
+            self._transport.send(AppendEntriesReply(
+                src=self.node_id,
+                dst=message.src,
+                term=self.current_term,
+                success=False,
+                match_index=max(hint, self.log.snapshot_index),
+            ))
+            return
+        self.log.overwrite_from(list(message.entries))
+        match = prev + len(message.entries)
+        match = max(match, self.log.snapshot_index)
+        if message.leader_commit > self.commit_index:
+            self._set_commit(min(message.leader_commit, match))
+        self._transport.send(AppendEntriesReply(
+            src=self.node_id,
+            dst=message.src,
+            term=self.current_term,
+            success=True,
+            match_index=match,
+        ))
+
+    def _on_append_reply(self, message: AppendEntriesReply) -> None:
+        if self.role != LEADER or message.term != self.current_term:
+            return
+        peer = message.src
+        if message.success:
+            self._ack_times[peer] = self._simulator.now
+            if message.match_index > self._match_index.get(peer, 0):
+                self._match_index[peer] = message.match_index
+            self._next_index[peer] = self._match_index[peer] + 1
+            self._advance_commit()
+            if self._next_index[peer] <= self.log.last_index:
+                self._replicate_to(peer)  # keep streaming the backlog
+        else:
+            current = self._next_index.get(peer, self.log.last_index + 1)
+            self._next_index[peer] = max(
+                1, min(current - 1, message.match_index + 1)
+            )
+            self._replicate_to(peer)
+
+    def _on_install_snapshot(self, message: InstallSnapshot) -> None:
+        if message.term < self.current_term:
+            return
+        if self.role != FOLLOWER:
+            self._step_down(message.term)
+        self.leader_hint = message.src
+        self._reset_election_timer()
+        if message.snapshot_index > self.log.snapshot_index:
+            self.log.install_snapshot(
+                message.snapshot_index,
+                message.snapshot_term,
+                message.snapshot_state,
+            )
+            self._install_fn(message.snapshot_state)
+            self.commit_index = max(self.commit_index, message.snapshot_index)
+            self.last_applied = message.snapshot_index
+            self._snapshot_counter.inc()
+            self._apply_committed()  # re-apply any retained suffix
+        self._transport.send(InstallSnapshotReply(
+            src=self.node_id,
+            dst=message.src,
+            term=self.current_term,
+            match_index=self.log.snapshot_index,
+        ))
+
+    def _on_snapshot_reply(self, message: InstallSnapshotReply) -> None:
+        if self.role != LEADER or message.term != self.current_term:
+            return
+        peer = message.src
+        self._ack_times[peer] = self._simulator.now
+        if message.match_index > self._match_index.get(peer, 0):
+            self._match_index[peer] = message.match_index
+        self._next_index[peer] = self._match_index[peer] + 1
+        self._advance_commit()
+        if self._next_index[peer] <= self.log.last_index:
+            self._replicate_to(peer)
+
+    def __repr__(self) -> str:
+        return (
+            f"RaftNode({self.node_id}, {self.role}, term={self.current_term}, "
+            f"commit={self.commit_index}, last={self.log.last_index}"
+            f"{', crashed' if self.crashed else ''})"
+        )

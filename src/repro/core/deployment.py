@@ -79,6 +79,15 @@ class DeploymentConfig:
     executor_slots_per_host: Optional[int] = None
     # Proxy result-cache entries; 0 disables caching (legacy behaviour).
     result_cache_capacity: int = 0
+    # Consensus-replicated metadata (repro.consensus): every region's SM
+    # stores its shard map in a Raft-replicated datastore instead of a
+    # process-local dict, so metadata survives a full region partition.
+    # Off by default: legacy deployments are byte-identical.
+    replicated_metadata: bool = False
+    # The region client traffic originates from: the proxy prefers it
+    # and fails over to replica regions when it is partitioned; the
+    # metadata cluster bootstraps its first leader there.
+    home_region: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.regions <= 0:
@@ -127,17 +136,47 @@ class CubrickDeployment:
             else None
         )
 
+        region_names = self.cluster.region_names()
+        if cfg.home_region is not None and cfg.home_region not in region_names:
+            raise ConfigurationError(
+                f"home_region {cfg.home_region!r} not in {region_names}"
+            )
+        # Optional consensus-backed metadata plane: one replica per
+        # region over the topology's directional region links, with the
+        # home region (or the first region) as the bootstrap leader.
+        self.metadata_cluster = None
+        if cfg.replicated_metadata:
+            from repro.consensus import MetadataCluster
+
+            self.metadata_cluster = MetadataCluster(
+                self.simulator,
+                region_names,
+                lambda r: self.rngs.stream(f"consensus:{r}"),
+                obs=self.obs,
+                link_up=self.cluster.region_link_up,
+                bootstrap_leader=cfg.home_region or region_names[0],
+            )
+
         self.sm_servers: dict[str, SMServer] = {}
         self.nodes: dict[str, CubrickNode] = {}
         coordinators: dict[str, RegionCoordinator] = {}
-        for region in self.cluster.region_names():
+        for region in region_names:
             spec = ServiceSpec(name=f"cubrick-{region}", max_shards=cfg.max_shards)
             discovery = ServiceDiscovery(
                 rng=self.rngs.stream(f"smc:{region}"), obs=self.obs
             )
+            datastore = None
+            if self.metadata_cluster is not None:
+                from repro.consensus import ReplicatedDatastore
+
+                datastore = ReplicatedDatastore(
+                    self.simulator, self.metadata_cluster, region,
+                    obs=self.obs,
+                )
             sm = SMServer(
                 spec, self.simulator, self.cluster,
-                region=region, discovery=discovery, obs=self.obs,
+                region=region, datastore=datastore,
+                discovery=discovery, obs=self.obs,
             )
             self.sm_servers[region] = sm
             for host in self.cluster.hosts_in_region(region):
@@ -164,6 +203,7 @@ class CubrickDeployment:
             sm.recovery_provider = self._make_recovery_provider(region)
         self.proxy = CubrickProxy(
             coordinators,
+            home_region=cfg.home_region,
             locator=CachedRandom(),
             rng=self.rngs.stream("proxy"),
             obs=self.obs,

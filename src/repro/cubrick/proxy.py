@@ -75,6 +75,7 @@ class CubrickProxy:
         coordinators: dict[str, RegionCoordinator],
         *,
         region_preference: Optional[list[str]] = None,
+        home_region: Optional[str] = None,
         locator: Optional[CoordinatorLocator] = None,
         max_qps: float = float("inf"),
         blacklist_ttl: float = 300.0,
@@ -89,6 +90,15 @@ class CubrickProxy:
         # pre-policy behaviour exactly: one attempt per candidate
         # region, no backoff, no per-hop timeout, no degradation.
         self.policy = policy if policy is not None else ResiliencePolicy.legacy()
+        if home_region is not None and home_region not in coordinators:
+            raise ConfigurationError(f"unknown home region: {home_region}")
+        self.home_region = home_region
+        if region_preference is None and home_region is not None:
+            # Client proximity: the home region serves first, replica
+            # regions are the cross-region failover path.
+            region_preference = [home_region] + sorted(
+                r for r in coordinators if r != home_region
+            )
         preference = region_preference or sorted(coordinators)
         unknown = set(preference) - set(coordinators)
         if unknown:
@@ -105,6 +115,9 @@ class CubrickProxy:
         self.query_log: list[QueryLogEntry] = []
         self.obs = obs if obs is not None else Observability()
         self._retry_counter = self.obs.metrics.counter("cubrick.proxy.retries")
+        self._cross_region_counter = self.obs.metrics.counter(
+            "cubrick.proxy.cross_region_served"
+        )
         self._latency_histogram = self.obs.metrics.histogram(
             "cubrick.proxy.latency_seconds", track_samples=True
         )
@@ -398,6 +411,17 @@ class CubrickProxy:
                 result.metadata.get("num_partitions", 0),
                 result.metadata.get("generation", 0),
             )
+            if self.home_region is not None and region != self.home_region:
+                # Served by a replica region — the cross-region failover
+                # path the multi-region deployment exists for.
+                self._cross_region_counter.inc()
+                if self.home_region not in regions:
+                    self.obs.events.emit(
+                        "cubrick.proxy.cross_region_failover",
+                        table=query.table,
+                        home=self.home_region,
+                        served_by=region,
+                    )
             self.query_log.append(
                 QueryLogEntry(
                     time=now,

@@ -155,3 +155,11 @@ class AdmissionControlError(CubrickError):
 
 class RegionUnavailableError(CubrickError):
     """No region can currently serve the query's tables."""
+
+
+class ConsensusError(ReproError):
+    """Base class for replicated metadata-log failures."""
+
+
+class QuorumUnavailableError(ConsensusError):
+    """A quorum read/write could not reach a majority of replicas."""

@@ -58,6 +58,24 @@ class SMClient:
             raise ShardMappingUnknownError(f"shard {shard_id} is unassigned")
         return host_id
 
+    def shard_map(self) -> dict[int, list[tuple[str, str]]]:
+        """The journaled shard map read through the metadata plane.
+
+        Served from the SM's datastore — when that is the
+        consensus-replicated store, this read survives the loss of the
+        SM server's own memory (leased/quorum semantics apply). Maps
+        shard id → ``[(host_id, role), ...]``.
+        """
+        datastore = self._server.datastore
+        prefix = self._server._shardmap_prefix
+        shard_map: dict[int, list[tuple[str, str]]] = {}
+        for key in datastore.keys_with_prefix(prefix):
+            value = datastore.get(key)
+            if value:
+                shard_id = int(key.rsplit("/", 1)[1])
+                shard_map[shard_id] = [tuple(pair) for pair in value]
+        return shard_map
+
     def request(
         self,
         shard_id: int,

@@ -146,6 +146,78 @@ class SMServer:
         self.datastore.watch_sessions(self._on_session_expired)
 
     # ------------------------------------------------------------------
+    # Shard-map persistence (journal into the datastore)
+    # ------------------------------------------------------------------
+    #
+    # Every authoritative shard-map mutation is journaled under
+    # ``shardmap/<region>/<shard>`` so a replacement SM instance — or a
+    # region rejoining after a partition, when the datastore is the
+    # consensus-replicated store — can rebuild its assignment table
+    # instead of starting blind. Writes are fire-and-forget (the
+    # in-memory ``_shards`` stays authoritative for the live instance);
+    # reads happen only in :meth:`rebuild_shard_map`.
+
+    @property
+    def _shardmap_prefix(self) -> str:
+        return f"shardmap/{self.region if self.region is not None else 'all'}/"
+
+    def _persist_shard(self, entry: ShardEntry) -> None:
+        self.datastore.set(
+            f"{self._shardmap_prefix}{entry.shard_id:06d}",
+            tuple((r.host_id, r.role.value) for r in entry.replicas),
+        )
+
+    def _unpersist_shard(self, shard_id: int) -> None:
+        self.datastore.delete(f"{self._shardmap_prefix}{shard_id:06d}")
+
+    def rebuild_shard_map(self) -> int:
+        """Rebuild the assignment table from the journaled shard map.
+
+        The recovery path of an SM failover (and of a region rejoining
+        the metadata quorum): every journaled shard that is missing or
+        divergent in memory is restored and its primary republished to
+        service discovery. Returns the number of shards restored.
+        """
+        restored = 0
+        now = self.simulator.now
+        for key in self.datastore.keys_with_prefix(self._shardmap_prefix):
+            value = self.datastore.get(key)
+            if not value:
+                continue
+            shard_id = int(key.rsplit("/", 1)[1])
+            replicas = [
+                Replica(host_id=host_id, role=ReplicaRole(role))
+                for host_id, role in value
+            ]
+            entry = self._shards.get(shard_id)
+            if entry is None:
+                entry = ShardEntry(shard_id=shard_id, replicas=replicas)
+                self._shards[shard_id] = entry
+            elif [(r.host_id, r.role) for r in entry.replicas] == [
+                (r.host_id, r.role) for r in replicas
+            ]:
+                continue  # memory already matches the journal
+            else:
+                entry.replicas = replicas
+            for replica in replicas:
+                self._host_shards.setdefault(replica.host_id, set()).add(
+                    shard_id
+                )
+            primary = entry.primary() or (
+                entry.replicas[0] if entry.replicas else None
+            )
+            if primary is not None:
+                self.discovery.publish(shard_id, primary.host_id, now)
+            restored += 1
+        if restored:
+            self.obs.events.emit(
+                "shardmanager.server.shard_map_rebuilt",
+                region=str(self.region),
+                restored=restored,
+            )
+        return restored
+
+    # ------------------------------------------------------------------
     # Host registration and heartbeats
     # ------------------------------------------------------------------
 
@@ -276,6 +348,7 @@ class SMServer:
             self._shards[shard_id] = entry
             primary = entry.primary() or entry.replicas[0]
             self.discovery.publish(shard_id, primary.host_id, self.simulator.now)
+            self._persist_shard(entry)
             self._shards_created_counter.inc()
             span.annotate(
                 replicas=[r.host_id for r in entry.replicas],
@@ -344,6 +417,7 @@ class SMServer:
             self._host_shards.get(replica.host_id, set()).discard(shard_id)
             self.metrics.drop_shard(shard_id, replica.host_id)
         del self._shards[shard_id]
+        self._unpersist_shard(shard_id)
         self.discovery.publish(shard_id, None, self.simulator.now)
 
     def _entry(self, shard_id: int) -> ShardEntry:
@@ -504,6 +578,7 @@ class SMServer:
         self._host_shards.get(from_host, set()).discard(entry.shard_id)
         self._host_shards.setdefault(to_host, set()).add(entry.shard_id)
         self.metrics.drop_shard(entry.shard_id, from_host)
+        self._persist_shard(entry)
 
     # ------------------------------------------------------------------
     # Drains (datacenter automation integration, paper §IV-G)
@@ -585,6 +660,7 @@ class SMServer:
             promoted.role = ReplicaRole.PRIMARY
             self.discovery.publish(shard_id, promoted.host_id, self.simulator.now)
             failed_replica.role = ReplicaRole.SECONDARY
+            self._persist_shard(entry)
 
         recovery_source = None
         for replica in survivors:
@@ -655,6 +731,7 @@ class SMServer:
                 continue
             failed_replica.host_id = decision.host_id
             self._host_shards.setdefault(decision.host_id, set()).add(shard_id)
+            self._persist_shard(entry)
             self._failover_counter.inc()
             return
         self.unplaced_failovers.append(shard_id)

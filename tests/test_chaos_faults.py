@@ -70,8 +70,9 @@ class TestFaultSchedule:
             .sm_failover(7.0, "region2")
             .migration_interrupt(8.0, "region0")
             .query_storm(9.0, "events")
+            .leader_crash(10.0, "region1")
         )
-        assert len(schedule) == 9
+        assert len(schedule) == 10
         kinds = {spec.kind for spec in schedule.specs}
         assert kinds == set(FaultKind)
 

@@ -1,0 +1,122 @@
+"""Partition-fault tests: asymmetric links, heal events, leader crashes.
+
+These exercise the chaos injector against the consensus-replicated
+deployment: the directional ``region_partition`` variant, the
+``partition_healed`` event the invariant checker keys catch-up off,
+and the ``leader_crash`` fault targeting the metadata plane.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.faults import ChaosInjector, FaultSchedule
+from repro.chaos.invariants import InvariantChecker
+from repro.chaos.scenarios import build_chaos_deployment, run_scenario
+
+
+def _replicated_deployment(seed=0):
+    deployment, __ = build_chaos_deployment(seed, replicated=True)
+    deployment.simulator.run_until(30.0)
+    return deployment
+
+
+class TestAsymmetricPartition:
+    def test_cuts_one_direction_then_heals(self):
+        deployment = _replicated_deployment()
+        injector = ChaosInjector(deployment)
+        schedule = FaultSchedule().asymmetric_partition(
+            40.0, "region0", "region1", duration=60.0
+        )
+        injector.install(schedule)
+        deployment.simulator.run_until(50.0)
+        # Only the region0 → region1 direction is down.
+        assert not deployment.cluster.region_link_up("region0", "region1")
+        assert deployment.cluster.region_link_up("region1", "region0")
+        # The region itself is still available — this is a link fault.
+        assert deployment.cluster.region("region1").available
+        deployment.simulator.run_until(120.0)
+        assert deployment.cluster.region_link_up("region0", "region1")
+
+    def test_emits_heal_event_and_catches_up(self):
+        deployment = _replicated_deployment()
+        injector = ChaosInjector(deployment)
+        schedule = FaultSchedule().asymmetric_partition(
+            40.0, "region0", "region1", duration=60.0
+        )
+        injector.install(schedule)
+        deployment.simulator.run_until(60.0)
+        # Traffic during the cut: replication to region1 must reroute
+        # or catch up after the heal.
+        cluster = deployment.metadata_cluster
+        cluster.propose(("set", "during-cut", 1), region=cluster.leader())
+        deployment.simulator.run_until(200.0)
+        healed = deployment.obs.events.of_kind("repro.chaos.partition_healed")
+        assert len(healed) == 1
+        assert healed[0]["src"] == "region0"
+        assert healed[0]["target"] == "region1"
+        # Catch-up converged: the checker's convergence invariant holds.
+        report = InvariantChecker(deployment).check_convergence(
+            label="after-heal"
+        )
+        assert report.ok, report.render()
+        assert cluster.machines["region1"].get("during-cut") == 1
+
+    def test_full_partition_also_emits_heal_event(self):
+        deployment = _replicated_deployment()
+        injector = ChaosInjector(deployment)
+        injector.install(
+            FaultSchedule().network_partition(40.0, "region1", duration=60.0)
+        )
+        deployment.simulator.run_until(200.0)
+        healed = deployment.obs.events.of_kind("repro.chaos.partition_healed")
+        assert len(healed) == 1
+        assert healed[0]["target"] == "region1"
+        assert healed[0]["src"] == ""
+
+
+class TestLeaderCrashFault:
+    def test_crashes_and_recovers_metadata_replica(self):
+        deployment = _replicated_deployment()
+        leader = deployment.metadata_cluster.leader()
+        injector = ChaosInjector(deployment)
+        injector.install(
+            FaultSchedule().leader_crash(40.0, leader, duration=60.0)
+        )
+        deployment.simulator.run_until(60.0)
+        assert deployment.metadata_cluster.nodes[leader].crashed
+        deployment.simulator.run_until(200.0)
+        assert not deployment.metadata_cluster.nodes[leader].crashed
+        # Survivors elected a replacement while the old leader was down.
+        history = deployment.metadata_cluster.leader_history()
+        assert len(history) >= 2
+        assert all(len(winners) == 1 for winners in history.values())
+        details = {
+            spec.kind.value: detail for __, spec, detail in injector.applied
+        }
+        assert details["leader_crash"] == "leader crashed"
+
+    def test_noop_without_metadata_cluster(self):
+        deployment, __ = build_chaos_deployment(0, replicated=False)
+        deployment.simulator.run_until(30.0)
+        injector = ChaosInjector(deployment)
+        injector.install(
+            FaultSchedule().leader_crash(40.0, "region0", duration=60.0)
+        )
+        deployment.simulator.run_until(200.0)
+        applied = [
+            detail for __, spec, detail in injector.applied
+            if spec.kind.value == "leader_crash"
+        ]
+        assert applied == ["no metadata cluster"]
+
+
+class TestConsensusScenarios:
+    def test_metadata_leader_crash_scenario(self):
+        report = run_scenario("metadata-leader-crash", seed=0)
+        assert report.ok, report.render()
+        assert report.render() == run_scenario(
+            "metadata-leader-crash", seed=0
+        ).render()
+
+    def test_asymmetric_partition_scenario(self):
+        report = run_scenario("asymmetric-partition", seed=0)
+        assert report.ok, report.render()

@@ -1,0 +1,353 @@
+"""Unit tests for the consensus core: log, transport, node, group, store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus import (
+    LEADER,
+    LogEntry,
+    MetadataCluster,
+    RaftLog,
+    ReplicatedDatastore,
+)
+from repro.errors import ConfigurationError, QuorumUnavailableError
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+REGIONS = ["a", "b", "c"]
+
+
+def make_cluster(simulator=None, *, seed=0, obs=None, regions=None,
+                 bootstrap="a", **kwargs):
+    simulator = simulator if simulator is not None else Simulator()
+    rngs = RngRegistry(seed)
+    cluster = MetadataCluster(
+        simulator,
+        list(regions if regions is not None else REGIONS),
+        lambda r: rngs.stream(f"consensus:{r}"),
+        obs=obs,
+        bootstrap_leader=bootstrap,
+        **kwargs,
+    )
+    return simulator, cluster
+
+
+def settle(simulator, dt=10.0):
+    simulator.run_until(simulator.now + dt)
+
+
+# ----------------------------------------------------------------------
+# RaftLog
+# ----------------------------------------------------------------------
+
+
+class TestRaftLog:
+    def test_append_and_lookup(self):
+        log = RaftLog()
+        assert log.last_index == 0 and log.last_term == 0
+        assert log.term_at(0) == 0
+        entry = log.append_new(1, ("set", "k", 1))
+        assert entry == LogEntry(1, 1, ("set", "k", 1))
+        assert log.last_index == 1 and log.last_term == 1
+        assert log.term_at(1) == 1
+        assert log.term_at(5) is None
+        assert list(log.entries_from(1)) == [entry]
+
+    def test_entry_out_of_range_raises(self):
+        log = RaftLog()
+        log.append_new(1, ("noop",))
+        with pytest.raises(ConfigurationError):
+            log.entry(2)
+        with pytest.raises(ConfigurationError):
+            log.entry(0)
+
+    def test_overwrite_keeps_matching_truncates_conflicts(self):
+        log = RaftLog()
+        log.append_new(1, ("set", "k", 1))
+        log.append_new(1, ("set", "k", 2))
+        log.append_new(1, ("set", "k", 3))
+        # Same index 2 at a later term: truncate 2..3 and append.
+        log.overwrite_from((
+            LogEntry(2, 2, ("set", "k", 9)),
+            LogEntry(3, 2, ("set", "k", 10)),
+        ))
+        assert log.last_index == 3
+        assert log.entry(1).term == 1
+        assert log.entry(2) == LogEntry(2, 2, ("set", "k", 9))
+        assert log.entry(3).term == 2
+        # Idempotent replay of a matching prefix changes nothing.
+        log.overwrite_from((LogEntry(2, 2, ("set", "k", 9)),))
+        assert log.last_index == 3
+
+    def test_compact_and_snapshot_state(self):
+        log = RaftLog()
+        for i in range(5):
+            log.append_new(1, ("set", "k", i))
+        log.compact(3, state=(("k", 2),))
+        assert log.snapshot_index == 3 and log.snapshot_term == 1
+        assert log.term_at(3) == 1  # served from the snapshot boundary
+        assert log.term_at(2) is None  # compacted away
+        assert log.last_index == 5
+        with pytest.raises(ConfigurationError):
+            log.compact(99, state=())
+
+    def test_install_snapshot_resets_conflicting_log(self):
+        log = RaftLog()
+        log.append_new(1, ("set", "k", 1))
+        log.install_snapshot(4, 3, (("k", 9),))
+        assert log.snapshot_index == 4 and log.snapshot_term == 3
+        assert log.last_index == 4
+        assert log.snapshot_state == (("k", 9),)
+        # An older snapshot is a no-op.
+        log.install_snapshot(2, 1, ())
+        assert log.snapshot_index == 4
+
+
+# ----------------------------------------------------------------------
+# Election + replication
+# ----------------------------------------------------------------------
+
+
+class TestElectionAndReplication:
+    def test_bootstrap_region_wins_first_election(self):
+        simulator, cluster = make_cluster()
+        settle(simulator)
+        assert cluster.leader() == "a"
+        assert cluster.replica("a").role == LEADER
+        assert cluster.leader_history() == {1: ["a"]}
+
+    def test_committed_command_applies_everywhere(self):
+        simulator, cluster = make_cluster()
+        settle(simulator)
+        index = cluster.propose(("set", "k", 42))
+        assert index is not None
+        settle(simulator)
+        for region in REGIONS:
+            assert cluster.machines[region].get("k") == 42
+        assert cluster.max_committed_index >= index
+        assert cluster.commit_conflicts == []
+
+    def test_propose_via_follower_returns_none(self):
+        simulator, cluster = make_cluster()
+        settle(simulator)
+        assert cluster.propose(("set", "k", 1), region="b") is None
+
+    def test_leader_crash_triggers_new_election(self):
+        simulator, cluster = make_cluster()
+        settle(simulator)
+        cluster.crash_replica("a")
+        settle(simulator, 15.0)
+        leader = cluster.leader()
+        assert leader in ("b", "c")
+        assert cluster.replica(leader).current_term > 1
+        # The recovered replica rejoins as a follower and catches up.
+        cluster.propose(("set", "after", 1))
+        settle(simulator)
+        cluster.recover_replica("a")
+        settle(simulator, 15.0)
+        assert cluster.machines["a"].get("after") == 1
+        history = cluster.leader_history()
+        assert all(len(winners) == 1 for winners in history.values())
+
+    def test_partitioned_minority_cannot_elect(self):
+        simulator, cluster = make_cluster()
+        settle(simulator)
+        cluster.partition_region("b")
+        settle(simulator, 60.0)
+        # b keeps starting elections but can never win one.
+        assert cluster.leader() == "a"
+        assert "b" not in [
+            r for winners in cluster.leader_history().values()
+            for r in winners
+        ]
+        cluster.heal_region("b")
+        settle(simulator, 30.0)
+        # b's inflated term forces a step-down + re-election, but the
+        # per-term single-winner property always holds.
+        history = cluster.leader_history()
+        assert all(len(winners) == 1 for winners in history.values())
+        assert cluster.commit_conflicts == []
+
+    def test_partitioned_leader_loses_lease(self):
+        simulator, cluster = make_cluster()
+        settle(simulator)
+        node = cluster.replica("a")
+        assert node.has_lease(simulator.now)
+        cluster.partition_region("a")
+        settle(simulator, 10.0)
+        assert not node.has_lease(simulator.now)
+
+    def test_majority_partition_keeps_committing(self):
+        simulator, cluster = make_cluster()
+        settle(simulator)
+        cluster.partition_region("a")
+        settle(simulator, 15.0)
+        leader = cluster.leader()
+        assert leader in ("b", "c")
+        index = cluster.propose(("set", "during", 7))
+        assert index is not None
+        settle(simulator)
+        assert cluster.machines[leader].get("during") == 7
+        # Heal: the isolated ex-leader catches up without conflicts.
+        cluster.heal_region("a")
+        settle(simulator, 20.0)
+        assert cluster.machines["a"].get("during") == 7
+        assert cluster.commit_conflicts == []
+        assert all(
+            cluster.replica(r).commit_regressions == 0 for r in REGIONS
+        )
+
+    def test_asymmetric_cut_routes_around(self):
+        simulator, cluster = make_cluster()
+        settle(simulator)
+        # a's messages to b vanish; b still reaches a and c.
+        cluster.cut_link("a", "b")
+        settle(simulator, 30.0)
+        leader = cluster.leader()
+        assert leader is not None
+        index = cluster.propose(("set", "oneway", 1))
+        assert index is not None
+        settle(simulator, 10.0)
+        cluster.restore_link("a", "b")
+        settle(simulator, 20.0)
+        for region in REGIONS:
+            assert cluster.machines[region].get("oneway") == 1
+        history = cluster.leader_history()
+        assert all(len(winners) == 1 for winners in history.values())
+
+    def test_compaction_and_snapshot_catchup(self):
+        simulator, cluster = make_cluster(compaction_threshold=8)
+        settle(simulator)
+        cluster.crash_replica("c")
+        for i in range(20):
+            cluster.propose(("set", f"k{i}", i))
+            settle(simulator, 2.0)
+        leader_log = cluster.replica("a").log
+        assert leader_log.snapshot_index > 0  # compaction ran
+        cluster.recover_replica("c")
+        settle(simulator, 30.0)
+        # c was behind the leader's compacted prefix: caught up by
+        # snapshot shipping, then log replay.
+        assert cluster.machines["c"].get("k19") == 19
+        assert cluster.replica("c").commit_index == \
+            cluster.replica("a").commit_index
+
+
+# ----------------------------------------------------------------------
+# Quorum reads
+# ----------------------------------------------------------------------
+
+
+class TestQuorumReads:
+    def test_quorum_read_returns_freshest(self):
+        simulator, cluster = make_cluster()
+        settle(simulator)
+        cluster.propose(("set", "k", 5))
+        settle(simulator)
+        assert cluster.quorum_read("b", "k") == 5
+        assert cluster.quorum_keys_with_prefix("c", "k") == ["k"]
+
+    def test_quorum_read_unavailable_when_partitioned(self):
+        simulator, cluster = make_cluster()
+        settle(simulator)
+        cluster.partition_region("b")
+        with pytest.raises(QuorumUnavailableError):
+            cluster.quorum_read("b", "k")
+
+    def test_invalid_construction(self):
+        simulator = Simulator()
+        rngs = RngRegistry(0)
+        with pytest.raises(ConfigurationError):
+            MetadataCluster(simulator, [], lambda r: rngs.stream(r))
+        with pytest.raises(ConfigurationError):
+            MetadataCluster(
+                simulator, ["a"], lambda r: rngs.stream(r),
+                bootstrap_leader="nope",
+            )
+
+
+# ----------------------------------------------------------------------
+# ReplicatedDatastore
+# ----------------------------------------------------------------------
+
+
+def make_store(region="a"):
+    simulator, cluster = make_cluster()
+    settle(simulator)
+    store = ReplicatedDatastore(simulator, cluster, region)
+    return simulator, cluster, store
+
+
+class TestReplicatedDatastore:
+    def test_set_get_roundtrip(self):
+        simulator, cluster, store = make_store()
+        store.set("x", 1)
+        settle(simulator)
+        assert store.get("x") == 1
+        # Every region's machine converged on the write.
+        for region in REGIONS:
+            assert cluster.machines[region].get("x") == 1
+
+    def test_delete_removes_everywhere(self):
+        simulator, cluster, store = make_store()
+        store.set("x", 1)
+        settle(simulator)
+        store.delete("x")
+        settle(simulator)
+        assert store.get("x") is None
+        assert store.get("x", "fallback") == "fallback"
+
+    def test_follower_region_routes_to_leader(self):
+        simulator, cluster, store = make_store(region="b")
+        store.set("routed", 9)
+        settle(simulator)
+        assert cluster.machines["a"].get("routed") == 9
+
+    def test_writes_park_during_partition_and_drain(self):
+        simulator, cluster, store = make_store(region="b")
+        cluster.partition_region("b")
+        store.set("parked", 1)
+        store.set("parked2", 2)
+        settle(simulator, 30.0)
+        assert cluster.machines["a"].get("parked") is None
+        cluster.heal_region("b")
+        settle(simulator, 30.0)
+        # The pending buffer drained in order once a route appeared.
+        assert cluster.machines["a"].get("parked") == 1
+        assert cluster.machines["a"].get("parked2") == 2
+
+    def test_reads_fall_back_locally_when_no_quorum(self):
+        simulator, cluster, store = make_store()
+        store.set("x", 1)
+        settle(simulator)
+        cluster.partition_region("a")
+        settle(simulator, 10.0)  # past the leader lease
+        # No quorum from a, but the local machine still has the value.
+        assert store.get("x") == 1
+        fallbacks = store.obs.metrics.counter(
+            "consensus.quorum_read_fallbacks", region="a"
+        )
+        assert fallbacks.value > 0
+
+    def test_keys_with_prefix_merges_replicated_and_local(self):
+        simulator, cluster, store = make_store()
+        store.set("p/one", 1)
+        settle(simulator)
+        session = store.create_session("host-1")
+        store.create_ephemeral(session, "p/eph", 2)
+        assert store.keys_with_prefix("p/") == ["p/eph", "p/one"]
+        assert store.get("p/eph") == 2
+
+    def test_sessions_stay_region_local(self):
+        simulator, cluster, store = make_store()
+        session = store.create_session("host-1")
+        assert [s.owner for s in store.live_sessions()] == ["host-1"]
+        store.close_session(session)
+        assert store.live_sessions() == []
+
+    def test_shutdown_cancels_drain(self):
+        simulator, cluster, store = make_store()
+        store.set("x", 1)
+        store.shutdown()
+        settle(simulator, 30.0)  # no pending-drain churn after shutdown
