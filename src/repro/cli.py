@@ -490,6 +490,71 @@ def cmd_regionfail(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the simulated fleet over TCP until SIGTERM.
+
+    Builds the standard serving deployment (seeded, warmed up under the
+    virtual clock), binds the asyncio gateway, installs SIGTERM/SIGINT
+    handlers for graceful drain, and blocks until drained. The fleet
+    build is byte-reproducible; only the serving itself runs on the
+    wall clock.
+    """
+    import asyncio
+
+    from repro.serve import ServeGateway, build_serving_deployment
+
+    async def _serve() -> int:
+        serving = build_serving_deployment(args.seed)
+        gateway = ServeGateway(
+            serving,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            metrics_path=args.metrics,
+        )
+        host, port = await gateway.start()
+        gateway.install_signal_handlers()
+        print(f"repro serve: listening on {host}:{port} "
+              f"(seed={args.seed}); SIGTERM drains gracefully",
+              flush=True)
+        await gateway.serve_forever()
+        snapshot = gateway.snapshot()
+        print(f"drained: {snapshot['responses_total']} responses, "
+              f"{snapshot['protocol_errors']} protocol errors")
+        return 0
+
+    return asyncio.run(_serve())
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    """Run the closed-loop serving benchmark and write BENCH_serve.json.
+
+    Boots the gateway in-process on a loopback port, drives it with N
+    concurrent closed-loop asyncio clients (Zipf tenant skew, fixed
+    per-tenant dashboards) and reports sustained QPS, p50/p95/p99,
+    admission rejects and cache hit rate.
+    """
+    import asyncio
+
+    from repro.serve import render_report, run_bench_async, write_report
+
+    report = asyncio.run(
+        run_bench_async(
+            clients=args.clients,
+            duration=args.duration,
+            seed=args.seed,
+            tenants=args.tenants,
+            think_time=args.think_time,
+        )
+    )
+    print(render_report(report), end="")
+    if args.json:
+        write_report(report, args.json)
+        print(f"report written to {args.json}")
+    ok = report["ok"] > 0 and report["protocol_errors"] == 0
+    return 0 if ok else 1
+
+
 def cmd_smc_delay(args: argparse.Namespace) -> int:
     tree = PropagationTree()
     rng = np.random.default_rng(args.seed)
@@ -672,6 +737,41 @@ def build_parser() -> argparse.ArgumentParser:
     regionfail.add_argument("--queries", type=int, default=600,
                             help="queries spread over the traffic window")
     regionfail.set_defaults(func=cmd_regionfail)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the simulated fleet over TCP (length-prefixed JSON "
+             "protocol; SIGTERM drains gracefully)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7432,
+                       help="TCP port (0 = ephemeral)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--max-inflight", type=int, default=32,
+                       help="per-connection in-flight request window")
+    serve.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write the Prometheus text export to PATH on drain",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    bench_serve = sub.add_parser(
+        "bench-serve",
+        help="closed-loop serving benchmark: N concurrent clients with "
+             "Zipf tenant skew against an in-process gateway",
+    )
+    bench_serve.add_argument("--clients", type=int, default=200)
+    bench_serve.add_argument("--duration", type=float, default=10.0,
+                             help="measurement window in real seconds")
+    bench_serve.add_argument("--seed", type=int, default=0)
+    bench_serve.add_argument("--tenants", type=int, default=6)
+    bench_serve.add_argument("--think-time", type=float, default=0.0,
+                             help="per-client pause between requests")
+    bench_serve.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the machine-readable report (BENCH_serve.json) to PATH",
+    )
+    bench_serve.set_defaults(func=cmd_bench_serve)
 
     smc = sub.add_parser("smc-delay", help="SMC propagation delays (Fig 4c)")
     smc.add_argument("--samples", type=int, default=100_000)

@@ -440,6 +440,21 @@ class CubrickDeployment:
         physical = build_physical(logical)
         return execute_plan(physical, self.proxy, **query_kwargs)
 
+    def compile_sql(self, statement: str) -> Query:
+        """Compile one single-table SELECT into a :class:`Query`.
+
+        The managed admission path (:class:`~repro.sched.WorkloadManager`,
+        and the serving gateway in front of it) schedules ``Query``
+        objects, so SQL submitted there is compiled up front — errors
+        (syntax, unknown table) surface at submission time, before the
+        query consumes a queue slot.
+        """
+        from repro.cubrick.sql import parse_query
+
+        query = parse_query(statement)
+        self.catalog.get(query.table)  # raises TableNotFoundError early
+        return query
+
     def explain(self, statement: str, *, optimize: bool = True) -> str:
         """Deterministic EXPLAIN text for one SQL statement.
 

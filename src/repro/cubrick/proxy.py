@@ -197,8 +197,22 @@ class CubrickProxy:
         self._latency_histogram.observe(CACHE_HIT_LATENCY)
         return hit
 
-    def _cache_put(self, query: Query, result: QueryResult) -> None:
-        versions = self._table_versions(query.table)
+    def _cache_put(
+        self,
+        query: Query,
+        result: QueryResult,
+        versions: Optional[tuple[int, int]],
+    ) -> None:
+        """Store a fresh answer under the versions read *before* execution.
+
+        ``versions`` must be the (generation, ingest_generation) pair
+        sampled before the query ran. Re-reading the catalog here would
+        race with concurrent loads in the real-time serving tier: a load
+        landing between execution and this store would file a pre-load
+        answer under the post-load key — a stale read served until the
+        next invalidation. Keying by the pre-execution snapshot means a
+        concurrent bump simply makes this entry unreachable.
+        """
         if versions is None:
             return
         self.result_cache.put(
@@ -262,6 +276,11 @@ class CubrickProxy:
             hit = self._cache_get(query)
             if hit is not None:
                 return hit
+        # Snapshot the table versions before executing so the store
+        # below cannot be poisoned by a load that lands mid-flight.
+        cache_versions = (
+            self._table_versions(query.table) if cacheable else None
+        )
         # The root span of every query trace. Its duration is the
         # user-visible latency (wasted attempts included); coordinator
         # and per-host scan spans nest beneath it.
@@ -297,7 +316,7 @@ class CubrickProxy:
         self._outcome_counter("ok").inc()
         self._latency_histogram.observe(latency_total)
         if cacheable:
-            self._cache_put(query, result)
+            self._cache_put(query, result, cache_versions)
         return result
 
     def _submit(

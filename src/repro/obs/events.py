@@ -32,6 +32,7 @@ class EventLog:
         self.capacity = capacity
         self._events: deque[dict] = deque(maxlen=capacity)
         self._seq = 0
+        self._last_time = float("-inf")
         self.emitted = 0
         #: Called with the number of events scrolled off (always 1) each
         #: time the ring overflows; Observability wires a metrics counter
@@ -44,7 +45,13 @@ class EventLog:
         if reserved:
             raise ValueError(f"event fields shadow reserved keys: {sorted(reserved)}")
         self._seq += 1
-        event = {"time": self.clock(), "seq": self._seq, "kind": kind}
+        # Non-decreasing clamp: event timestamps are ordered by (time,
+        # seq) in dumps, and real-clock jitter between clock domains
+        # must not produce a log that appears to run backwards. On the
+        # monotone DES clock the clamp never fires.
+        now = max(self.clock(), self._last_time)
+        self._last_time = now
+        event = {"time": now, "seq": self._seq, "kind": kind}
         event.update(sorted(fields.items()))
         overflowing = len(self._events) == self.capacity
         self._events.append(event)

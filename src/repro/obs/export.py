@@ -104,7 +104,10 @@ def _span_record(span: Span, parent_id: int) -> dict:
         "name": span.name,
         "kind": "SPAN_KIND_INTERNAL",
         "startTime": span.start,
-        "endTime": span.end if span.end is not None else span.start,
+        # Clamped: real-clock jitter must not export end < start (OTLP
+        # consumers reject negative-duration spans). No-op on the
+        # monotone DES clock.
+        "endTime": span.start if span.end is None else max(span.end, span.start),
         "attributes": attributes,
     }
 

@@ -53,8 +53,16 @@ class Span:
 
     @property
     def duration(self) -> float:
-        """Seconds of (simulated) time this span covers; 0 while open."""
-        return (self.end - self.start) if self.end is not None else 0.0
+        """Seconds of (simulated) time this span covers; 0 while open.
+
+        Clamped non-negative: under the serving tier's real clock a span
+        can be backdated past a slightly-jittered close timestamp, and a
+        negative duration would poison percentile readouts. On the
+        monotone DES clock the clamp never fires.
+        """
+        if self.end is None:
+            return 0.0
+        return max(0.0, self.end - self.start)
 
     def set_duration(self, duration: float) -> None:
         """Record the simulated duration of this span explicitly."""
@@ -173,7 +181,10 @@ class Tracer:
             popped = self._stack.pop()
             assert popped is span, "span stack corrupted"
             if span.end is None:
-                span.end = self.clock()
+                # Non-decreasing clamp: a backdated start (queue-wait
+                # roots) combined with real-clock jitter must never
+                # close a span before it opened.
+                span.end = max(self.clock(), span.start)
             if not self._stack:
                 self._finish_root(span)
 

@@ -46,7 +46,7 @@ from repro.sched.queue import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.deployment import CubrickDeployment
-    from repro.cubrick.query import Query
+    from repro.cubrick.query import Query, QueryResult
 
 
 @dataclass(frozen=True)
@@ -108,6 +108,10 @@ class JobRecord:
     sla_ok: bool = False
     node: Optional[str] = None  # executor queue that served it
     error: Optional[str] = None
+    #: The answer itself (cache hit or fresh execution). The serving
+    #: tier returns it to clients; simulation-side consumers that only
+    #: tally outcomes can keep ignoring it.
+    result: Optional["QueryResult"] = None
 
     @property
     def admitted(self) -> bool:
@@ -234,6 +238,7 @@ class WorkloadManager:
             )
             if hit is not None:
                 record.outcome = "cache_hit"
+                record.result = hit
                 record.latency = CACHE_HIT_LATENCY
                 record.sla_ok = True
                 self._sla_ok.inc()
@@ -312,6 +317,7 @@ class WorkloadManager:
                 root.set_duration(queue_wait)
                 root.annotate(outcome="failed", error=str(exc))
                 raise
+            record.result = result
             latency = float(result.metadata.get("latency_total", 0.0))
             root.set_duration(queue_wait + latency)
             root.annotate(outcome="ok", queue_wait=queue_wait)

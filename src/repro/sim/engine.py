@@ -87,6 +87,18 @@ class Simulator:
         """Number of events still queued (including cancelled ones)."""
         return len(self._heap)
 
+    @property
+    def next_event_time(self) -> Optional[float]:
+        """Virtual time of the earliest live queued event, or None.
+
+        Cancelled events at the heap top are discarded on the way — the
+        serving tier's event-loop pump uses this to sleep exactly until
+        the next completion instead of polling blind.
+        """
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
     def schedule(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute virtual time ``time``."""
         if time < self._now:

@@ -30,6 +30,7 @@ from repro.workloads.loadgen import (
     TrafficGenerator,
     overload_policy,
     run_overload_experiment,
+    zipf_tenant_weights,
 )
 from repro.workloads.traces import (
     QueryTrace,
@@ -56,6 +57,7 @@ __all__ = [
     "TrafficGenerator",
     "overload_policy",
     "run_overload_experiment",
+    "zipf_tenant_weights",
     "QueryTrace",
     "TraceEntry",
     "TraceRecorder",

@@ -61,6 +61,21 @@ class TenantProfile:
     priority: PriorityClass
 
 
+def zipf_tenant_weights(tenants: int, zipf_s: float) -> list[float]:
+    """Normalised Zipf traffic shares for ``tenants`` ranked hot-to-cold.
+
+    The one tenant-skew formula every load harness shares —
+    :class:`TrafficGenerator` on the DES clock and the serving tier's
+    ``repro bench-serve`` on the real clock draw from the same
+    distribution, so their mixes are comparable.
+    """
+    if tenants <= 0:
+        raise ConfigurationError(f"tenants must be positive: {tenants}")
+    raw = [1.0 / (rank + 1) ** zipf_s for rank in range(tenants)]
+    total = sum(raw)
+    return [weight / total for weight in raw]
+
+
 class TrafficGenerator:
     """Seeded multi-tenant traffic against one workload manager."""
 
@@ -94,15 +109,14 @@ class TrafficGenerator:
         if not schemas:
             raise ConfigurationError("deployment has no queryable tables")
         generator = QueryGenerator(schemas, self._rng)
-        raw = [1.0 / (rank + 1) ** zipf_s for rank in range(tenants)]
-        total = sum(raw)
+        shares = zipf_tenant_weights(tenants, zipf_s)
         self.profiles: list[TenantProfile] = [
             TenantProfile(
                 name=f"tenant{rank:02d}",
-                weight=weight / total,
+                weight=weight,
                 priority=_PRIORITY_CYCLE[rank % len(_PRIORITY_CYCLE)],
             )
-            for rank, weight in enumerate(raw)
+            for rank, weight in enumerate(shares)
         ]
         self._weights = np.array([p.weight for p in self.profiles])
         # Each tenant replays a small fixed dashboard: repeats are what

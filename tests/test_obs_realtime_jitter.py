@@ -1,0 +1,123 @@
+"""Real-clock jitter tolerance of the observability exports.
+
+The serving tier points the obs stack at a wall-anchored clock
+(``repro.serve.clock.RealTimeClock``) whose readings, unlike the DES
+virtual clock, can jitter between two related samples taken in
+different clock domains (a span backdated onto queue-wait time, an
+event emitted from a pump tick that raced a submission). The histogram,
+trace and event exports must stay well-formed anyway: durations clamp
+non-negative, span ``endTime`` never precedes ``startTime``, the event
+log never appears to run backwards — and every clamp is a strict no-op
+under a monotone clock, which is what keeps the seeded DES exports
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.events import EventLog
+from repro.obs.export import spans_jsonl
+from repro.obs.trace import Span, Tracer
+
+
+class ScriptedClock:
+    """Replays a fixed list of readings (then holds the last one)."""
+
+    def __init__(self, readings):
+        self.readings = list(readings)
+        self.calls = 0
+
+    def __call__(self) -> float:
+        index = min(self.calls, len(self.readings) - 1)
+        self.calls += 1
+        return self.readings[index]
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+
+
+def test_span_close_clamps_backward_clock():
+    # Open at t=5.0, clock jitters back to 4.2 at close: the span must
+    # close at its own start, not before it.
+    tracer = Tracer(clock=ScriptedClock([5.0, 4.2]))
+    with tracer.span("serve.request") as span:
+        pass
+    assert span.end == span.start == 5.0
+    assert span.duration == 0.0
+
+
+def test_span_duration_clamped_nonnegative():
+    span = Span("jittery", start=10.0)
+    span.end = 9.5
+    assert span.duration == 0.0
+    # And an honest duration is untouched.
+    span.end = 10.25
+    assert span.duration == 0.25
+
+
+def test_open_span_duration_is_zero():
+    assert Span("open", start=3.0).duration == 0.0
+
+
+def test_set_duration_still_rejects_negative():
+    span = Span("explicit", start=1.0)
+    try:
+        span.set_duration(-0.1)
+    except ValueError:
+        pass
+    else:  # pragma: no cover - failure path
+        raise AssertionError("negative explicit duration must raise")
+
+
+def test_export_clamps_end_time():
+    span = Span("jittery", trace_id=1, span_id=1, start=10.0)
+    span.end = 9.0
+    record = json.loads(spans_jsonl(Tracer(), roots=[span]))
+    assert record["endTime"] == record["startTime"] == 10.0
+
+
+def test_export_open_span_end_time_is_start():
+    span = Span("open", trace_id=1, span_id=1, start=4.0)
+    record = json.loads(spans_jsonl(Tracer(), roots=[span]))
+    assert record["endTime"] == 4.0
+
+
+def test_span_clamp_noop_on_monotone_clock():
+    tracer = Tracer(clock=ScriptedClock([1.0, 1.5]))
+    with tracer.span("monotone") as span:
+        pass
+    assert (span.start, span.end) == (1.0, 1.5)
+    assert span.duration == 0.5
+
+
+# ----------------------------------------------------------------------
+# Event log
+# ----------------------------------------------------------------------
+
+
+def test_event_log_never_runs_backwards():
+    log = EventLog(clock=ScriptedClock([5.0, 3.0, 4.0, 6.0]))
+    times = [log.emit("serve.tick")["time"] for __ in range(4)]
+    assert times == [5.0, 5.0, 5.0, 6.0]
+    assert times == sorted(times)
+
+
+def test_event_log_clamp_noop_on_monotone_clock():
+    readings = [0.5, 1.0, 2.25]
+    log = EventLog(clock=ScriptedClock(readings))
+    times = [log.emit("serve.tick")["time"] for __ in readings]
+    assert times == readings
+
+
+def test_event_log_dump_order_survives_jitter(tmp_path):
+    log = EventLog(clock=ScriptedClock([2.0, 1.0, 3.0]))
+    for __ in range(3):
+        log.emit("serve.tick")
+    path = tmp_path / "events.jsonl"
+    assert log.dump(str(path)) == 3
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    stamps = [(row["time"], row["seq"]) for row in rows]
+    assert stamps == sorted(stamps)
